@@ -1,0 +1,127 @@
+//! Modified Leja ordering for Newton-basis shifts.
+//!
+//! Using Ritz values as Newton shifts in their natural (sorted) order makes
+//! the basis as unstable as the monomial one: consecutive shifts are nearly
+//! equal, so consecutive basis vectors become nearly parallel. Leja ordering
+//! picks each next shift to maximize the product of distances to all
+//! previously chosen shifts, which keeps the Newton basis well conditioned
+//! (Hoemmen [14], §7.3). Products are accumulated in log space to avoid
+//! overflow for large shift sets.
+
+/// Orders `candidates` by the (real) Leja rule, returning a new vector with
+/// the same multiset of values.
+///
+/// `z_0 = argmax |z|`, then `z_k = argmax Σ_{i<k} log|z − z_i|`.
+/// Ties are broken by the original index, making the order deterministic.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn leja_order(candidates: &[f64]) -> Vec<f64> {
+    assert!(!candidates.is_empty(), "leja_order: empty candidate set");
+    let m = candidates.len();
+    let mut chosen: Vec<f64> = Vec::with_capacity(m);
+    let mut used = vec![false; m];
+
+    // First: largest magnitude.
+    let first = (0..m)
+        .max_by(|&i, &j| {
+            candidates[i]
+                .abs()
+                .partial_cmp(&candidates[j].abs())
+                .expect("leja_order: NaN candidate")
+        })
+        .unwrap();
+    used[first] = true;
+    chosen.push(candidates[first]);
+
+    // Remaining: maximize the log-product of distances to chosen shifts.
+    // log(0) = -inf correctly sends duplicates to the back of each round.
+    for _ in 1..m {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if used[i] {
+                continue;
+            }
+            let score: f64 = chosen.iter().map(|&z| (candidates[i] - z).abs().ln()).sum();
+            match best {
+                None => best = Some((i, score)),
+                Some((_, s)) if score > s => best = Some((i, score)),
+                _ => {}
+            }
+        }
+        let (i, _) = best.expect("leja_order: no unused candidate left");
+        used[i] = true;
+        chosen.push(candidates[i]);
+    }
+    chosen
+}
+
+/// Convenience for Newton shifts: Leja-orders the Ritz values and repeats
+/// them cyclically if fewer than `s` are available.
+pub fn newton_shifts(ritz: &[f64], s: usize) -> Vec<f64> {
+    let ordered = leja_order(ritz);
+    (0..s).map(|i| ordered[i % ordered.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_is_largest_magnitude() {
+        let out = leja_order(&[1.0, -3.0, 2.0]);
+        assert_eq!(out[0], -3.0);
+    }
+
+    #[test]
+    fn preserves_multiset() {
+        let input = vec![0.5, 2.0, 1.0, 1.5, 0.1];
+        let mut out = leja_order(&input);
+        let mut sorted_in = input.clone();
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_in.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(out, sorted_in);
+    }
+
+    #[test]
+    fn second_choice_maximizes_distance() {
+        // After 4.0, the farthest candidate is 0.1 (not 2.0).
+        let out = leja_order(&[2.0, 4.0, 0.1]);
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 0.1);
+        assert_eq!(out[2], 2.0);
+    }
+
+    #[test]
+    fn alternates_across_interval() {
+        // Leja ordering of a uniform grid jumps between the ends before
+        // filling the middle; in particular the first three picks are the
+        // two extremes plus a point near the center.
+        let grid: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let out = leja_order(&grid);
+        assert_eq!(out[0], 10.0);
+        assert_eq!(out[1], 0.0);
+        assert!((out[2] - 5.0).abs() <= 1.0, "third pick {} not central", out[2]);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let out = leja_order(&[1.0, 1.0, 3.0]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], 3.0);
+    }
+
+    #[test]
+    fn newton_shifts_cycle() {
+        let shifts = newton_shifts(&[1.0, 2.0], 5);
+        assert_eq!(shifts.len(), 5);
+        assert_eq!(shifts[0], shifts[2]);
+        assert_eq!(shifts[1], shifts[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty candidate set")]
+    fn rejects_empty() {
+        leja_order(&[]);
+    }
+}

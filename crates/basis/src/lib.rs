@@ -1,0 +1,31 @@
+//! s-step basis machinery: polynomial recurrences, the Matrix Powers Kernel
+//! (MPK), change-of-basis matrices, and spectrum estimation.
+//!
+//! "The choice of the basis is the main factor that influences stability of
+//! communication-avoiding Krylov subspace methods" (paper §2.3). This crate
+//! implements everything around that choice:
+//!
+//! * [`BasisType`] / [`poly::BasisParams`] — the three-term recurrence
+//!   parameters (θ, γ, μ) of eq. (8) for the monomial, Newton, and Chebyshev
+//!   bases, in the single convention used across the workspace:
+//!   `z·P_j(z) = γ_j·P_{j+1}(z) + θ_j·P_j(z) + μ_{j-1}·P_{j-1}(z)`.
+//! * [`mpk::Mpk`] — computes the basis matrices `V` (eq. 6) and `M⁻¹V`
+//!   (eq. 7) with one SpMV and at most one preconditioner application per
+//!   column, charging [`spcg_dist::Counters`] for the extra `3n`/`5n` FLOPs
+//!   arbitrary bases add (paper §4.2).
+//! * [`cob`] — the change-of-basis matrices `B_i` of eq. (9) and the
+//!   block matrix `B` of CA-PCG (§2.3).
+//! * [`ritz`] / [`leja`] — Ritz-value estimation from a few warm-up PCG
+//!   iterations (the paper's §5.1 setup) and modified Leja ordering for the
+//!   Newton shifts.
+
+pub mod cob;
+pub mod leja;
+pub mod mpk;
+pub mod poly;
+pub mod ritz;
+pub mod types;
+
+pub use mpk::Mpk;
+pub use poly::BasisParams;
+pub use types::BasisType;

@@ -1,0 +1,266 @@
+//! Matrix Powers Kernel (MPK): builds the s-step basis matrices.
+//!
+//! Computes (paper eqs. (6)–(7))
+//!
+//! ```text
+//! V    = [P_0(AM⁻¹)·w, P_1(AM⁻¹)·w, …]          (v_cols columns)
+//! M⁻¹V = [P_0(M⁻¹A)·v, P_1(M⁻¹A)·v, …]          (mv_cols columns, v = M⁻¹w)
+//! ```
+//!
+//! using the recurrence `v_{j+1} = (A·(M⁻¹v_j) − θ_j·v_j − μ_{j-1}·v_{j-1}) / γ_j`:
+//! one SpMV per new `V` column and one preconditioner application per new
+//! `M⁻¹V` column. In a block-row-distributed setting the SpMV needs only
+//! neighbour (halo) communication, never a global reduction — that is the
+//! communication-avoiding property all three s-step methods share.
+//!
+//! The kernel charges the supplied [`Counters`] for the SpMVs, the
+//! preconditioner applications, and the extra `≤3n` / `≤5n` FLOPs per
+//! column that non-monomial bases add (paper §4.2).
+
+use crate::poly::BasisParams;
+use spcg_dist::Counters;
+use spcg_precond::Preconditioner;
+use spcg_sparse::{CsrMatrix, MultiVector};
+
+/// Matrix powers kernel over `A` and `M⁻¹`.
+pub struct Mpk<'a> {
+    a: &'a CsrMatrix,
+    m: &'a dyn Preconditioner,
+}
+
+impl<'a> Mpk<'a> {
+    /// Creates the kernel for a matrix/preconditioner pair.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent.
+    pub fn new(a: &'a CsrMatrix, m: &'a dyn Preconditioner) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "Mpk: matrix must be square");
+        assert_eq!(a.nrows(), m.dim(), "Mpk: preconditioner dimension mismatch");
+        Mpk { a, m }
+    }
+
+    /// Fills `v` (`n × v_cols`) and `mv` (`n × mv_cols`) with the basis
+    /// matrices seeded by `w`.
+    ///
+    /// * `known_mw`: pass `M⁻¹w` if it is already available (the s-step
+    ///   solvers usually have it from the previous outer iteration); this
+    ///   saves one preconditioner application — the bookkeeping behind
+    ///   CA-PCG's `2s−1` (not `2s+1`) preconditioner applications.
+    /// * Requires `v_cols ≥ 1` and `v_cols − 1 ≤ mv_cols ≤ v_cols`: building
+    ///   `v_{j+1}` consumes `M⁻¹v_j`, so all but possibly the last `V`
+    ///   column must be preconditioned anyway.
+    ///
+    /// # Panics
+    /// Panics on dimension or parameter-degree mismatches.
+    pub fn run(
+        &self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    ) {
+        let n = self.a.nrows();
+        let v_cols = v.k();
+        let mv_cols = mv.k();
+        assert!(v_cols >= 1, "Mpk::run: need at least one V column");
+        assert!(
+            mv_cols + 1 >= v_cols && mv_cols <= v_cols,
+            "Mpk::run: need v_cols-1 <= mv_cols <= v_cols (got {v_cols}, {mv_cols})"
+        );
+        assert_eq!(v.n(), n, "Mpk::run: v row mismatch");
+        assert_eq!(mv.n(), n, "Mpk::run: mv row mismatch");
+        assert_eq!(w.len(), n, "Mpk::run: seed length mismatch");
+        assert!(
+            params.degree() + 1 >= v_cols,
+            "Mpk::run: basis degree {} too small for {v_cols} columns",
+            params.degree()
+        );
+
+        v.col_mut(0).copy_from_slice(w);
+        if mv_cols > 0 {
+            match known_mw {
+                Some(mw) => {
+                    assert_eq!(mw.len(), n, "Mpk::run: known_mw length mismatch");
+                    mv.col_mut(0).copy_from_slice(mw);
+                }
+                None => {
+                    self.m.apply(v.col(0), mv.col_mut(0));
+                    counters.record_precond(self.m.flops_per_apply());
+                }
+            }
+        }
+
+        let mut t = vec![0.0; n];
+        for j in 0..v_cols - 1 {
+            // t = A · (M⁻¹ v_j).
+            self.a.spmv(mv.col(j), &mut t);
+            counters.record_spmv(self.a.spmv_flops());
+            // v_{j+1} = (t − θ_j v_j − μ_{j-1} v_{j-1}) / γ_j.
+            let theta = params.theta[j];
+            let inv_gamma = 1.0 / params.gamma[j];
+            if theta != 0.0 {
+                let vj = v.col(j);
+                for i in 0..n {
+                    t[i] -= theta * vj[i];
+                }
+            }
+            if j >= 1 && params.mu[j - 1] != 0.0 {
+                let mu = params.mu[j - 1];
+                let vjm1 = v.col(j - 1);
+                for i in 0..n {
+                    t[i] -= mu * vjm1[i];
+                }
+            }
+            if inv_gamma != 1.0 {
+                for ti in t.iter_mut() {
+                    *ti *= inv_gamma;
+                }
+            }
+            counters.blas1_flops += params.extra_flops_for_column(j + 1, n as u64);
+            v.col_mut(j + 1).copy_from_slice(&t);
+            if j + 1 < mv_cols {
+                self.m.apply(v.col(j + 1), mv.col_mut(j + 1));
+                counters.record_precond(self.m.flops_per_apply());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::{Identity, Jacobi};
+    use spcg_sparse::generators::poisson::poisson_1d;
+
+    fn counters() -> Counters {
+        Counters::new()
+    }
+
+    #[test]
+    fn monomial_identity_preconditioner_gives_krylov_powers() {
+        let a = poisson_1d(8);
+        let m = Identity::new(8);
+        let mpk = Mpk::new(&a, &m);
+        let w: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+        let params = BasisParams::monomial(3);
+        let mut v = MultiVector::zeros(8, 4);
+        let mut mv = MultiVector::zeros(8, 3);
+        let mut c = counters();
+        mpk.run(&w, None, &params, &mut v, &mut mv, &mut c);
+        // v_j = A^j w.
+        let mut expect = w.clone();
+        for j in 0..4 {
+            for i in 0..8 {
+                assert!((v.col(j)[i] - expect[i]).abs() < 1e-12, "col {j}");
+            }
+            let mut next = vec![0.0; 8];
+            a.spmv(&expect, &mut next);
+            expect = next;
+        }
+        // With M = I, mv mirrors v.
+        for j in 0..3 {
+            assert_eq!(mv.col(j), v.col(j));
+        }
+        assert_eq!(c.spmv_count, 3);
+        assert_eq!(c.precond_count, 3);
+        assert_eq!(c.blas1_flops, 0); // monomial adds nothing
+    }
+
+    #[test]
+    fn preconditioned_columns_satisfy_mv_equals_minv_v() {
+        let a = poisson_1d(10);
+        let m = Jacobi::new(&a);
+        let mpk = Mpk::new(&a, &m);
+        let w: Vec<f64> = (0..10).map(|i| (i as f64 * 0.3).sin() + 1.5).collect();
+        let params = BasisParams::chebyshev(0.1, 4.0, 4);
+        let mut v = MultiVector::zeros(10, 5);
+        let mut mv = MultiVector::zeros(10, 4);
+        let mut c = counters();
+        mpk.run(&w, None, &params, &mut v, &mut mv, &mut c);
+        for j in 0..4 {
+            let z = m.apply_alloc(v.col(j));
+            for i in 0..10 {
+                assert!((mv.col(j)[i] - z[i]).abs() < 1e-13, "col {j} row {i}");
+            }
+        }
+        // Chebyshev basis charges extra BLAS1 flops.
+        assert!(c.blas1_flops > 0);
+    }
+
+    #[test]
+    fn columns_satisfy_three_term_recurrence_with_cob_matrix() {
+        // A·(M⁻¹ V̂) must equal V·B_{s+1} — the identity sPCG relies on
+        // (Alg. 5 line 8). Verified numerically for the Newton basis.
+        let a = poisson_1d(12);
+        let m = Jacobi::new(&a);
+        let mpk = Mpk::new(&a, &m);
+        let s = 4;
+        let params = BasisParams::newton(&[1.0, 0.5, 2.0, 1.5], s);
+        let w: Vec<f64> = (0..12).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut v = MultiVector::zeros(12, s + 1);
+        let mut mv = MultiVector::zeros(12, s);
+        let mut c = counters();
+        mpk.run(&w, None, &params, &mut v, &mut mv, &mut c);
+        let b = crate::cob::b_small(&params, s + 1);
+        // Column j of A·mv must equal Σ_l B[l][j]·v_l.
+        for j in 0..s {
+            let mut amv = vec![0.0; 12];
+            a.spmv(mv.col(j), &mut amv);
+            for i in 0..12 {
+                let mut acc = 0.0;
+                for l in 0..=s {
+                    acc += b[(l, j)] * v.col(l)[i];
+                }
+                assert!((amv[i] - acc).abs() < 1e-10, "col {j} row {i}: {} vs {acc}", amv[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn known_mw_skips_one_precond_application() {
+        let a = poisson_1d(6);
+        let m = Jacobi::new(&a);
+        let mpk = Mpk::new(&a, &m);
+        let w = vec![1.0; 6];
+        let mw = m.apply_alloc(&w);
+        let params = BasisParams::monomial(3);
+        let mut v = MultiVector::zeros(6, 4);
+        let mut mv = MultiVector::zeros(6, 3);
+        let mut c = counters();
+        mpk.run(&w, Some(&mw), &params, &mut v, &mut mv, &mut c);
+        assert_eq!(c.precond_count, 2); // columns 1, 2 only
+        assert_eq!(c.spmv_count, 3);
+    }
+
+    #[test]
+    fn mv_cols_equal_v_cols_supported() {
+        // CA-PCG needs M⁻¹ of *all* s+1 Q-columns.
+        let a = poisson_1d(5);
+        let m = Jacobi::new(&a);
+        let mpk = Mpk::new(&a, &m);
+        let params = BasisParams::monomial(3);
+        let mut v = MultiVector::zeros(5, 3);
+        let mut mv = MultiVector::zeros(5, 3);
+        let mut c = counters();
+        mpk.run(&[1.0, 2.0, 0.5, -1.0, 0.0], None, &params, &mut v, &mut mv, &mut c);
+        assert_eq!(c.precond_count, 3);
+        let z = m.apply_alloc(v.col(2));
+        for i in 0..5 {
+            assert!((mv.col(2)[i] - z[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "basis degree")]
+    fn rejects_underspecified_params() {
+        let a = poisson_1d(4);
+        let m = Identity::new(4);
+        let mpk = Mpk::new(&a, &m);
+        let params = BasisParams::monomial(1);
+        let mut v = MultiVector::zeros(4, 4);
+        let mut mv = MultiVector::zeros(4, 3);
+        mpk.run(&[1.0; 4], None, &params, &mut v, &mut mv, &mut Counters::new());
+    }
+}

@@ -1,0 +1,217 @@
+//! Three-term recurrence parameters of the s-step basis polynomials.
+//!
+//! Workspace-wide convention (see crate docs): the polynomials satisfy
+//!
+//! ```text
+//! P_0(z) = 1
+//! z·P_j(z) = γ_j·P_{j+1}(z) + θ_j·P_j(z) + μ_{j-1}·P_{j-1}(z)
+//! ```
+//!
+//! equivalently `P_{j+1}(z) = ((z − θ_j)·P_j(z) − μ_{j-1}·P_{j-1}(z)) / γ_j`
+//! (the paper's eq. (8) with the sign of μ folded into the coefficient).
+//! The change-of-basis matrix `B_i` of eq. (9) then has θ on the diagonal,
+//! μ on the superdiagonal and γ on the subdiagonal.
+
+/// Recurrence coefficients for polynomials `P_0 … P_degree`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisParams {
+    /// θ_0 … θ_{degree-1} (shifts).
+    pub theta: Vec<f64>,
+    /// γ_0 … γ_{degree-1} (scalings; must be nonzero).
+    pub gamma: Vec<f64>,
+    /// μ_0 … μ_{degree-2} (second-order couplings; empty for degree ≤ 1).
+    pub mu: Vec<f64>,
+}
+
+impl BasisParams {
+    /// Validates and wraps raw coefficient lists.
+    ///
+    /// # Panics
+    /// Panics if lengths are inconsistent or some `γ_j == 0`.
+    pub fn new(theta: Vec<f64>, gamma: Vec<f64>, mu: Vec<f64>) -> Self {
+        assert_eq!(theta.len(), gamma.len(), "BasisParams: theta/gamma length mismatch");
+        assert!(
+            mu.len() + 1 == theta.len() || (theta.is_empty() && mu.is_empty()),
+            "BasisParams: mu must have degree-1 entries (got {} for degree {})",
+            mu.len(),
+            theta.len()
+        );
+        assert!(gamma.iter().all(|&g| g != 0.0), "BasisParams: gamma entries must be nonzero");
+        BasisParams { theta, gamma, mu }
+    }
+
+    /// Highest polynomial index these parameters can build (`P_degree`).
+    pub fn degree(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Monomial basis: `P_{j+1}(z) = z·P_j(z)`.
+    pub fn monomial(degree: usize) -> Self {
+        BasisParams {
+            theta: vec![0.0; degree],
+            gamma: vec![1.0; degree],
+            mu: vec![0.0; degree.saturating_sub(1)],
+        }
+    }
+
+    /// Newton basis with the given shifts: `P_{j+1}(z) = (z − σ_j)·P_j(z)`.
+    ///
+    /// # Panics
+    /// Panics if fewer shifts than `degree` are supplied.
+    pub fn newton(shifts: &[f64], degree: usize) -> Self {
+        assert!(shifts.len() >= degree, "BasisParams::newton: need {degree} shifts, got {}", shifts.len());
+        BasisParams {
+            theta: shifts[..degree].to_vec(),
+            gamma: vec![1.0; degree],
+            mu: vec![0.0; degree.saturating_sub(1)],
+        }
+    }
+
+    /// Scaled-and-shifted Chebyshev basis on `[lambda_min, lambda_max]`:
+    /// `P_j(z) = T_j((z − c)/e)` with `c` the interval center and `e` the
+    /// half-width, bounded by 1 in magnitude on the interval. Coefficients:
+    /// θ_j = c, γ_0 = e, γ_j = e/2 (j ≥ 1), μ_j = e/2.
+    ///
+    /// # Panics
+    /// Panics unless `lambda_min < lambda_max`.
+    pub fn chebyshev(lambda_min: f64, lambda_max: f64, degree: usize) -> Self {
+        assert!(
+            lambda_min < lambda_max,
+            "BasisParams::chebyshev: need lambda_min < lambda_max (got {lambda_min}, {lambda_max})"
+        );
+        let c = 0.5 * (lambda_max + lambda_min);
+        let e = 0.5 * (lambda_max - lambda_min);
+        let mut gamma = vec![0.5 * e; degree];
+        if degree > 0 {
+            gamma[0] = e;
+        }
+        BasisParams {
+            theta: vec![c; degree],
+            gamma,
+            mu: vec![0.5 * e; degree.saturating_sub(1)],
+        }
+    }
+
+    /// Evaluates `P_0(z) … P_degree(z)` at a scalar `z` — used by tests and
+    /// by the basis-conditioning diagnostics.
+    pub fn eval_all(&self, z: f64) -> Vec<f64> {
+        let d = self.degree();
+        let mut out = Vec::with_capacity(d + 1);
+        out.push(1.0);
+        if d == 0 {
+            return out;
+        }
+        out.push((z - self.theta[0]) / self.gamma[0]);
+        for j in 1..d {
+            let v = ((z - self.theta[j]) * out[j] - self.mu[j - 1] * out[j - 1]) / self.gamma[j];
+            out.push(v);
+        }
+        out
+    }
+
+    /// Extra FLOPs per column of length `n` that this basis adds to the MPK
+    /// over the monomial basis (paper §4.2: ≤ 3n for the first product, ≤ 5n
+    /// for subsequent ones). `j` is the index of the column being produced
+    /// (`j ≥ 1`).
+    pub fn extra_flops_for_column(&self, j: usize, n: u64) -> u64 {
+        debug_assert!(j >= 1 && j <= self.degree());
+        let mut f = 0;
+        if self.theta[j - 1] != 0.0 {
+            f += 2 * n; // axpy with the shift
+        }
+        if j >= 2 && self.mu[j - 2] != 0.0 {
+            f += 2 * n; // axpy with the second-order coupling
+        }
+        if self.gamma[j - 1] != 1.0 {
+            f += n; // scaling
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monomial_evaluates_to_powers() {
+        let p = BasisParams::monomial(5);
+        let vals = p.eval_all(2.0);
+        assert_eq!(vals, vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+    }
+
+    #[test]
+    fn newton_evaluates_to_shifted_products() {
+        let p = BasisParams::newton(&[1.0, 2.0, 3.0], 3);
+        let vals = p.eval_all(5.0);
+        assert_eq!(vals, vec![1.0, 4.0, 12.0, 24.0]);
+    }
+
+    #[test]
+    fn chebyshev_matches_cos_identity() {
+        // On [0, 2]: c = 1, e = 1, P_j(z) = T_j(z - 1). At z = 1 + cos(φ),
+        // P_j = cos(j φ).
+        let p = BasisParams::chebyshev(0.0, 2.0, 6);
+        let phi = 0.7f64;
+        let z = 1.0 + phi.cos();
+        let vals = p.eval_all(z);
+        for (j, v) in vals.iter().enumerate() {
+            let want = (j as f64 * phi).cos();
+            assert!((v - want).abs() < 1e-12, "T_{j}: got {v}, want {want}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_bounded_on_interval() {
+        let p = BasisParams::chebyshev(0.5, 4.0, 10);
+        for k in 0..50 {
+            let z = 0.5 + 3.5 * k as f64 / 49.0;
+            for v in p.eval_all(z) {
+                assert!(v.abs() <= 1.0 + 1e-12, "unbounded at z={z}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn monomial_unbounded_chebyshev_bounded() {
+        // The numerical motivation for non-monomial bases in one assert:
+        // at the top of the spectrum the monomial basis grows as λ^j while
+        // Chebyshev stays at 1.
+        let mono = BasisParams::monomial(10);
+        let cheb = BasisParams::chebyshev(0.0, 4.0, 10);
+        let m = mono.eval_all(4.0);
+        let c = cheb.eval_all(4.0);
+        assert!(m[10] > 1e5);
+        assert!(c[10].abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn extra_flops_zero_for_monomial() {
+        let p = BasisParams::monomial(4);
+        for j in 1..=4 {
+            assert_eq!(p.extra_flops_for_column(j, 100), 0);
+        }
+    }
+
+    #[test]
+    fn extra_flops_matches_paper_bounds() {
+        // Interval chosen so no γ collapses to exactly 1.
+        let p = BasisParams::chebyshev(0.0, 3.0, 4);
+        // First column: shift (2n) + scaling (n) = 3n.
+        assert_eq!(p.extra_flops_for_column(1, 10), 30);
+        // Subsequent: shift (2n) + mu (2n) + scaling (n) = 5n.
+        assert_eq!(p.extra_flops_for_column(2, 10), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma entries must be nonzero")]
+    fn rejects_zero_gamma() {
+        BasisParams::new(vec![0.0], vec![0.0], vec![]);
+    }
+
+    #[test]
+    fn degree_zero_is_valid() {
+        let p = BasisParams::monomial(0);
+        assert_eq!(p.eval_all(3.0), vec![1.0]);
+    }
+}

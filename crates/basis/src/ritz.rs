@@ -1,0 +1,180 @@
+//! Ritz-value estimation from warm-up PCG iterations.
+//!
+//! The paper (§5.1): "Estimates for the largest and smallest eigenvalues
+//! necessary for the Chebyshev basis type and the Chebyshev preconditioner
+//! were computed with a few iterations of standard PCG (not included in the
+//! runtimes)." The CG coefficients (α_i, β_i) of k iterations define the
+//! Lanczos tridiagonal
+//!
+//! ```text
+//! T[i][i]   = 1/α_i + β_i/α_{i-1}     (β_0/α_{-1} ≡ 0)
+//! T[i][i+1] = √β_{i+1} / α_i
+//! ```
+//!
+//! whose eigenvalues (Ritz values) approximate the spectrum of the
+//! preconditioned operator `M⁻¹A`. The extreme Ritz values feed the
+//! Chebyshev basis interval; the full set, Leja-ordered, provides Newton
+//! shifts (§2.3).
+
+use spcg_precond::Preconditioner;
+use spcg_sparse::{blas, tridiag, CsrMatrix};
+
+/// Result of a spectrum estimation run.
+#[derive(Debug, Clone)]
+pub struct SpectrumEstimate {
+    /// Ritz values in ascending order.
+    pub ritz: Vec<f64>,
+    /// Smallest Ritz value (underestimates λ_min of `M⁻¹A`).
+    pub lambda_min: f64,
+    /// Largest Ritz value (underestimates λ_max of `M⁻¹A`).
+    pub lambda_max: f64,
+    /// PCG iterations actually performed (may stop early on breakdown).
+    pub iterations: usize,
+}
+
+impl SpectrumEstimate {
+    /// The Chebyshev interval the paper's setup would use: the Ritz extremes
+    /// with a safety margin (Ritz values underestimate λ_max and
+    /// overestimate λ_min, so the interval is widened by `margin`, e.g.
+    /// 0.05 for 5%).
+    pub fn chebyshev_interval(&self, margin: f64) -> (f64, f64) {
+        let lo = (self.lambda_min * (1.0 - margin)).max(self.lambda_min * 1e-3);
+        let hi = self.lambda_max * (1.0 + margin);
+        (lo, hi)
+    }
+}
+
+/// Runs `iters` PCG iterations on `A x = b` (zero start) with preconditioner
+/// `m` and returns the Ritz values of the Lanczos tridiagonal.
+///
+/// # Panics
+/// Panics on dimension mismatch. Breakdown (residual vanishing during the
+/// warm-up, e.g. for tiny systems) stops the harvest early rather than
+/// panicking; at least one Ritz value is always returned for a nonzero `b`.
+pub fn estimate_spectrum(
+    a: &CsrMatrix,
+    m: &dyn Preconditioner,
+    b: &[f64],
+    iters: usize,
+) -> SpectrumEstimate {
+    let n = a.nrows();
+    assert_eq!(b.len(), n, "estimate_spectrum: rhs length mismatch");
+    assert!(iters >= 1, "estimate_spectrum: need at least one iteration");
+    assert!(blas::norm2(b) > 0.0, "estimate_spectrum: rhs must be nonzero");
+
+    let mut r = b.to_vec(); // x0 = 0 → r0 = b
+    let mut u = vec![0.0; n];
+    m.apply(&r, &mut u);
+    let mut p = u.clone();
+    let mut s = vec![0.0; n];
+    let mut rho = blas::dot(&r, &u);
+    let mut alphas: Vec<f64> = Vec::with_capacity(iters);
+    let mut betas: Vec<f64> = Vec::with_capacity(iters);
+
+    for _ in 0..iters {
+        a.spmv(&p, &mut s);
+        let denom = blas::dot(&p, &s);
+        if !(denom > 0.0) || !denom.is_finite() {
+            break; // numerical breakdown; keep what we have
+        }
+        let alpha = rho / denom;
+        alphas.push(alpha);
+        blas::axpy(-alpha, &s, &mut r);
+        m.apply(&r, &mut u);
+        let rho_new = blas::dot(&r, &u);
+        if !(rho_new > 0.0) || !rho_new.is_finite() {
+            break;
+        }
+        let beta = rho_new / rho;
+        betas.push(beta);
+        rho = rho_new;
+        blas::xpby(&u, beta, &mut p);
+    }
+
+    assert!(!alphas.is_empty(), "estimate_spectrum: breakdown before first iteration");
+    let k = alphas.len();
+    let mut d = Vec::with_capacity(k);
+    let mut e = Vec::with_capacity(k.saturating_sub(1));
+    for i in 0..k {
+        let mut v = 1.0 / alphas[i];
+        if i > 0 {
+            v += betas[i - 1] / alphas[i - 1];
+        }
+        d.push(v);
+        if i + 1 < k {
+            e.push(betas[i].sqrt() / alphas[i]);
+        }
+    }
+    let ritz = tridiag::eigenvalues(&d, &e);
+    SpectrumEstimate {
+        lambda_min: ritz[0],
+        lambda_max: *ritz.last().unwrap(),
+        ritz,
+        iterations: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::{Identity, Jacobi};
+    use spcg_sparse::generators::poisson::{poisson_1d, poisson_extreme_eigenvalues};
+
+    #[test]
+    fn unpreconditioned_ritz_values_bracket_spectrum() {
+        let n = 64;
+        let a = poisson_1d(n);
+        let m = Identity::new(n);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect();
+        let est = estimate_spectrum(&a, &m, &b, 30);
+        let (lo, hi) = poisson_extreme_eigenvalues(n, 1);
+        // Ritz values lie inside the true spectrum and approach the extremes.
+        assert!(est.lambda_min >= lo - 1e-10);
+        assert!(est.lambda_max <= hi + 1e-10);
+        assert!(est.lambda_max > 0.9 * hi, "λmax estimate too small: {}", est.lambda_max);
+        assert!(est.lambda_min < 10.0 * lo, "λmin estimate too large: {}", est.lambda_min);
+    }
+
+    #[test]
+    fn jacobi_preconditioned_spectrum_of_scaled_identity() {
+        // For A = c·I, M⁻¹A = I: the single distinct Ritz value is 1.
+        let a = CsrMatrix::from_diagonal(&vec![5.0; 16]);
+        let m = Jacobi::new(&a);
+        let b = vec![1.0; 16];
+        let est = estimate_spectrum(&a, &m, &b, 8);
+        assert!((est.lambda_min - 1.0).abs() < 1e-10);
+        assert!((est.lambda_max - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn early_breakdown_is_handled() {
+        // A 2x2 system converges in ≤2 iterations; asking for 10 must not
+        // panic and must return plausible Ritz values.
+        let a = poisson_1d(2);
+        let m = Identity::new(2);
+        let est = estimate_spectrum(&a, &m, &[1.0, 2.0], 10);
+        assert!(est.iterations <= 3);
+        assert!(est.lambda_min > 0.0);
+        assert!(est.lambda_max >= est.lambda_min);
+    }
+
+    #[test]
+    fn chebyshev_interval_widens() {
+        let a = poisson_1d(32);
+        let m = Identity::new(32);
+        let b = vec![1.0; 32];
+        let est = estimate_spectrum(&a, &m, &b, 16);
+        let (lo, hi) = est.chebyshev_interval(0.05);
+        assert!(lo < est.lambda_min);
+        assert!(hi > est.lambda_max);
+    }
+
+    #[test]
+    fn ritz_count_matches_iterations() {
+        let a = poisson_1d(40);
+        let m = Identity::new(40);
+        let b: Vec<f64> = (0..40).map(|i| (i as f64).cos() + 2.0).collect();
+        let est = estimate_spectrum(&a, &m, &b, 12);
+        assert_eq!(est.ritz.len(), est.iterations);
+    }
+}

@@ -1,0 +1,69 @@
+//! User-facing basis selection.
+
+use crate::poly::BasisParams;
+
+/// Which polynomial basis an s-step solver builds its basis matrices with.
+///
+/// The paper's Table 2 compares `Monomial` (the only choice available to the
+/// original sPCG_mon) against `Chebyshev`; `Newton` is the third standard
+/// option (§2.3) and is included as an ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BasisType {
+    /// `P_j(z) = z^j`. Cheapest, numerically fragile for s ≳ 5.
+    Monomial,
+    /// `P_j(z) = Π_{i<j}(z − σ_i)` with Leja-ordered Ritz shifts σ.
+    Newton {
+        /// Leja-ordered shifts; at least `s` values.
+        shifts: Vec<f64>,
+    },
+    /// Scaled/shifted Chebyshev polynomials on `[lambda_min, lambda_max]`.
+    Chebyshev {
+        /// Lower end of the target interval (estimated λ_min of `M⁻¹A`).
+        lambda_min: f64,
+        /// Upper end of the target interval (estimated λ_max of `M⁻¹A`).
+        lambda_max: f64,
+    },
+}
+
+impl BasisType {
+    /// Recurrence parameters for polynomials up to `P_degree`.
+    pub fn params(&self, degree: usize) -> BasisParams {
+        match self {
+            BasisType::Monomial => BasisParams::monomial(degree),
+            BasisType::Newton { shifts } => BasisParams::newton(shifts, degree),
+            BasisType::Chebyshev { lambda_min, lambda_max } => {
+                BasisParams::chebyshev(*lambda_min, *lambda_max, degree)
+            }
+        }
+    }
+
+    /// Short name for result tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BasisType::Monomial => "monomial",
+            BasisType::Newton { .. } => "newton",
+            BasisType::Chebyshev { .. } => "chebyshev",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_dispatch() {
+        assert_eq!(BasisType::Monomial.params(3), BasisParams::monomial(3));
+        let n = BasisType::Newton { shifts: vec![1.0, 2.0, 3.0] };
+        assert_eq!(n.params(2).theta, vec![1.0, 2.0]);
+        let c = BasisType::Chebyshev { lambda_min: 0.0, lambda_max: 2.0 };
+        assert_eq!(c.params(2).theta, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BasisType::Monomial.name(), "monomial");
+        assert_eq!(BasisType::Newton { shifts: vec![] }.name(), "newton");
+        assert_eq!(BasisType::Chebyshev { lambda_min: 0.0, lambda_max: 1.0 }.name(), "chebyshev");
+    }
+}

@@ -1,0 +1,41 @@
+//! Vector-update benchmark: sPCG's blocked BLAS3 update `P ← U + P·B`
+//! versus the equivalent FLOPs as BLAS1 axpys (CA-PCG3's access pattern) —
+//! the performance argument of §4.1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spcg_sparse::{blas, DenseMat, MultiVector};
+
+fn bench_update(c: &mut Criterion) {
+    let n = 100_000;
+    let s = 10;
+    let cols: Vec<Vec<f64>> =
+        (0..s).map(|j| (0..n).map(|i| ((i + j) % 13) as f64 - 6.0).collect()).collect();
+    let u = MultiVector::from_columns(&cols);
+    let bmat = DenseMat::from_fn(s, s, |i, j| ((i * s + j) % 7) as f64 * 0.1 - 0.3);
+    let mut g = c.benchmark_group("block_update_s10");
+    g.bench_function("blas3_blocked", |b| {
+        let mut p = u.clone();
+        let mut scratch = MultiVector::zeros(n, s);
+        b.iter(|| {
+            p.blocked_update(black_box(&u), black_box(&bmat), &mut scratch);
+        })
+    });
+    g.bench_function("blas1_axpys_same_flops", |b| {
+        // s² axpys + s copies — identical FLOPs, strided BLAS1 traffic.
+        let mut p: Vec<Vec<f64>> = cols.clone();
+        b.iter(|| {
+            for j in 0..s {
+                let mut out = u.col(j).to_vec();
+                for (l, pl) in p.iter().enumerate() {
+                    blas::axpy(bmat[(l, j)], black_box(pl), &mut out);
+                }
+                black_box(&out);
+            }
+            p[0][0] += 0.0;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! Shared-memory communicator with MPI-style collectives.
+//!
+//! [`CommGroup`] owns the shared state for `nranks` participants;
+//! [`ThreadComm`] is the per-rank handle passed into each rank's closure by
+//! [`crate::executor::run_ranks`]. The only collective the s-step solvers
+//! need is `allreduce_sum` (plus barriers), mirroring the paper's claim that
+//! each solver performs exactly one global reduction per s steps.
+//!
+//! Determinism: contributions are deposited into per-rank slots and summed
+//! in rank order by every participant, so results are bit-identical across
+//! runs regardless of thread scheduling.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// A reusable sense-reversing barrier.
+struct Barrier {
+    lock: Mutex<BarrierState>,
+    cvar: Condvar,
+    total: usize,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+impl Barrier {
+    fn new(total: usize) -> Self {
+        Barrier { lock: Mutex::new(BarrierState { count: 0, generation: 0 }), cvar: Condvar::new(), total }
+    }
+
+    fn wait(&self) {
+        let mut st = self.lock.lock();
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.total {
+            st.count = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+        } else {
+            while st.generation == gen {
+                self.cvar.wait(&mut st);
+            }
+        }
+    }
+}
+
+/// Shared state of a communicator over `nranks` participants.
+pub struct CommGroup {
+    nranks: usize,
+    barrier: Barrier,
+    /// One deposit slot per rank for allreduce contributions.
+    slots: Vec<Mutex<Vec<f64>>>,
+}
+
+impl CommGroup {
+    /// Creates the shared state for `nranks` ranks.
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0`.
+    pub fn new(nranks: usize) -> Arc<Self> {
+        assert!(nranks > 0, "CommGroup: nranks must be positive");
+        Arc::new(CommGroup {
+            nranks,
+            barrier: Barrier::new(nranks),
+            slots: (0..nranks).map(|_| Mutex::new(Vec::new())).collect(),
+        })
+    }
+
+    /// Hands out the per-rank communicator handle.
+    pub fn rank_comm(self: &Arc<Self>, rank: usize) -> ThreadComm {
+        assert!(rank < self.nranks, "rank_comm: rank out of range");
+        ThreadComm { group: Arc::clone(self), rank }
+    }
+}
+
+/// Per-rank handle to a [`CommGroup`].
+#[derive(Clone)]
+pub struct ThreadComm {
+    group: Arc<CommGroup>,
+    rank: usize,
+}
+
+impl ThreadComm {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of participants.
+    pub fn nranks(&self) -> usize {
+        self.group.nranks
+    }
+
+    /// Blocks until every rank has arrived.
+    pub fn barrier(&self) {
+        self.group.barrier.wait();
+    }
+
+    /// Global sum-reduction of `buf` across all ranks, in place. Every rank
+    /// receives the same result; the summation order is fixed (rank 0, 1, …)
+    /// so the result is deterministic.
+    ///
+    /// # Panics
+    /// Panics (eventually, at the deposit barrier) if ranks pass buffers of
+    /// different lengths; each rank's buffer length is validated against
+    /// rank 0's after the deposit phase.
+    pub fn allreduce_sum(&self, buf: &mut [f64]) {
+        // Deposit phase.
+        {
+            let mut slot = self.group.slots[self.rank].lock();
+            slot.clear();
+            slot.extend_from_slice(buf);
+        }
+        self.group.barrier.wait();
+        // Reduce phase: everyone sums in rank order.
+        for v in buf.iter_mut() {
+            *v = 0.0;
+        }
+        for r in 0..self.group.nranks {
+            let slot = self.group.slots[r].lock();
+            assert_eq!(slot.len(), buf.len(), "allreduce_sum: length mismatch across ranks");
+            for (b, s) in buf.iter_mut().zip(slot.iter()) {
+                *b += *s;
+            }
+        }
+        // Exit barrier so no rank re-deposits before everyone has read.
+        self.group.barrier.wait();
+    }
+
+    /// Convenience: allreduce a single scalar.
+    pub fn allreduce_scalar(&self, v: f64) -> f64 {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_allreduce_is_identity() {
+        let g = CommGroup::new(1);
+        let c = g.rank_comm(0);
+        let mut buf = [1.5, -2.0];
+        c.allreduce_sum(&mut buf);
+        assert_eq!(buf, [1.5, -2.0]);
+    }
+
+    #[test]
+    fn multi_rank_allreduce_sums() {
+        let g = CommGroup::new(4);
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                std::thread::spawn(move || {
+                    let mut buf = vec![r as f64, 1.0];
+                    c.allreduce_sum(&mut buf);
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert_eq!(out, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_reusable_and_deterministic() {
+        let g = CommGroup::new(3);
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                std::thread::spawn(move || {
+                    let mut results = Vec::new();
+                    for round in 0..50 {
+                        let x = (r as f64 + 1.0) * 0.1 + round as f64;
+                        results.push(c.allreduce_scalar(x));
+                    }
+                    results
+                })
+            })
+            .collect();
+        let all: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every rank sees identical values in every round.
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[1], all[2]);
+        assert!((all[0][0] - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let g = CommGroup::new(8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let k = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    k.fetch_add(1, Ordering::SeqCst);
+                    c.barrier();
+                    // After the barrier every increment must be visible.
+                    assert_eq!(k.load(Ordering::SeqCst), 8);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

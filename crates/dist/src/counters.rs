@@ -1,0 +1,177 @@
+//! Operation counters — the instrumentation behind Table 1 and the
+//! performance model.
+//!
+//! The paper's cost analysis (§4, Table 1) classifies work into: matrix-
+//! vector products + preconditioner applications; local reduction FLOPs
+//! (the local parts of dot products / Gram matrices); and vector /
+//! matrix-column update FLOPs, split here by BLAS level because the paper's
+//! performance argument for sPCG over CA-PCG3 is precisely that blocked
+//! (BLAS2/3) updates beat BLAS1 updates at equal FLOP count. Communication
+//! is recorded as the number of global collectives and their payloads.
+
+/// Counts of every cost-relevant operation a solver performed.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Counters {
+    /// Sparse matrix-vector products.
+    pub spmv_count: u64,
+    /// FLOPs spent in SpMV (`2·nnz` each).
+    pub spmv_flops: u64,
+    /// Preconditioner applications.
+    pub precond_count: u64,
+    /// FLOPs spent applying the preconditioner.
+    pub precond_flops: u64,
+    /// Global reduction operations (MPI_Allreduce equivalents).
+    pub global_collectives: u64,
+    /// Total words (f64 values) reduced across all collectives.
+    pub allreduce_words: u64,
+    /// Number of length-n scalar products computed locally (dot products /
+    /// Gram-matrix entries). Table 1 counts local reductions in this unit
+    /// (one dot ≡ n FLOPs ≡ 1 FLOP per matrix row).
+    pub dot_count: u64,
+    /// Local FLOPs of reductions (dot products, Gram matrices): `2n` per
+    /// scalar product of length-n vectors.
+    pub local_reduction_flops: u64,
+    /// FLOPs in unblocked vector updates (axpy, xpby, 3-term recurrences).
+    pub blas1_flops: u64,
+    /// FLOPs in matrix-vector-shaped dense updates (basis × small vector).
+    pub blas2_flops: u64,
+    /// FLOPs in blocked matrix-matrix-shaped updates (`P ← U + P·B`).
+    pub blas3_flops: u64,
+    /// FLOPs in `O(s)`-sized scalar work (small solves, small matmuls).
+    pub small_flops: u64,
+    /// Fine-grained iterations (PCG-equivalent steps; an s-step outer
+    /// iteration advances this by s).
+    pub iterations: u64,
+    /// Outer iterations (equals `iterations` for standard PCG).
+    pub outer_iterations: u64,
+}
+
+impl Counters {
+    /// A fresh zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one SpMV with the given FLOP cost.
+    #[inline]
+    pub fn record_spmv(&mut self, flops: u64) {
+        self.spmv_count += 1;
+        self.spmv_flops += flops;
+    }
+
+    /// Records one preconditioner application.
+    #[inline]
+    pub fn record_precond(&mut self, flops: u64) {
+        self.precond_count += 1;
+        self.precond_flops += flops;
+    }
+
+    /// Records one global collective reducing `words` values.
+    #[inline]
+    pub fn record_collective(&mut self, words: u64) {
+        self.global_collectives += 1;
+        self.allreduce_words += words;
+    }
+
+    /// Records the local FLOPs of `count` dot products of length `n`.
+    #[inline]
+    pub fn record_dots(&mut self, count: u64, n: u64) {
+        self.dot_count += count;
+        self.local_reduction_flops += 2 * count * n;
+    }
+
+    /// Adds piggybacked payload to the words of already-counted collectives
+    /// (e.g. a residual norm fused into the per-outer-iteration reduction)
+    /// without counting an extra synchronization.
+    #[inline]
+    pub fn piggyback_words(&mut self, words: u64) {
+        self.allreduce_words += words;
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.spmv_count += other.spmv_count;
+        self.spmv_flops += other.spmv_flops;
+        self.precond_count += other.precond_count;
+        self.precond_flops += other.precond_flops;
+        self.global_collectives += other.global_collectives;
+        self.allreduce_words += other.allreduce_words;
+        self.dot_count += other.dot_count;
+        self.local_reduction_flops += other.local_reduction_flops;
+        self.blas1_flops += other.blas1_flops;
+        self.blas2_flops += other.blas2_flops;
+        self.blas3_flops += other.blas3_flops;
+        self.small_flops += other.small_flops;
+        self.iterations += other.iterations;
+        self.outer_iterations += other.outer_iterations;
+    }
+
+    /// All FLOPs on length-n vectors beyond SpMV and preconditioner — the
+    /// paper's "remaining FLOPs" column of Table 1.
+    pub fn remaining_vector_flops(&self) -> u64 {
+        self.local_reduction_flops + self.blas1_flops + self.blas2_flops + self.blas3_flops
+    }
+
+    /// The paper's Table-1 normalization: remaining FLOPs divided by n.
+    pub fn remaining_flops_per_row(&self, n: usize) -> f64 {
+        self.remaining_vector_flops() as f64 / n as f64
+    }
+
+    /// Total FLOPs of every class.
+    pub fn total_flops(&self) -> u64 {
+        self.spmv_flops + self.precond_flops + self.remaining_vector_flops() + self.small_flops
+    }
+
+    /// MV products plus preconditioner applications — the second column of
+    /// Table 1.
+    pub fn mv_plus_precond(&self) -> u64 {
+        self.spmv_count + self.precond_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = Counters::new();
+        a.record_spmv(100);
+        a.record_precond(40);
+        a.record_collective(21);
+        a.record_dots(3, 10);
+        let mut b = Counters::new();
+        b.record_spmv(100);
+        b.blas1_flops = 7;
+        b.merge(&a);
+        assert_eq!(b.spmv_count, 2);
+        assert_eq!(b.spmv_flops, 200);
+        assert_eq!(b.precond_count, 1);
+        assert_eq!(b.global_collectives, 1);
+        assert_eq!(b.allreduce_words, 21);
+        assert_eq!(b.local_reduction_flops, 60);
+        assert_eq!(b.remaining_vector_flops(), 67);
+        assert_eq!(b.mv_plus_precond(), 3);
+    }
+
+    #[test]
+    fn per_row_normalization() {
+        let mut c = Counters::new();
+        c.blas1_flops = 600;
+        c.local_reduction_flops = 200;
+        assert!((c.remaining_flops_per_row(100) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_flops_adds_all_classes() {
+        let mut c = Counters::new();
+        c.spmv_flops = 1;
+        c.precond_flops = 2;
+        c.blas1_flops = 4;
+        c.blas2_flops = 8;
+        c.blas3_flops = 16;
+        c.local_reduction_flops = 32;
+        c.small_flops = 64;
+        assert_eq!(c.total_flops(), 127);
+    }
+}

@@ -1,0 +1,135 @@
+//! Distributed-vector exchange board.
+//!
+//! In the block-row-distributed SpMV each rank owns a contiguous chunk of
+//! the vector and needs a halo of remote entries. On shared memory the
+//! natural analogue is a full-length board: each rank publishes its chunk,
+//! a barrier establishes visibility, and every rank reads whatever halo
+//! entries its rows reference. The published/consumed word counts — what an
+//! MPI halo exchange would actually send — are what the performance model
+//! charges, via [`crate::Counters`] and the partition's halo analysis.
+//!
+//! Safety: the board hands out disjoint mutable chunks guarded by the
+//! partition's ranges; cross-rank reads only happen after the barrier that
+//! follows publication (callers must use [`VectorBoard::publish`], which
+//! synchronizes internally).
+
+use crate::comm::ThreadComm;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shared full-length vector that ranks publish chunks into.
+pub struct VectorBoard {
+    data: Arc<RwLock<Vec<f64>>>,
+    offsets: Arc<Vec<usize>>,
+}
+
+impl VectorBoard {
+    /// Creates a board for a vector of `n` entries partitioned at `offsets`
+    /// (length `nranks + 1`, `offsets[0] == 0`, `offsets[nranks] == n`).
+    pub fn new(offsets: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "VectorBoard: bad offsets");
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "VectorBoard: offsets must be monotone");
+        }
+        let n = *offsets.last().unwrap();
+        VectorBoard { data: Arc::new(RwLock::new(vec![0.0; n])), offsets: Arc::new(offsets) }
+    }
+
+    /// Clones a handle for another rank's thread.
+    pub fn handle(&self) -> VectorBoard {
+        VectorBoard { data: Arc::clone(&self.data), offsets: Arc::clone(&self.offsets) }
+    }
+
+    /// Row range owned by `rank`.
+    pub fn range(&self, rank: usize) -> (usize, usize) {
+        (self.offsets[rank], self.offsets[rank + 1])
+    }
+
+    /// Publishes this rank's chunk and synchronizes: after this call returns
+    /// on every rank, the full board is consistent and may be read.
+    pub fn publish(&self, comm: &ThreadComm, chunk: &[f64]) {
+        let (lo, hi) = self.range(comm.rank());
+        assert_eq!(chunk.len(), hi - lo, "publish: chunk length mismatch");
+        {
+            let mut board = self.data.write();
+            board[lo..hi].copy_from_slice(chunk);
+        }
+        comm.barrier();
+    }
+
+    /// Reads a copy of the full board (call only after [`Self::publish`] has
+    /// completed on all ranks in this round).
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.data.read().clone()
+    }
+
+    /// Reads selected entries (the halo indices) into `out`.
+    pub fn gather(&self, indices: &[usize], out: &mut Vec<f64>) {
+        let board = self.data.read();
+        out.clear();
+        out.extend(indices.iter().map(|&i| board[i]));
+    }
+
+    /// Runs `f` with a read view of the full board, avoiding the copy that
+    /// [`Self::snapshot`] makes.
+    pub fn with_view<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
+        let board = self.data.read();
+        f(&board)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommGroup;
+
+    #[test]
+    fn publish_and_snapshot_roundtrip() {
+        let g = CommGroup::new(3);
+        let board = VectorBoard::new(vec![0, 2, 4, 6]);
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    let chunk = vec![r as f64; 2];
+                    b.publish(&c, &chunk);
+                    b.snapshot()
+                })
+            })
+            .collect();
+        for h in handles {
+            let snap = h.join().unwrap();
+            assert_eq!(snap, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn gather_reads_halo_indices() {
+        let g = CommGroup::new(2);
+        let board = VectorBoard::new(vec![0, 3, 6]);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    let chunk: Vec<f64> = (0..3).map(|i| (r * 3 + i) as f64 * 10.0).collect();
+                    b.publish(&c, &chunk);
+                    let mut halo = Vec::new();
+                    // Each rank reads the other rank's boundary entry.
+                    let idx = if r == 0 { vec![3] } else { vec![2] };
+                    b.gather(&idx, &mut halo);
+                    halo[0]
+                })
+            })
+            .collect();
+        let got: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got, vec![30.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must be monotone")]
+    fn rejects_bad_offsets() {
+        VectorBoard::new(vec![0, 5, 3]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Machine topology description.
+//!
+//! The paper's experiments fix 128 MPI processes per node and scale the
+//! number of nodes (§5.1, Figure 1). [`MachineTopology`] carries exactly
+//! that description; the performance model in `spcg-perf` uses it to decide
+//! how many reduction hops cross the (slow) inter-node network versus the
+//! (fast) intra-node shared memory.
+
+/// A homogeneous cluster: `nodes` × `ranks_per_node` MPI-style ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineTopology {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Ranks (processes) per node; the paper uses 128.
+    pub ranks_per_node: usize,
+}
+
+impl MachineTopology {
+    /// Creates a topology; both dimensions must be positive.
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
+        assert!(nodes > 0 && ranks_per_node > 0, "MachineTopology: dimensions must be positive");
+        MachineTopology { nodes, ranks_per_node }
+    }
+
+    /// The paper's configuration: `nodes` nodes with 128 ranks each.
+    pub fn paper(nodes: usize) -> Self {
+        Self::new(nodes, 128)
+    }
+
+    /// Total rank count.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Tree depth of an inter-node reduction: `ceil(log2(nodes))`.
+    pub fn internode_hops(&self) -> u32 {
+        usize::BITS - (self.nodes - 1).leading_zeros()
+    }
+
+    /// Tree depth of an intra-node reduction: `ceil(log2(ranks_per_node))`.
+    pub fn intranode_hops(&self) -> u32 {
+        usize::BITS - (self.ranks_per_node - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology() {
+        let t = MachineTopology::paper(4);
+        assert_eq!(t.total_ranks(), 512);
+        assert_eq!(t.internode_hops(), 2);
+        assert_eq!(t.intranode_hops(), 7);
+    }
+
+    #[test]
+    fn hops_for_powers_of_two_and_between() {
+        assert_eq!(MachineTopology::new(1, 1).internode_hops(), 0);
+        assert_eq!(MachineTopology::new(2, 1).internode_hops(), 1);
+        assert_eq!(MachineTopology::new(3, 1).internode_hops(), 2);
+        assert_eq!(MachineTopology::new(128, 1).internode_hops(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_nodes_rejected() {
+        MachineTopology::new(0, 4);
+    }
+}

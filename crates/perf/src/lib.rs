@@ -1,0 +1,22 @@
+//! Performance analysis: Table-1 cost formulas and the cluster time model.
+//!
+//! The paper's scalability results (Table 3, Figure 1) come from an MPI
+//! cluster we do not have. This crate replaces the cluster with an
+//! analytic α-β machine model applied to the solvers' *instrumented
+//! operation counts* (`spcg_dist::Counters`): compute classes run at
+//! class-specific rates (BLAS1 is memory-bound, blocked BLAS2/3 and SpMV
+//! have their own rates), global collectives pay a logarithmic latency
+//! tree over nodes and ranks, and SpMV pays neighbour halo exchange. The
+//! claims this preserves — who wins, where PCG stops scaling, how the gap
+//! depends on s — are functions of operation *counts* and latency
+//! *structure*, which are exact; absolute seconds are calibrated, not
+//! measured.
+
+pub mod machine;
+pub mod model;
+pub mod scaling;
+pub mod table1;
+
+pub use machine::MachineParams;
+pub use model::{predict_time, TimeBreakdown};
+pub use scaling::strong_scaling;

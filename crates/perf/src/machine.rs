@@ -1,0 +1,101 @@
+//! Machine parameters for the α-β cluster model.
+//!
+//! The defaults are calibrated to a contemporary HPC node of the ASC-class
+//! cluster used in the paper: 128 ranks per node sharing memory bandwidth
+//! (making the per-rank streaming rates low), a sub-microsecond intra-node
+//! reduction hop, and a few-microsecond inter-node hop. The absolute values
+//! only set the time scale; the paper-shape conclusions (crossover node
+//! counts, method ordering) are driven by the ratios — BLAS1 vs blocked
+//! rates, and latency vs bandwidth.
+
+/// Rates and latencies of the modeled cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineParams {
+    /// Per-rank rate for memory-bound BLAS1 work (FLOP/s).
+    pub blas1_flops: f64,
+    /// Per-rank rate for blocked BLAS2/BLAS3 work (FLOP/s).
+    pub blas23_flops: f64,
+    /// Per-rank rate for SpMV-shaped work (FLOP/s) — lowest, being both
+    /// memory-bound and irregular.
+    pub spmv_flops: f64,
+    /// Rate for the replicated `O(s³)` scalar work (FLOP/s, not divided by
+    /// rank count — every rank does it redundantly).
+    pub small_flops: f64,
+    /// Inter-node latency per reduction-tree hop (seconds). Calibrated so
+    /// a 128-rank-per-node allreduce costs a few hundred microseconds at
+    /// 32+ nodes — where the paper's PCG stops scaling.
+    pub alpha_inter: f64,
+    /// Intra-node latency per reduction-tree hop (seconds).
+    pub alpha_intra: f64,
+    /// Inter-node time per word in a reduction (seconds/word).
+    pub beta_inter: f64,
+    /// Intra-node time per word in a reduction (seconds/word).
+    pub beta_intra: f64,
+    /// Point-to-point latency of one halo message (seconds).
+    pub alpha_p2p: f64,
+    /// Point-to-point time per halo word (seconds/word).
+    pub beta_p2p: f64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            // 128 ranks share ~200 GB/s: ~1.6 GB/s/rank → 0.2 Gflop/s for
+            // 1 flop per 8-byte read BLAS1; SpMV a bit worse; blocked work
+            // ~4× BLAS1.
+            blas1_flops: 2.0e8,
+            blas23_flops: 8.0e8,
+            spmv_flops: 1.5e8,
+            small_flops: 1.0e9,
+            alpha_inter: 3.0e-5,
+            alpha_intra: 0.8e-6,
+            beta_inter: 4.0e-9,
+            beta_intra: 1.0e-9,
+            alpha_p2p: 2.0e-6,
+            beta_p2p: 1.0e-9,
+        }
+    }
+}
+
+impl MachineParams {
+    /// Validates that all rates and latencies are positive.
+    pub fn validate(&self) {
+        for (name, v) in [
+            ("blas1_flops", self.blas1_flops),
+            ("blas23_flops", self.blas23_flops),
+            ("spmv_flops", self.spmv_flops),
+            ("small_flops", self.small_flops),
+            ("alpha_inter", self.alpha_inter),
+            ("alpha_intra", self.alpha_intra),
+            ("beta_inter", self.beta_inter),
+            ("beta_intra", self.beta_intra),
+            ("alpha_p2p", self.alpha_p2p),
+            ("beta_p2p", self.beta_p2p),
+        ] {
+            assert!(v > 0.0, "MachineParams: {name} must be positive (got {v})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_ordered() {
+        let m = MachineParams::default();
+        m.validate();
+        // The model's qualitative assumptions.
+        assert!(m.blas23_flops > m.blas1_flops);
+        assert!(m.blas1_flops > m.spmv_flops);
+        assert!(m.alpha_inter > m.alpha_intra);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn validate_rejects_zero_rate() {
+        let mut m = MachineParams::default();
+        m.blas1_flops = 0.0;
+        m.validate();
+    }
+}

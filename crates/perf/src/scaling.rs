@@ -1,0 +1,115 @@
+//! Strong-scaling sweeps (the machinery behind Figure 1).
+
+use crate::machine::MachineParams;
+use crate::model::{predict_time, TimeBreakdown};
+use spcg_dist::{Counters, MachineTopology};
+
+/// One point of a strong-scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Node count of this point.
+    pub nodes: usize,
+    /// Modeled time breakdown.
+    pub time: TimeBreakdown,
+}
+
+/// Sweeps the node counts for a fixed problem: the counters of one solve
+/// are re-priced at each topology. `halo_words_per_rank` maps the rank
+/// count to the average per-rank halo volume of one SpMV (strong scaling
+/// shrinks the local block, changing the surface-to-volume ratio).
+pub fn strong_scaling(
+    counters: &Counters,
+    machine: &MachineParams,
+    nodes_list: &[usize],
+    ranks_per_node: usize,
+    halo_words_per_rank: impl Fn(usize) -> f64,
+) -> Vec<ScalingPoint> {
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let topo = MachineTopology::new(nodes, ranks_per_node);
+            let halo = halo_words_per_rank(topo.total_ranks());
+            ScalingPoint { nodes, time: predict_time(counters, machine, &topo, halo) }
+        })
+        .collect()
+}
+
+/// Halo volume per rank for a block-row-partitioned 3D 7-point stencil on
+/// an `m³` grid: each rank's block exposes two grid planes of `m²` points
+/// (fewer ranks than planes assumed; capped at the local block size).
+pub fn poisson3d_halo_per_rank(m: usize, ranks: usize) -> f64 {
+    let n = (m * m * m) as f64;
+    let local = n / ranks as f64;
+    (2.0 * (m * m) as f64).min(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pcg_like_counters(iters: u64, n: u64, nnz: u64) -> Counters {
+        let mut c = Counters::new();
+        c.spmv_count = iters;
+        c.spmv_flops = iters * 2 * nnz;
+        c.precond_count = iters;
+        c.precond_flops = iters * n;
+        c.blas1_flops = iters * 6 * n;
+        c.record_dots(2 * iters, n);
+        c.global_collectives = 2 * iters;
+        c.allreduce_words = 2 * iters;
+        c
+    }
+
+    fn spcg_like_counters(iters: u64, s: u64, n: u64, nnz: u64) -> Counters {
+        let outer = iters / s;
+        let mut c = Counters::new();
+        c.spmv_count = iters;
+        c.spmv_flops = iters * 2 * nnz;
+        c.precond_count = iters;
+        c.precond_flops = iters * n;
+        c.blas3_flops = outer * 4 * s * s * n;
+        c.blas2_flops = outer * (4 * s + 5 * s) * n;
+        c.record_dots(outer * 2 * s * (s + 1), n);
+        c.global_collectives = outer;
+        c.allreduce_words = outer * 2 * s * (s + 1);
+        c
+    }
+
+    #[test]
+    fn pcg_stops_scaling_sstep_continues() {
+        // The Figure-1 shape in miniature: a 256³ Poisson-like problem.
+        let m = 256usize;
+        let n = (m * m * m) as u64;
+        let nnz = 7 * n;
+        let machine = MachineParams::default();
+        let nodes = [1usize, 2, 4, 8, 16, 32, 64, 128];
+        let halo = |ranks: usize| poisson3d_halo_per_rank(m, ranks);
+        let pcg = strong_scaling(&pcg_like_counters(600, n, nnz), &machine, &nodes, 128, halo);
+        let spcg =
+            strong_scaling(&spcg_like_counters(600, 10, n, nnz), &machine, &nodes, 128, halo);
+        // PCG: no speedup from 32 to 128 nodes worth mentioning.
+        let t32 = pcg[5].time.total();
+        let t128 = pcg[7].time.total();
+        assert!(t128 > 0.8 * t32, "PCG kept scaling: {t32} -> {t128}");
+        // sPCG at 128 nodes clearly beats PCG at 128 nodes.
+        assert!(spcg[7].time.total() < 0.5 * t128);
+        // At 1 node PCG wins (s-step pays extra local flops).
+        assert!(pcg[0].time.total() < spcg[0].time.total());
+    }
+
+    #[test]
+    fn halo_model_caps_at_local_size() {
+        // With extremely many ranks the halo cannot exceed the local block.
+        let h = poisson3d_halo_per_rank(16, 16 * 16 * 16 * 4);
+        assert!(h <= (16.0f64 * 16.0 * 16.0) / (16.0 * 16.0 * 16.0 * 4.0) + 1e-12);
+    }
+
+    #[test]
+    fn scaling_points_cover_requested_nodes() {
+        let machine = MachineParams::default();
+        let c = pcg_like_counters(10, 1000, 5000);
+        let pts = strong_scaling(&c, &machine, &[1, 3, 9], 4, |_| 10.0);
+        let got: Vec<usize> = pts.iter().map(|p| p.nodes).collect();
+        assert_eq!(got, vec![1, 3, 9]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Chebyshev polynomial preconditioner.
+//!
+//! `M⁻¹ = q_d(A)` where `q_d` is the degree-`d` polynomial produced by `d`
+//! steps of Chebyshev iteration on `A z = r` (zero initial guess) for a
+//! target interval `[λ_lo, λ_hi]` (Saad, *Iterative Methods for Sparse
+//! Linear Systems*, Alg. 12.1). Being a fixed polynomial in the SPD matrix
+//! `A`, `q_d(A)` is symmetric, and positive definite whenever the spectrum
+//! of `A` lies inside the target interval — the setting the paper uses with
+//! degree 3 (§5.1–5.3).
+//!
+//! Applying it costs `d` SpMVs and no communication, which is exactly why
+//! the paper pairs it with s-step methods. Eigenvalue bounds come from a
+//! few warm-up iterations (see `spcg-basis::ritz`) or Gershgorin circles;
+//! like Trilinos/Ifpack2 the lower bound defaults to `λ_hi / ratio`.
+
+use crate::traits::Preconditioner;
+use spcg_sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// Chebyshev polynomial preconditioner of a given degree.
+pub struct ChebyshevPrecond {
+    a: Arc<CsrMatrix>,
+    degree: usize,
+    lambda_lo: f64,
+    lambda_hi: f64,
+}
+
+impl ChebyshevPrecond {
+    /// Builds for the target interval `[lambda_lo, lambda_hi]`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lambda_lo < lambda_hi` and `degree ≥ 1`.
+    pub fn new(a: Arc<CsrMatrix>, degree: usize, lambda_lo: f64, lambda_hi: f64) -> Self {
+        assert!(degree >= 1, "ChebyshevPrecond: degree must be at least 1");
+        assert!(
+            lambda_lo > 0.0 && lambda_lo < lambda_hi,
+            "ChebyshevPrecond: need 0 < lambda_lo < lambda_hi (got {lambda_lo}, {lambda_hi})"
+        );
+        assert_eq!(a.nrows(), a.ncols(), "ChebyshevPrecond: matrix must be square");
+        ChebyshevPrecond { a, degree, lambda_lo, lambda_hi }
+    }
+
+    /// Builds with bounds from Gershgorin circles: `λ_hi` is the (safe)
+    /// Gershgorin upper bound boosted by 10%, `λ_lo = λ_hi / ratio`
+    /// (Ifpack2's `eigRatio`, default 30).
+    pub fn from_matrix(a: Arc<CsrMatrix>, degree: usize, ratio: f64) -> Self {
+        assert!(ratio > 1.0, "ChebyshevPrecond: ratio must exceed 1");
+        let (_, hi) = a.gershgorin_bounds();
+        let hi = hi * 1.1;
+        Self::new(a, degree, hi / ratio, hi)
+    }
+
+    /// The target interval.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.lambda_lo, self.lambda_hi)
+    }
+
+    /// Polynomial degree (= SpMVs per application).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+impl Preconditioner for ChebyshevPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.a.nrows();
+        assert_eq!(r.len(), n, "ChebyshevPrecond::apply: input length mismatch");
+        assert_eq!(z.len(), n, "ChebyshevPrecond::apply: output length mismatch");
+        let theta = 0.5 * (self.lambda_hi + self.lambda_lo);
+        let delta = 0.5 * (self.lambda_hi - self.lambda_lo);
+        let sigma1 = theta / delta;
+        // x1 = r/θ — the degree-0 iterate.
+        let mut d: Vec<f64> = r.iter().map(|v| v / theta).collect();
+        z.copy_from_slice(&d);
+        let mut rho_prev = 1.0 / sigma1;
+        let mut ax = vec![0.0; n];
+        for _ in 0..self.degree {
+            let rho = 1.0 / (2.0 * sigma1 - rho_prev);
+            // res = r − A z (one SpMV).
+            self.a.spmv(z, &mut ax);
+            let c1 = rho * rho_prev;
+            let c2 = 2.0 * rho / delta;
+            for i in 0..n {
+                d[i] = c1 * d[i] + c2 * (r[i] - ax[i]);
+                z[i] += d[i];
+            }
+            rho_prev = rho;
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.a.nrows()
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        let n = self.a.nrows() as u64;
+        // Init: divide (n). Per degree: SpMV + 6n vector work.
+        n + self.degree as u64 * (self.a.spmv_flops() + 6 * n)
+    }
+
+    fn name(&self) -> String {
+        format!("chebyshev(deg={})", self.degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag_matrix(vals: &[f64]) -> Arc<CsrMatrix> {
+        Arc::new(CsrMatrix::from_diagonal(vals))
+    }
+
+    #[test]
+    fn approximates_inverse_on_interval() {
+        // Diagonal spectrum inside [1, 2] with exact bounds: degree 5 gives
+        // a relative error ≤ 1/T_5(3) ≈ 3e-4.
+        let ev: Vec<f64> = (0..20).map(|i| 1.0 + i as f64 / 19.0).collect();
+        let a = diag_matrix(&ev);
+        let p = ChebyshevPrecond::new(Arc::clone(&a), 5, 1.0, 2.0);
+        let r = vec![1.0; 20];
+        let z = p.apply_alloc(&r);
+        for (zi, &li) in z.iter().zip(&ev) {
+            let exact = 1.0 / li;
+            assert!((zi - exact).abs() < 2e-3, "λ={li}: got {zi}, want {exact}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_degree() {
+        let ev: Vec<f64> = (0..50).map(|i| 0.5 + 1.5 * i as f64 / 49.0).collect();
+        let a = diag_matrix(&ev);
+        let r = vec![1.0; 50];
+        let mut last = f64::INFINITY;
+        for deg in [1usize, 2, 4, 8] {
+            let p = ChebyshevPrecond::new(Arc::clone(&a), deg, 0.5, 2.0);
+            let z = p.apply_alloc(&r);
+            let err: f64 = z
+                .iter()
+                .zip(&ev)
+                .map(|(zi, &li)| (zi - 1.0 / li).abs())
+                .fold(0.0, f64::max);
+            assert!(err < last, "degree {deg} did not improve: {err} vs {last}");
+            last = err;
+        }
+        // Asymptotic factor ρ = σ−√(σ²−1) = 1/3 on this interval: deg 8
+        // leaves ≈ 2·ρ⁸/λmin ≈ 1.2e-3.
+        assert!(last < 5e-3);
+    }
+
+    #[test]
+    fn is_linear_and_symmetric() {
+        // q(A) must be a linear operator and symmetric; test on a
+        // non-diagonal SPD matrix by checking ⟨q(A)x, y⟩ = ⟨x, q(A)y⟩.
+        let a = Arc::new(spcg_sparse::generators::poisson::poisson_2d(6));
+        let p = ChebyshevPrecond::from_matrix(Arc::clone(&a), 3, 30.0);
+        let n = 36;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let px = p.apply_alloc(&x);
+        let py = p.apply_alloc(&y);
+        let ip1: f64 = px.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let ip2: f64 = x.iter().zip(&py).map(|(a, b)| a * b).sum();
+        assert!((ip1 - ip2).abs() < 1e-10 * ip1.abs().max(1.0));
+        // Linearity: q(A)(x + 2y) = q(A)x + 2 q(A)y.
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + 2.0 * b).collect();
+        let pxy = p.apply_alloc(&xy);
+        for i in 0..n {
+            assert!((pxy[i] - (px[i] + 2.0 * py[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn positive_definite_on_interval() {
+        // For a diagonal matrix with spectrum inside the interval, q(λ) > 0.
+        let ev: Vec<f64> = (0..30).map(|i| 1.0 + 9.0 * i as f64 / 29.0).collect();
+        let a = diag_matrix(&ev);
+        let p = ChebyshevPrecond::new(Arc::clone(&a), 3, 1.0, 10.0);
+        // q(λ_i) is the i-th entry of q(A) e_i.
+        for i in 0..30 {
+            let mut e = vec![0.0; 30];
+            e[i] = 1.0;
+            let q = p.apply_alloc(&e);
+            assert!(q[i] > 0.0, "q(λ)≤0 at λ={}", ev[i]);
+        }
+    }
+
+    #[test]
+    fn flops_scale_with_degree() {
+        let a = diag_matrix(&[1.0, 2.0]);
+        let p1 = ChebyshevPrecond::new(Arc::clone(&a), 1, 0.5, 3.0);
+        let p4 = ChebyshevPrecond::new(Arc::clone(&a), 4, 0.5, 3.0);
+        assert!(p4.flops_per_apply() > 3 * p1.flops_per_apply());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lambda_lo")]
+    fn rejects_bad_interval() {
+        let a = diag_matrix(&[1.0]);
+        ChebyshevPrecond::new(a, 3, 2.0, 1.0);
+    }
+}

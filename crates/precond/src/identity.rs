@@ -1,0 +1,58 @@
+//! Identity preconditioner (`M = I`), turning PCG into plain CG.
+
+use crate::traits::Preconditioner;
+
+/// The identity operator.
+#[derive(Debug, Clone)]
+pub struct Identity {
+    n: usize,
+}
+
+impl Identity {
+    /// Identity of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Identity { n }
+    }
+}
+
+impl Preconditioner for Identity {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "Identity::apply: input length mismatch");
+        assert_eq!(z.len(), self.n, "Identity::apply: output length mismatch");
+        z.copy_from_slice(r);
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        0
+    }
+
+    fn name(&self) -> String {
+        "identity".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_input() {
+        let p = Identity::new(3);
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.flops_per_apply(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_wrong_length() {
+        let p = Identity::new(3);
+        let mut z = vec![0.0; 2];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+    }
+}

@@ -1,0 +1,97 @@
+//! Jacobi (diagonal) preconditioner: `M = diag(A)`.
+//!
+//! The cheapest communication-free preconditioner; used in the paper's
+//! Table 3 (columns 6–9) and Figure 1.
+
+use crate::traits::Preconditioner;
+use spcg_sparse::CsrMatrix;
+
+/// `M⁻¹ = diag(A)⁻¹`.
+#[derive(Debug, Clone)]
+pub struct Jacobi {
+    inv_diag: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Builds from the diagonal of `a`.
+    ///
+    /// # Panics
+    /// Panics if any diagonal entry is zero or not strictly positive (the
+    /// matrix is expected to be SPD, whose diagonal is positive).
+    pub fn new(a: &CsrMatrix) -> Self {
+        let diag = a.diagonal();
+        let inv_diag: Vec<f64> = diag
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                assert!(d > 0.0, "Jacobi: non-positive diagonal entry {d} at row {i}");
+                1.0 / d
+            })
+            .collect();
+        Jacobi { inv_diag }
+    }
+
+    /// Builds directly from an inverse-diagonal vector (for tests).
+    pub fn from_inv_diagonal(inv_diag: Vec<f64>) -> Self {
+        Jacobi { inv_diag }
+    }
+}
+
+impl Preconditioner for Jacobi {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.inv_diag.len(), "Jacobi::apply: input length mismatch");
+        assert_eq!(z.len(), self.inv_diag.len(), "Jacobi::apply: output length mismatch");
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn flops_per_apply(&self) -> u64 {
+        self.inv_diag.len() as u64
+    }
+
+    fn name(&self) -> String {
+        "jacobi".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson::poisson_1d;
+
+    #[test]
+    fn divides_by_diagonal() {
+        let a = poisson_1d(4); // diagonal 2 everywhere
+        let p = Jacobi::new(&a);
+        let mut z = vec![0.0; 4];
+        p.apply(&[2.0, 4.0, 6.0, 8.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.flops_per_apply(), 4);
+    }
+
+    #[test]
+    fn exact_for_diagonal_matrix() {
+        let a = CsrMatrix::from_diagonal(&[2.0, 5.0, 10.0]);
+        let p = Jacobi::new(&a);
+        // M⁻¹ A = I for diagonal A.
+        let x = vec![1.0, -2.0, 0.5];
+        let mut ax = vec![0.0; 3];
+        a.spmv(&x, &mut ax);
+        let z = p.apply_alloc(&ax);
+        for (zi, xi) in z.iter().zip(&x) {
+            assert!((zi - xi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive diagonal")]
+    fn rejects_zero_diagonal() {
+        let a = CsrMatrix::from_diagonal(&[1.0, 0.0]);
+        Jacobi::new(&a);
+    }
+}

@@ -1,0 +1,29 @@
+//! Preconditioners for (s-step) PCG.
+//!
+//! The paper evaluates with Jacobi and Chebyshev (polynomial)
+//! preconditioners because both "require little or no communication and are
+//! thus suitable for s-step methods" (§5.1): applying them to a block-row
+//! distributed vector needs no global reduction. This crate implements both,
+//! plus identity, block-Jacobi, SSOR and IC(0) variants used in tests and
+//! ablations.
+//!
+//! All preconditioners are *fixed linear operators* `M⁻¹` (a requirement for
+//! plain PCG and for the s-step basis construction, where `M⁻¹` is applied
+//! inside a polynomial recurrence) and report their FLOP cost per
+//! application so solvers can charge [`spcg_dist::Counters`] accurately.
+
+pub mod block_jacobi;
+pub mod chebyshev;
+pub mod ic0;
+pub mod identity;
+pub mod jacobi;
+pub mod ssor;
+pub mod traits;
+
+pub use block_jacobi::BlockJacobi;
+pub use chebyshev::ChebyshevPrecond;
+pub use ic0::Ic0;
+pub use identity::Identity;
+pub use jacobi::Jacobi;
+pub use ssor::Ssor;
+pub use traits::Preconditioner;

@@ -1,0 +1,51 @@
+//! The preconditioner abstraction.
+
+/// A fixed symmetric-positive-definite linear operator `M⁻¹` applied as
+/// `z = M⁻¹ r`.
+///
+/// Implementations must be deterministic linear maps: the s-step solvers
+/// apply `M⁻¹` inside polynomial recurrences and the algebra (e.g.
+/// `U^(k) = M⁻¹ R^(k)`, eq. (7)) silently assumes linearity. Nonlinear
+/// "preconditioners" (e.g. flexible inner solves) would break every method
+/// in this workspace except standard PCG.
+pub trait Preconditioner: Send + Sync {
+    /// Applies `z ← M⁻¹ r`.
+    ///
+    /// # Panics
+    /// Implementations panic if `r.len()` or `z.len()` differ from the
+    /// operator dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Operator dimension `n`.
+    fn dim(&self) -> usize;
+
+    /// FLOPs of one application (used to charge the instrumentation).
+    fn flops_per_apply(&self) -> u64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String;
+
+    /// Applies in place via an internal scratch buffer allocation. Solvers
+    /// prefer [`Preconditioner::apply`]; this is a convenience for setup
+    /// code.
+    fn apply_alloc(&self, r: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; r.len()];
+        self.apply(r, &mut z);
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+
+    #[test]
+    fn apply_alloc_matches_apply() {
+        let p = Identity::new(4);
+        let r = vec![1.0, -2.0, 3.0, 4.0];
+        let mut z = vec![0.0; 4];
+        p.apply(&r, &mut z);
+        assert_eq!(z, p.apply_alloc(&r));
+    }
+}

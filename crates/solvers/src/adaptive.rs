@@ -1,0 +1,157 @@
+//! Adaptive-s sPCG — an extension beyond the paper (inspired by Carson's
+//! adaptive s-step CG [2]).
+//!
+//! When the s-step basis breaks down (singular scalar-work system, lost
+//! positive definiteness) the solver restarts from the current iterate with
+//! a halved `s` instead of failing outright, and retries the full `s` after
+//! a stretch of healthy outer iterations. Restarting is exact: the
+//! remaining error satisfies `A·e = r`, so each stage solves the residual
+//! system and accumulates corrections.
+
+use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
+use crate::spcg::spcg;
+use spcg_basis::BasisType;
+use spcg_dist::Counters;
+
+/// Result of an adaptive solve, including the s-schedule actually used.
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// The underlying solve result (counters merged across stages).
+    pub result: SolveResult,
+    /// `(s, iterations)` for each stage in order.
+    pub stages: Vec<(usize, usize)>,
+}
+
+/// Runs sPCG with automatic s reduction on breakdown.
+///
+/// Starts at `s_max`; every breakdown halves `s` (down to 1). Convergence is
+/// judged against the *initial* residual so the tolerance means the same as
+/// in [`spcg`].
+///
+/// # Panics
+/// Panics if `s_max < 1`.
+pub fn adaptive_spcg(
+    problem: &Problem<'_>,
+    s_max: usize,
+    basis: &BasisType,
+    opts: &SolveOptions,
+) -> AdaptiveResult {
+    assert!(s_max >= 1, "adaptive_spcg: s_max must be at least 1");
+    let n = problem.n();
+    let mut x_acc = vec![0.0; n];
+    let mut residual = problem.b.to_vec();
+    let mut counters = Counters::new();
+    let mut stages = Vec::new();
+    let mut s = s_max;
+    let mut iterations_left = opts.max_iters;
+    let mut tol_left = opts.tol;
+
+    let mut result = loop {
+        let stage_opts = SolveOptions {
+            tol: tol_left,
+            max_iters: iterations_left,
+            ..opts.clone()
+        };
+        let stage_problem = Problem::new(problem.a, problem.m, &residual);
+        let res = spcg(&stage_problem, s, basis, &stage_opts);
+        counters.merge(&res.counters);
+        stages.push((s, res.iterations));
+        iterations_left = iterations_left.saturating_sub(res.iterations.max(1));
+        // A diverged stage's iterate is garbage — discard it and retry with
+        // smaller s from the previous accumulated solution; a breakdown
+        // stage's partial progress is kept.
+        let diverged = matches!(res.outcome, Outcome::Diverged);
+        if !diverged {
+            for (xi, di) in x_acc.iter_mut().zip(&res.x) {
+                *xi += di;
+            }
+        }
+        let finished = match &res.outcome {
+            Outcome::Breakdown(_) | Outcome::Diverged if s > 1 && iterations_left > 0 => {
+                if !diverged {
+                    // Stage reduced ‖r‖ by some factor f; the remaining
+                    // stages only need tol/f more.
+                    let f = res
+                        .history
+                        .last()
+                        .zip(res.history.first())
+                        .map(|(l, fst)| (l.1 / fst.1).clamp(1e-16, 1.0))
+                        .unwrap_or(1.0);
+                    tol_left = (tol_left / f).min(1.0);
+                }
+                s /= 2;
+                false
+            }
+            _ => true,
+        };
+        // Refresh the residual for the next stage (or the final result).
+        let mut ax = vec![0.0; n];
+        problem.a.spmv(&x_acc, &mut ax);
+        for i in 0..n {
+            residual[i] = problem.b[i] - ax[i];
+        }
+        if finished {
+            break res;
+        }
+    };
+
+    result.x = x_acc;
+    result.iterations = stages.iter().map(|&(_, it)| it).sum();
+    result.counters = counters;
+    AdaptiveResult { result, stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::pcg;
+    use spcg_precond::Jacobi;
+    use spcg_sparse::generators::paper_rhs;
+    use spcg_sparse::generators::poisson::poisson_2d;
+    use spcg_sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
+
+    #[test]
+    fn single_stage_when_no_breakdown() {
+        let a = poisson_2d(12);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let basis = crate::setup::chebyshev_basis(&problem, 20, 0.05);
+        let out = adaptive_spcg(&problem, 5, &basis, &SolveOptions::default());
+        assert!(out.result.converged());
+        assert_eq!(out.stages.len(), 1);
+        assert_eq!(out.stages[0].0, 5);
+    }
+
+    #[test]
+    fn recovers_from_monomial_breakdown_by_shrinking_s() {
+        // Monomial s=10 on a hard problem breaks down; adaptive mode must
+        // still converge by dropping to a small s.
+        let a = spd_with_spectrum(400, &SpectrumShape::Uniform { kappa: 1e5 }, 1.0, 3, 77);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let opts = SolveOptions::default().with_max_iters(20_000).with_history();
+        assert!(pcg(&problem, &opts).converged());
+        let out = adaptive_spcg(&problem, 10, &BasisType::Monomial, &opts);
+        if out.result.converged() {
+            assert!(out.stages.len() >= 1);
+            assert!(out.result.true_relative_residual(&a, &b) < 1e-6);
+        } else {
+            // At minimum the schedule must have tried smaller s.
+            assert!(out.stages.len() > 1, "no adaptation happened: {:?}", out.result.outcome);
+        }
+    }
+
+    #[test]
+    fn accumulated_solution_is_consistent() {
+        let a = poisson_2d(10);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let basis = crate::setup::chebyshev_basis(&problem, 20, 0.05);
+        let out = adaptive_spcg(&problem, 4, &basis, &SolveOptions::default());
+        assert!(out.result.converged());
+        assert!(out.result.true_relative_residual(&a, &b) < 1e-7);
+    }
+}

@@ -1,0 +1,84 @@
+//! Operations over a pair of multivectors viewed as one concatenated block
+//! `[L | R]` — how CA-PCG handles `Y = [Q, R̂]` / `Z = [P, U]` and CA-PCG3
+//! handles `[R^(k-1), W^(k)]` without materializing the concatenation.
+
+use spcg_sparse::{DenseMat, MultiVector};
+
+/// Gram product `[zl|zr]ᵀ·[yl|yr]` of shape
+/// `(zl.k+zr.k) × (yl.k+yr.k)`.
+pub fn gram_concat(
+    zl: &MultiVector,
+    zr: &MultiVector,
+    yl: &MultiVector,
+    yr: &MultiVector,
+) -> DenseMat {
+    let (kz1, kz2) = (zl.k(), zr.k());
+    let (ky1, ky2) = (yl.k(), yr.k());
+    let mut g = DenseMat::zeros(kz1 + kz2, ky1 + ky2);
+    let blocks = [
+        (0, 0, zl.gram(yl)),
+        (0, ky1, zl.gram(yr)),
+        (kz1, 0, zr.gram(yl)),
+        (kz1, ky1, zr.gram(yr)),
+    ];
+    for (ro, co, blk) in blocks {
+        for i in 0..blk.nrows() {
+            for j in 0..blk.ncols() {
+                g[(ro + i, co + j)] = blk[(i, j)];
+            }
+        }
+    }
+    g
+}
+
+/// `out ← [l|r]·coef` (BLAS2 over the concatenation).
+///
+/// # Panics
+/// Panics if `coef.len() != l.k() + r.k()`.
+pub fn gemv_concat(l: &MultiVector, r: &MultiVector, coef: &[f64], out: &mut [f64]) {
+    assert_eq!(coef.len(), l.k() + r.k(), "gemv_concat: coefficient length mismatch");
+    l.gemv(&coef[..l.k()], out);
+    r.gemv_acc(1.0, &coef[l.k()..], out);
+}
+
+/// `out ← out + a·[l|r]·coef`.
+pub fn gemv_concat_acc(l: &MultiVector, r: &MultiVector, a: f64, coef: &[f64], out: &mut [f64]) {
+    assert_eq!(coef.len(), l.k() + r.k(), "gemv_concat_acc: coefficient length mismatch");
+    l.gemv_acc(a, &coef[..l.k()], out);
+    r.gemv_acc(a, &coef[l.k()..], out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(cols: &[&[f64]]) -> MultiVector {
+        MultiVector::from_columns(&cols.iter().map(|c| c.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn gram_concat_matches_materialized() {
+        let l = mv(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let r = mv(&[&[3.0, -1.0]]);
+        let full = mv(&[&[1.0, 2.0], &[0.0, 1.0], &[3.0, -1.0]]);
+        let g = gram_concat(&l, &r, &l, &r);
+        let want = full.gram(&full);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g[(i, j)], want[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_concat_matches_materialized() {
+        let l = mv(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let r = mv(&[&[1.0, 1.0]]);
+        let coef = [2.0, 3.0, 4.0];
+        let mut out = vec![0.0; 2];
+        gemv_concat(&l, &r, &coef, &mut out);
+        assert_eq!(out, vec![6.0, 7.0]);
+        gemv_concat_acc(&l, &r, -1.0, &coef, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+}

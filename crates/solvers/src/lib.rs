@@ -1,0 +1,43 @@
+//! (s-step) preconditioned conjugate gradient solvers.
+//!
+//! This crate implements the paper's full solver zoo:
+//!
+//! | Solver | Paper | Module | Notes |
+//! |---|---|---|---|
+//! | PCG | Alg. 1 | [`pcg`] | two-term baseline, 2 reductions/iter |
+//! | PCG3 | Rutishauser [17] | [`pcg3`] | three-term baseline behind CA-PCG3 |
+//! | sPCG_mon | Alg. 2, Chronopoulos/Gear [7] | [`spcg_mon`] | monomial-only s-step method |
+//! | **sPCG** | **Alg. 5 + Alg. 6 (the contribution)** | [`spcg`] | s-step method with arbitrary bases |
+//! | CA-PCG | Alg. 3, Toledo [21] | [`capcg`] | coordinate-space inner loop, 2s−1 MV/precond |
+//! | CA-PCG3 | Alg. 4, Hoemmen [14] | [`capcg3`] | three-term s-step method, BLAS1 updates |
+//!
+//! All s-step solvers perform **one global reduction per s steps**; every
+//! solver charges `spcg_dist::Counters` with the operation classes of the
+//! paper's Table 1, which the `spcg-perf` crate converts into modeled
+//! cluster time. Numerical behaviour (Table 2: monomial collapse at s = 10,
+//! Chebyshev recovery) is real `f64` arithmetic, not simulation.
+
+pub mod adaptive;
+pub mod blockops;
+pub mod capcg;
+pub mod capcg3;
+pub mod method;
+pub mod options;
+pub mod par;
+pub mod pcg;
+pub mod pcg3;
+pub mod setup;
+pub mod spcg;
+pub mod spcg_mon;
+pub mod stopping;
+
+pub use method::{solve, Method};
+pub use options::{Outcome, Problem, SolveOptions, SolveResult, StoppingCriterion};
+pub use par::{par_pcg, par_spcg, ParSolveResult};
+pub use pcg::pcg;
+pub use pcg3::pcg3;
+pub use setup::{chebyshev_basis, newton_basis};
+pub use spcg::spcg;
+pub use spcg_mon::spcg_mon;
+pub use capcg::capcg;
+pub use capcg3::capcg3;

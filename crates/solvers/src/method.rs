@@ -1,0 +1,101 @@
+//! Unified method dispatch for the experiment harnesses.
+
+use crate::options::{Problem, SolveOptions, SolveResult};
+use spcg_basis::BasisType;
+
+/// A solver selection, carrying its s-step configuration where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Method {
+    /// Standard PCG (Alg. 1).
+    Pcg,
+    /// Three-term PCG (Rutishauser).
+    Pcg3,
+    /// sPCG with an arbitrary basis (Alg. 5 — the paper's contribution).
+    SPcg { s: usize, basis: BasisType },
+    /// The original monomial-only s-step PCG (Alg. 2).
+    SPcgMon { s: usize },
+    /// CA-PCG (Alg. 3).
+    CaPcg { s: usize, basis: BasisType },
+    /// CA-PCG3 (Alg. 4).
+    CaPcg3 { s: usize, basis: BasisType },
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Pcg => "PCG".into(),
+            Method::Pcg3 => "PCG3".into(),
+            Method::SPcg { s, basis } => format!("sPCG(s={s},{})", basis.name()),
+            Method::SPcgMon { s } => format!("sPCG_mon(s={s})"),
+            Method::CaPcg { s, basis } => format!("CA-PCG(s={s},{})", basis.name()),
+            Method::CaPcg3 { s, basis } => format!("CA-PCG3(s={s},{})", basis.name()),
+        }
+    }
+
+    /// The s-step block size (1 for the non-blocked baselines).
+    pub fn s(&self) -> usize {
+        match self {
+            Method::Pcg | Method::Pcg3 => 1,
+            Method::SPcg { s, .. }
+            | Method::SPcgMon { s }
+            | Method::CaPcg { s, .. }
+            | Method::CaPcg3 { s, .. } => *s,
+        }
+    }
+}
+
+/// Runs the selected method.
+pub fn solve(method: &Method, problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
+    match method {
+        Method::Pcg => crate::pcg::pcg(problem, opts),
+        Method::Pcg3 => crate::pcg3::pcg3(problem, opts),
+        Method::SPcg { s, basis } => crate::spcg::spcg(problem, *s, basis, opts),
+        Method::SPcgMon { s } => crate::spcg_mon::spcg_mon(problem, *s, opts),
+        Method::CaPcg { s, basis } => crate::capcg::capcg(problem, *s, basis, opts),
+        Method::CaPcg3 { s, basis } => crate::capcg3::capcg3(problem, *s, basis, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::Jacobi;
+    use spcg_sparse::generators::paper_rhs;
+    use spcg_sparse::generators::poisson::poisson_2d;
+
+    #[test]
+    fn all_methods_solve_an_easy_problem() {
+        let a = poisson_2d(12);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let basis = crate::setup::chebyshev_basis(&problem, 20, 0.05);
+        let methods = [
+            Method::Pcg,
+            Method::Pcg3,
+            Method::SPcg { s: 4, basis: basis.clone() },
+            Method::SPcgMon { s: 4 },
+            Method::CaPcg { s: 4, basis: basis.clone() },
+            Method::CaPcg3 { s: 4, basis },
+        ];
+        for method in &methods {
+            let res = solve(method, &problem, &SolveOptions::default());
+            assert!(res.converged(), "{} failed: {:?}", method.name(), res.outcome);
+            assert!(
+                res.true_relative_residual(&a, &b) < 1e-7,
+                "{}: residual too large",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_and_s() {
+        assert_eq!(Method::Pcg.name(), "PCG");
+        assert_eq!(Method::Pcg.s(), 1);
+        let m = Method::SPcg { s: 10, basis: BasisType::Monomial };
+        assert_eq!(m.name(), "sPCG(s=10,monomial)");
+        assert_eq!(m.s(), 10);
+    }
+}

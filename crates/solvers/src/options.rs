@@ -1,0 +1,233 @@
+//! Problem definition, solver options, and results.
+
+use spcg_dist::Counters;
+use spcg_precond::Preconditioner;
+use spcg_sparse::CsrMatrix;
+
+/// The linear system `A x = b` with preconditioner `M⁻¹`.
+pub struct Problem<'a> {
+    /// Sparse SPD system matrix.
+    pub a: &'a CsrMatrix,
+    /// Preconditioner (a fixed SPD linear operator).
+    pub m: &'a dyn Preconditioner,
+    /// Right-hand side.
+    pub b: &'a [f64],
+}
+
+impl<'a> Problem<'a> {
+    /// Bundles a system, validating dimensions.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn new(a: &'a CsrMatrix, m: &'a dyn Preconditioner, b: &'a [f64]) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "Problem: matrix must be square");
+        assert_eq!(a.nrows(), m.dim(), "Problem: preconditioner dimension mismatch");
+        assert_eq!(a.nrows(), b.len(), "Problem: rhs length mismatch");
+        Problem { a, m, b }
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.a.nrows()
+    }
+}
+
+/// How convergence is measured.
+///
+/// The paper uses all three: Table 2 stops on the *true* relative residual,
+/// Table 3 columns 2–5 on the recursively computed residual's 2-norm, and
+/// Table 3 columns 6–9 / Figure 1 on the `M`-norm `√(rᵀM⁻¹r)` of the
+/// recursive residual (which every solver computes anyway, making the check
+/// free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoppingCriterion {
+    /// `‖b − A·x^(i)‖₂ / ‖b − A·x^(0)‖₂ < tol` — costs one extra SpMV per
+    /// check.
+    TrueResidual2Norm,
+    /// `‖r^(i)‖₂ / ‖r^(0)‖₂ < tol` on the recursively updated residual —
+    /// one extra dot product per check, piggybacked on an existing
+    /// reduction.
+    RecursiveResidual2Norm,
+    /// `√(r^(i)ᵀ M⁻¹ r^(i))` reduced by `tol` — free, the solvers already
+    /// reduce `rᵀu`.
+    PrecondMNorm,
+}
+
+/// Solver options shared by all methods.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Relative reduction required by the stopping criterion (e.g. `1e-9`).
+    pub tol: f64,
+    /// Cap on fine-grained (PCG-equivalent) iterations.
+    pub max_iters: usize,
+    /// Stopping criterion.
+    pub criterion: StoppingCriterion,
+    /// Relative growth of the criterion value that is declared divergence.
+    pub divergence_factor: f64,
+    /// Convergence checks without improvement of the best value before the
+    /// solve is declared stagnated.
+    pub stall_checks: usize,
+    /// Record the criterion value at every check into the result's history.
+    pub keep_history: bool,
+    /// Residual replacement (Carson & Demmel [3]) for the s-step solvers:
+    /// when the recursive residual has shrunk by this factor since the last
+    /// replacement, recompute `r = b − A·x` explicitly (one extra SpMV).
+    /// `None` disables replacement (the paper's configuration).
+    pub residual_replacement: Option<f64>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tol: 1e-9,
+            max_iters: 12_000,
+            criterion: StoppingCriterion::TrueResidual2Norm,
+            divergence_factor: 1e8,
+            stall_checks: 4000,
+            keep_history: false,
+            residual_replacement: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The paper's Table-2 configuration: true residual, `tol = 1e-9`,
+    /// failure declared beyond 12 000 iterations.
+    pub fn table2() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style tolerance override.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Builder-style iteration cap override.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Builder-style criterion override.
+    pub fn with_criterion(mut self, criterion: StoppingCriterion) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Builder-style history recording.
+    pub fn with_history(mut self) -> Self {
+        self.keep_history = true;
+        self
+    }
+
+    /// Builder-style residual replacement (see the field docs).
+    pub fn with_residual_replacement(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "replacement factor must be in (0, 1)");
+        self.residual_replacement = Some(factor);
+        self
+    }
+}
+
+/// Why a solve ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Criterion satisfied.
+    Converged,
+    /// Iteration cap reached without convergence.
+    MaxIterations,
+    /// Criterion value blew up or became non-finite.
+    Diverged,
+    /// No improvement for `stall_checks` consecutive checks.
+    Stagnated,
+    /// An internal computation failed (e.g. a singular scalar-work system or
+    /// a non-positive curvature/denominator) — the classic s-step basis
+    /// breakdown.
+    Breakdown(String),
+}
+
+impl Outcome {
+    /// True only for [`Outcome::Converged`].
+    pub fn converged(&self) -> bool {
+        matches!(self, Outcome::Converged)
+    }
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Final approximate solution.
+    pub x: Vec<f64>,
+    /// How the solve ended.
+    pub outcome: Outcome,
+    /// Fine-grained (PCG-equivalent) iterations performed. s-step solvers
+    /// advance this by s per outer iteration, so Table-2-style comparisons
+    /// are in the same unit across methods.
+    pub iterations: usize,
+    /// `(iteration, criterion value)` at each check, if requested.
+    pub history: Vec<(usize, f64)>,
+    /// Instrumented operation counts.
+    pub counters: Counters,
+}
+
+impl SolveResult {
+    /// True if the solve converged.
+    pub fn converged(&self) -> bool {
+        self.outcome.converged()
+    }
+
+    /// True relative residual `‖b − A·x‖ / ‖b‖` of the returned solution —
+    /// an *uninstrumented* diagnostic for tests and reports.
+    pub fn true_relative_residual(&self, a: &CsrMatrix, b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        a.spmv(&self.x, &mut ax);
+        let num: f64 = ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_precond::Identity;
+    use spcg_sparse::generators::poisson::poisson_1d;
+
+    #[test]
+    fn problem_validates_dimensions() {
+        let a = poisson_1d(4);
+        let m = Identity::new(4);
+        let b = vec![1.0; 4];
+        let p = Problem::new(&a, &m, &b);
+        assert_eq!(p.n(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn problem_rejects_bad_rhs() {
+        let a = poisson_1d(4);
+        let m = Identity::new(4);
+        let b = vec![1.0; 3];
+        Problem::new(&a, &m, &b);
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = SolveOptions::default()
+            .with_tol(1e-6)
+            .with_max_iters(100)
+            .with_criterion(StoppingCriterion::PrecondMNorm)
+            .with_history();
+        assert_eq!(o.tol, 1e-6);
+        assert_eq!(o.max_iters, 100);
+        assert_eq!(o.criterion, StoppingCriterion::PrecondMNorm);
+        assert!(o.keep_history);
+    }
+
+    #[test]
+    fn outcome_converged_flag() {
+        assert!(Outcome::Converged.converged());
+        assert!(!Outcome::Diverged.converged());
+        assert!(!Outcome::Breakdown("x".into()).converged());
+    }
+}

@@ -1,0 +1,228 @@
+//! Standard preconditioned conjugate gradients (paper Algorithm 1).
+//!
+//! The baseline every s-step method is compared against. Per iteration:
+//! one SpMV, one preconditioner application, two dot products — and two
+//! global reductions, which is what stops PCG from scaling beyond ~32 nodes
+//! in the paper's Figure 1.
+
+use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
+use crate::stopping::{criterion_value, StopState, Verdict};
+use spcg_dist::Counters;
+use spcg_sparse::blas;
+
+/// Solves `A x = b` with standard PCG (zero initial guess).
+pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
+    let n = problem.n();
+    let nw = n as u64;
+    let mut counters = Counters::new();
+    let mut stop = StopState::new(opts);
+    let mut scratch = Vec::new();
+
+    // r0 = b − A x0 = b for x0 = 0.
+    let mut x = vec![0.0; n];
+    let mut r = problem.b.to_vec();
+    let mut u = vec![0.0; n];
+    problem.m.apply(&r, &mut u);
+    counters.record_precond(problem.m.flops_per_apply());
+    let mut p = u.clone();
+    let mut s = vec![0.0; n];
+
+    // rtu = rᵀu (reduced globally together with the first pᵀs next
+    // iteration in real MPI; charged as part of the 2 collectives/iter).
+    let mut rtu = blas::dot(&r, &u);
+    counters.record_dots(1, nw);
+    counters.record_collective(1);
+
+    let v0 = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+    let mut verdict = stop.check(0, v0);
+
+    let mut iterations = 0usize;
+    while verdict == Verdict::Continue && iterations < opts.max_iters {
+        // s = A p.
+        problem.a.spmv(&p, &mut s);
+        counters.record_spmv(problem.a.spmv_flops());
+        let pts = blas::dot(&p, &s);
+        counters.record_dots(1, nw);
+        counters.record_collective(1);
+        if !(pts > 0.0) || !pts.is_finite() {
+            // Zero curvature at machine-precision residuals means we are
+            // done, not broken; judge by the criterion before failing.
+            let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+            let outcome = stop.resolve_breakdown(
+                iterations,
+                v,
+                format!("non-positive curvature pᵀAp = {pts}"),
+            );
+            return finish(x, outcome, iterations, stop, counters);
+        }
+        let alpha = rtu / pts;
+        blas::axpy(alpha, &p, &mut x);
+        blas::axpy(-alpha, &s, &mut r);
+        counters.blas1_flops += 4 * nw;
+        problem.m.apply(&r, &mut u);
+        counters.record_precond(problem.m.flops_per_apply());
+        let rtu_new = blas::dot(&r, &u);
+        counters.record_dots(1, nw);
+        counters.record_collective(1);
+        if !rtu_new.is_finite() {
+            return finish(x, Outcome::Diverged, iterations, stop, counters);
+        }
+        let beta = rtu_new / rtu;
+        rtu = rtu_new;
+        blas::xpby(&u, beta, &mut p);
+        counters.blas1_flops += 2 * nw;
+
+        iterations += 1;
+        counters.iterations += 1;
+        counters.outer_iterations += 1;
+        let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+        verdict = stop.check(iterations, v);
+    }
+
+    finish(x, StopState::outcome(verdict), iterations, stop, counters)
+}
+
+fn finish(
+    x: Vec<f64>,
+    outcome: Outcome,
+    iterations: usize,
+    stop: StopState,
+    counters: Counters,
+) -> SolveResult {
+    SolveResult { x, outcome, iterations, history: stop.history, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::StoppingCriterion;
+    use spcg_precond::{Identity, Jacobi};
+    use spcg_sparse::generators::poisson::{poisson_1d, poisson_2d};
+    use spcg_sparse::generators::paper_rhs;
+
+    #[test]
+    fn solves_small_poisson_exactly() {
+        let a = poisson_1d(32);
+        let m = Identity::new(32);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let res = pcg(&problem, &SolveOptions::default());
+        assert!(res.converged(), "{:?}", res.outcome);
+        assert!(res.true_relative_residual(&a, &b) < 1e-8);
+        // Solution entries are 1/√n.
+        let want = 1.0 / 32f64.sqrt();
+        for v in &res.x {
+            assert!((v - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cg_converges_in_at_most_n_iterations() {
+        let a = poisson_1d(24);
+        let m = Identity::new(24);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let res = pcg(&problem, &SolveOptions::default().with_tol(1e-12));
+        assert!(res.converged());
+        assert!(res.iterations <= 24, "CG finite termination violated: {}", res.iterations);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations_on_scaled_problem() {
+        // Badly scaled diagonal blocks: Jacobi fixes the scaling.
+        let mut a = poisson_2d(16);
+        // Scale rows/cols: D A D with D = diag(1..): do it via COO rebuild.
+        let n = a.nrows();
+        let mut coo = spcg_sparse::CooMatrix::new(n, n);
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            let di = 1.0 + (i % 7) as f64;
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dc = 1.0 + (c % 7) as f64;
+                coo.push(i, c, v * di * dc);
+            }
+        }
+        a = coo.to_csr();
+        let b = paper_rhs(&a);
+        let ident = Identity::new(n);
+        let jac = Jacobi::new(&a);
+        let p1 = Problem::new(&a, &ident, &b);
+        let p2 = Problem::new(&a, &jac, &b);
+        let r1 = pcg(&p1, &SolveOptions::default().with_tol(1e-8));
+        let r2 = pcg(&p2, &SolveOptions::default().with_tol(1e-8));
+        assert!(r1.converged() && r2.converged());
+        assert!(
+            r2.iterations < r1.iterations,
+            "jacobi ({}) not better than identity ({})",
+            r2.iterations,
+            r1.iterations
+        );
+    }
+
+    #[test]
+    fn counters_match_table1_per_iteration() {
+        let a = poisson_1d(50);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        // M-norm criterion: no extra instrumented work per check.
+        let opts = SolveOptions::default()
+            .with_criterion(StoppingCriterion::PrecondMNorm)
+            .with_tol(1e-10);
+        let res = pcg(&problem, &opts);
+        assert!(res.converged());
+        let it = res.iterations as u64;
+        let n = 50u64;
+        // Per iteration: 1 SpMV, 1 precond, 2 dots, 2 collectives, 6n
+        // update FLOPs (Table 1 row "PCG").
+        assert_eq!(res.counters.spmv_count, it);
+        assert_eq!(res.counters.precond_count, it + 1); // +1 setup
+        assert_eq!(res.counters.dot_count, 2 * it + 1); // +1 setup rtu
+        assert_eq!(res.counters.global_collectives, 2 * it + 1);
+        assert_eq!(res.counters.blas1_flops, 6 * n * it);
+        assert_eq!(res.counters.iterations, it);
+    }
+
+    #[test]
+    fn all_criteria_converge() {
+        let a = poisson_2d(12);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        for crit in [
+            StoppingCriterion::TrueResidual2Norm,
+            StoppingCriterion::RecursiveResidual2Norm,
+            StoppingCriterion::PrecondMNorm,
+        ] {
+            let res = pcg(&problem, &SolveOptions::default().with_criterion(crit));
+            assert!(res.converged(), "{crit:?} failed: {:?}", res.outcome);
+            assert!(res.true_relative_residual(&a, &b) < 1e-6, "{crit:?}");
+        }
+    }
+
+    #[test]
+    fn max_iterations_is_respected() {
+        let a = poisson_2d(24);
+        let m = Identity::new(a.nrows());
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let res = pcg(&problem, &SolveOptions::default().with_tol(1e-14).with_max_iters(3));
+        assert_eq!(res.outcome, Outcome::MaxIterations);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn history_is_monotone_for_easy_problem() {
+        let a = poisson_1d(16);
+        let m = Identity::new(16);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let res = pcg(&problem, &SolveOptions::default().with_history());
+        assert!(res.history.len() >= 2);
+        // True residual of CG on SPD decreases monotonically in A-norm; the
+        // 2-norm may wiggle, so only check overall reduction.
+        let first = res.history.first().unwrap().1;
+        let last = res.history.last().unwrap().1;
+        assert!(last < first * 1e-8);
+    }
+}

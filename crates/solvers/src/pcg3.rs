@@ -1,0 +1,181 @@
+//! Three-term recurrence PCG (Rutishauser [17]), the method underlying
+//! CA-PCG3.
+//!
+//! PCG3 eliminates the search directions of standard PCG and updates the
+//! residuals (and solutions) directly through a three-term recurrence:
+//!
+//! ```text
+//! γ_i = (r_iᵀu_i) / (u_iᵀA u_i),    ρ_0 = 1,
+//! ρ_i = (1 − (γ_i/γ_{i-1})·(μ_i/μ_{i-1})·(1/ρ_{i-1}))⁻¹
+//! x_{i+1} = ρ_i·(x_i + γ_i·u_i) + (1−ρ_i)·x_{i-1}
+//! r_{i+1} = ρ_i·(r_i − γ_i·A u_i) + (1−ρ_i)·r_{i-1}
+//! ```
+//!
+//! Mathematically equivalent to PCG, but its rounding behaviour is worse
+//! (Gutknecht & Strakoš [13]) — the reason the paper flags CA-PCG3's
+//! three-term foundation as a stability liability. Both dot products of an
+//! iteration reduce in a single collective.
+
+use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
+use crate::stopping::{criterion_value, StopState, Verdict};
+use spcg_dist::Counters;
+use spcg_sparse::blas;
+
+/// Solves `A x = b` with three-term-recurrence PCG (zero initial guess).
+pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
+    let n = problem.n();
+    let nw = n as u64;
+    let mut counters = Counters::new();
+    let mut stop = StopState::new(opts);
+    let mut scratch = Vec::new();
+
+    let mut x_prev = vec![0.0; n];
+    let mut x = vec![0.0; n];
+    let mut r_prev = vec![0.0; n];
+    let mut r = problem.b.to_vec();
+    let mut u = vec![0.0; n];
+    problem.m.apply(&r, &mut u);
+    counters.record_precond(problem.m.flops_per_apply());
+    let mut au = vec![0.0; n];
+    let mut next = vec![0.0; n];
+
+    let mut mu_prev = 0.0f64;
+    let mut gamma_prev = 0.0f64;
+    let mut rho_prev = 1.0f64;
+
+    let mu0 = blas::dot(&r, &u);
+    counters.record_dots(1, nw);
+    counters.record_collective(1);
+    let v0 = criterion_value(problem, opts.criterion, &x, &r, mu0, &mut scratch, &mut counters);
+    let mut verdict = stop.check(0, v0);
+
+    let mut iterations = 0usize;
+    while verdict == Verdict::Continue && iterations < opts.max_iters {
+        problem.a.spmv(&u, &mut au);
+        counters.record_spmv(problem.a.spmv_flops());
+        let mu = blas::dot(&r, &u);
+        let nu = blas::dot(&u, &au);
+        counters.record_dots(2, nw);
+        counters.record_collective(2); // both dots fused in one reduction
+        if !(nu > 0.0) || !mu.is_finite() || !nu.is_finite() {
+            return finish(x, Outcome::Breakdown(format!("uᵀAu = {nu}, rᵀu = {mu}")), iterations, stop, counters);
+        }
+        let gamma = mu / nu;
+        let rho = if iterations == 0 {
+            1.0
+        } else {
+            let denom = 1.0 - (gamma / gamma_prev) * (mu / mu_prev) * (1.0 / rho_prev);
+            if denom == 0.0 || !denom.is_finite() {
+                return finish(x, Outcome::Breakdown(format!("rho denominator {denom}")), iterations, stop, counters);
+            }
+            1.0 / denom
+        };
+
+        // x_{i+1} = ρ(x + γu) + (1−ρ)x_prev
+        for i in 0..n {
+            next[i] = rho * (x[i] + gamma * u[i]) + (1.0 - rho) * x_prev[i];
+        }
+        std::mem::swap(&mut x_prev, &mut x);
+        std::mem::swap(&mut x, &mut next);
+        // r_{i+1} = ρ(r − γ·Au) + (1−ρ)r_prev
+        for i in 0..n {
+            next[i] = rho * (r[i] - gamma * au[i]) + (1.0 - rho) * r_prev[i];
+        }
+        std::mem::swap(&mut r_prev, &mut r);
+        std::mem::swap(&mut r, &mut next);
+        counters.blas1_flops += 10 * nw;
+
+        problem.m.apply(&r, &mut u);
+        counters.record_precond(problem.m.flops_per_apply());
+
+        mu_prev = mu;
+        gamma_prev = gamma;
+        rho_prev = rho;
+        iterations += 1;
+        counters.iterations += 1;
+        counters.outer_iterations += 1;
+
+        let rtu = blas::dot(&r, &u); // for the M-norm criterion
+        counters.record_dots(1, nw);
+        counters.piggyback_words(1);
+        let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+        verdict = stop.check(iterations, v);
+    }
+
+    finish(x, StopState::outcome(verdict), iterations, stop, counters)
+}
+
+fn finish(
+    x: Vec<f64>,
+    outcome: Outcome,
+    iterations: usize,
+    stop: StopState,
+    counters: Counters,
+) -> SolveResult {
+    SolveResult { x, outcome, iterations, history: stop.history, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::pcg;
+    use spcg_precond::{Identity, Jacobi};
+    use spcg_sparse::generators::paper_rhs;
+    use spcg_sparse::generators::poisson::{poisson_1d, poisson_2d};
+
+    #[test]
+    fn solves_poisson() {
+        let a = poisson_2d(10);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let res = pcg3(&problem, &SolveOptions::default());
+        assert!(res.converged(), "{:?}", res.outcome);
+        assert!(res.true_relative_residual(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn matches_pcg_iteration_count_closely() {
+        // Mathematical equivalence: iteration counts agree up to round-off
+        // effects (±2 on a well-conditioned problem).
+        let a = poisson_2d(14);
+        let m = Identity::new(a.nrows());
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let r2 = pcg(&problem, &SolveOptions::default().with_tol(1e-8));
+        let r3 = pcg3(&problem, &SolveOptions::default().with_tol(1e-8));
+        assert!(r2.converged() && r3.converged());
+        let d = r2.iterations.abs_diff(r3.iterations);
+        assert!(d <= 2, "PCG {} vs PCG3 {}", r2.iterations, r3.iterations);
+    }
+
+    #[test]
+    fn first_iteration_matches_pcg_exactly() {
+        // With ρ_0 = 1 the first PCG3 step is the first PCG step.
+        let a = poisson_1d(12);
+        let m = Identity::new(12);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let o = SolveOptions::default().with_max_iters(1).with_tol(1e-30);
+        let r2 = pcg(&problem, &o);
+        let r3 = pcg3(&problem, &o);
+        for (p, q) in r2.x.iter().zip(&r3.x) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn one_collective_per_iteration() {
+        let a = poisson_1d(30);
+        let m = Identity::new(30);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let opts = SolveOptions::default()
+            .with_criterion(crate::options::StoppingCriterion::PrecondMNorm);
+        let res = pcg3(&problem, &opts);
+        assert!(res.converged());
+        let it = res.counters.iterations;
+        assert_eq!(res.counters.global_collectives, it + 1); // +1 setup
+        assert_eq!(res.counters.spmv_count, it);
+    }
+}

@@ -1,0 +1,178 @@
+//! Coordinate-format (COO) sparse matrix builder.
+//!
+//! COO is the natural format for assembling matrices entry by entry — the
+//! stencil generators and the Matrix Market reader both produce COO, which is
+//! then converted to [`crate::CsrMatrix`] for computation. Duplicate entries
+//! are summed during conversion (finite-element style assembly).
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in coordinate (triplet) format.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` COO matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates an empty matrix with storage reserved for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Adds `v` at position `(i, j)`. Duplicates are summed on conversion.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` is out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "CooMatrix::push: index ({i},{j}) out of bounds");
+        self.rows.push(i);
+        self.cols.push(j);
+        self.vals.push(v);
+    }
+
+    /// Adds `v` at `(i, j)` and, if `i != j`, also at `(j, i)` — convenient
+    /// for assembling symmetric matrices from their lower triangle.
+    pub fn push_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.push(i, j, v);
+        if i != j {
+            self.push(j, i, v);
+        }
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping explicit
+    /// zeros that result from cancellation is *not* done (explicit zeros are
+    /// kept so sparsity patterns remain predictable for tests).
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row: O(nnz + n) and allocation-minimal.
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let nnz = self.vals.len();
+        let mut col_idx = vec![0usize; nnz];
+        let mut values = vec![0f64; nnz];
+        let mut next = row_counts.clone();
+        for k in 0..nnz {
+            let r = self.rows[k];
+            let slot = next[r];
+            next[r] += 1;
+            col_idx[slot] = self.cols[k];
+            values[slot] = self.vals[k];
+        }
+        // Sort within each row by column and merge duplicates.
+        let mut out_ptr = vec![0usize; self.nrows + 1];
+        let mut out_cols: Vec<usize> = Vec::with_capacity(nnz);
+        let mut out_vals: Vec<f64> = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let (lo, hi) = (row_counts[r], row_counts[r + 1]);
+            scratch.clear();
+            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                i += 1;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+            }
+            out_ptr[r + 1] = out_cols.len();
+        }
+        CsrMatrix::from_raw(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), 3.5);
+        assert_eq!(csr.get(1, 0), -1.0);
+        assert_eq!(csr.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn columns_sorted_after_conversion() {
+        let mut coo = CooMatrix::new(1, 5);
+        for &c in &[4, 1, 3, 0, 2] {
+            coo.push(0, c, c as f64);
+        }
+        let csr = coo.to_csr();
+        let row = csr.row(0);
+        let cols: Vec<usize> = row.0.to_vec();
+        assert_eq!(cols, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn push_sym_mirrors_off_diagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_sym(0, 0, 2.0);
+        coo.push_sym(2, 1, 5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(2, 1), 5.0);
+        assert_eq!(csr.get(1, 2), 5.0);
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! CSR is the computational format for all system matrices in this
+//! workspace. The solvers only ever need `y = A·x` (plus row access for the
+//! Jacobi/SSOR preconditioners), so the interface is deliberately small; the
+//! SPD-oriented helpers (symmetry check, Gershgorin bounds, diagonal
+//! extraction) support the preconditioners and the basis-parameter
+//! estimation.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (enforced by [`CsrMatrix::from_raw`]):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, monotone non-decreasing;
+/// * `col_idx.len() == values.len() == row_ptr[nrows]`;
+/// * column indices within each row are strictly increasing and `< ncols`.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if any CSR invariant is violated.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "CSR: row_ptr length must be nrows+1");
+        assert_eq!(row_ptr[0], 0, "CSR: row_ptr must start at 0");
+        assert_eq!(col_idx.len(), values.len(), "CSR: col/val length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "CSR: row_ptr end mismatch");
+        for r in 0..nrows {
+            assert!(row_ptr[r] <= row_ptr[r + 1], "CSR: row_ptr must be monotone");
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "CSR: columns must be strictly increasing in row {r}");
+            }
+            if let Some(&last) = row.last() {
+                assert!(last < ncols, "CSR: column index out of bounds in row {r}");
+            }
+        }
+        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// A diagonal matrix with the given diagonal entries.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Raw value array.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(i, j)`, or `0.0` if not stored. O(log nnz(row i)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix-vector product `y ← A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv: y length mismatch");
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// SpMV restricted to a contiguous row range `[row_begin, row_end)`,
+    /// writing into `y[row_begin..row_end]`. This is the per-rank kernel of
+    /// the block-row-distributed executor in `spcg-dist`.
+    pub fn spmv_rows(&self, row_begin: usize, row_end: usize, x: &[f64], y: &mut [f64]) {
+        assert!(row_begin <= row_end && row_end <= self.nrows, "spmv_rows: bad range");
+        assert_eq!(x.len(), self.ncols, "spmv_rows: x length mismatch");
+        for r in row_begin..row_end {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r - row_begin] = acc;
+        }
+    }
+
+    /// `y ← y + a·A·x`.
+    pub fn spmv_acc(&self, a: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_acc: x length mismatch");
+        assert_eq!(y.len(), self.nrows, "spmv_acc: y length mismatch");
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] += a * acc;
+        }
+    }
+
+    /// Copies the diagonal into a vector; missing diagonal entries become 0.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::with_capacity(self.ncols, self.nrows, self.nnz());
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(c, r, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Checks structural and numerical symmetry up to absolute tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if (self.get(c, r) - v).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Gershgorin bounds `(lo, hi)` on the spectrum: every eigenvalue lies in
+    /// `[min_i (a_ii − R_i), max_i (a_ii + R_i)]` with `R_i` the off-diagonal
+    /// row sum. For SPD matrices `max(lo, 0)` is a usable lower bound.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut diag = 0.0;
+            let mut radius = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == r {
+                    diag = v;
+                } else {
+                    radius += v.abs();
+                }
+            }
+            lo = lo.min(diag - radius);
+            hi = hi.max(diag + radius);
+        }
+        if self.nrows == 0 {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.nrows)
+            .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scales the matrix in place by `a`.
+    pub fn scale(&mut self, a: f64) {
+        for v in &mut self.values {
+            *v *= a;
+        }
+    }
+
+    /// Adds `shift` to every diagonal entry, assuming the diagonal is fully
+    /// stored (true for all generators in this workspace).
+    ///
+    /// # Panics
+    /// Panics if some row has no stored diagonal entry.
+    pub fn shift_diagonal(&mut self, shift: f64) {
+        for r in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let pos = self.col_idx[lo..hi]
+                .binary_search(&r)
+                .unwrap_or_else(|_| panic!("shift_diagonal: row {r} has no diagonal entry"));
+            self.values[lo + pos] += shift;
+        }
+    }
+
+    /// Number of FLOPs of one SpMV with this matrix (`2·nnz`), used by the
+    /// instrumentation layer.
+    pub fn spmv_flops(&self) -> u64 {
+        2 * self.nnz() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [ 4 -1  0 ]
+        // [-1  4 -1 ]
+        // [ 0 -1  4 ]
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 4.0);
+        }
+        coo.push_sym(1, 0, -1.0);
+        coo.push_sym(2, 1, -1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [2.0, 4.0, 10.0]);
+    }
+
+    #[test]
+    fn spmv_acc_accumulates() {
+        let a = small();
+        let x = [1.0, 0.0, 0.0];
+        let mut y = [1.0, 1.0, 1.0];
+        a.spmv_acc(2.0, &x, &mut y);
+        assert_eq!(y, [9.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn spmv_rows_matches_full() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut full = [0.0; 3];
+        a.spmv(&x, &mut full);
+        let mut part = [0.0; 2];
+        a.spmv_rows(1, 3, &x, &mut part);
+        assert_eq!(part, [full[1], full[2]]);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i3 = CsrMatrix::identity(3);
+        let x = [5.0, -1.0, 2.0];
+        let mut y = [0.0; 3];
+        i3.spmv(&x, &mut y);
+        assert_eq!(y, x);
+        assert_eq!(i3.diagonal(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn transpose_of_symmetric_is_equal() {
+        let a = small();
+        let at = a.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.get(i, j), at.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = small();
+        assert!(a.is_symmetric(0.0));
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 1, 1.0);
+        assert!(!coo.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum() {
+        // Eigenvalues of the 3x3 tridiagonal (4,-1) matrix: 4 - 2cos(kπ/4).
+        let a = small();
+        let (lo, hi) = a.gershgorin_bounds();
+        for k in 1..=3 {
+            let ev = 4.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
+            assert!(ev >= lo - 1e-12 && ev <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_diagonal_changes_get() {
+        let mut a = small();
+        a.shift_diagonal(1.5);
+        assert_eq!(a.get(0, 0), 5.5);
+        assert_eq!(a.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn norms_small_matrix() {
+        let a = small();
+        assert!((a.frobenius_norm() - (3.0f64 * 16.0 + 4.0).sqrt()).abs() < 1e-14);
+        assert_eq!(a.norm_inf(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must be strictly increasing")]
+    fn from_raw_rejects_unsorted() {
+        CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr length")]
+    fn from_raw_rejects_bad_ptr() {
+        CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+}

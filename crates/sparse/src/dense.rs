@@ -1,0 +1,274 @@
+//! Small dense matrices for the `O(s) × O(s)` "scalar work" of the s-step
+//! methods: Gram matrices, change-of-basis matrices, and coefficient blocks.
+//!
+//! Storage is row-major. These matrices never exceed a few dozen rows
+//! (`2s + 1` with `s ≤ ~20`), so the kernels favour clarity over blocking.
+
+use std::fmt;
+
+/// A small dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct DenseMat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for DenseMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows {
+            write!(f, "  [")?;
+            for j in 0..self.ncols {
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+                if j + 1 < self.ncols {
+                    write!(f, ", ")?;
+                }
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl DenseMat {
+    /// The `nrows × ncols` zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_row_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "DenseMat: data length mismatch");
+        DenseMat { nrows, ncols, data }
+    }
+
+    /// Builds from a function of the index pair.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Column `j` collected into a `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMat {
+        DenseMat::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &DenseMat) -> DenseMat {
+        assert_eq!(self.ncols, other.nrows, "matmul: dimension mismatch");
+        let mut out = DenseMat::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
+        (0..self.nrows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    }
+
+    /// Transposed matrix-vector product `selfᵀ · x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "matvec_t: dimension mismatch");
+        let mut out = vec![0.0; self.ncols];
+        for i in 0..self.nrows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..self.ncols {
+                out[j] += self[(i, j)] * xi;
+            }
+        }
+        out
+    }
+
+    /// `self ← self + a·other` elementwise.
+    pub fn axpy(&mut self, a: f64, other: &DenseMat) {
+        assert_eq!(self.nrows, other.nrows, "axpy: row mismatch");
+        assert_eq!(self.ncols, other.ncols, "axpy: col mismatch");
+        for (s, o) in self.data.iter_mut().zip(&other.data) {
+            *s += a * o;
+        }
+    }
+
+    /// Scales all entries by `a`.
+    pub fn scale(&mut self, a: f64) {
+        for v in &mut self.data {
+            *v *= a;
+        }
+    }
+
+    /// Symmetrizes in place: `self ← (self + selfᵀ)/2`. The Gram matrices of
+    /// the s-step methods are symmetric in exact arithmetic; symmetrizing the
+    /// finite-precision product keeps the small solves well behaved.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.nrows, self.ncols, "symmetrize: matrix must be square");
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                let m = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = m;
+                self[(j, i)] = m;
+            }
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns `true` if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = DenseMat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let i3 = DenseMat::identity(3);
+        assert_eq!(a.matmul(&i3), a);
+        assert_eq!(i3.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMat::from_row_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMat::from_row_major(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose_consistent() {
+        let a = DenseMat::from_row_major(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let x = [2.0, 1.0, 0.5];
+        let y = a.matvec(&x);
+        let yt = a.transpose().matvec_t(&x);
+        assert_eq!(y, yt);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = DenseMat::from_row_major(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, -1.0, 2.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric() {
+        let mut a = DenseMat::from_row_major(2, 2, vec![1.0, 2.0, 4.0, 3.0]);
+        a.symmetrize();
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = DenseMat::identity(2);
+        let b = DenseMat::from_row_major(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5, 1.0, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn norms() {
+        let a = DenseMat::from_row_major(1, 2, vec![3.0, -4.0]);
+        assert_eq!(a.norm_max(), 4.0);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+}

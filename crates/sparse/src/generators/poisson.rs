@@ -1,0 +1,152 @@
+//! Poisson-equation stencil matrices (Dirichlet boundary conditions).
+//!
+//! `poisson_3d(256)` is the exact strong-scaling test problem of the paper's
+//! Figure 1: the 7-point finite-difference discretization of Poisson's
+//! equation on a `256³` grid.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// 1D Laplacian: tridiagonal `[-1, 2, -1]` of size `n`.
+pub fn poisson_1d(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        coo.push(i, i, 2.0);
+        if i + 1 < n {
+            coo.push_sym(i + 1, i, -1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D Poisson matrix: 5-point stencil `[-1, -1, 4, -1, -1]` on an
+/// `nx × ny` grid, size `nx·ny`.
+pub fn poisson_2d_rect(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let r = idx(i, j);
+            coo.push(r, r, 4.0);
+            if i + 1 < nx {
+                coo.push_sym(idx(i + 1, j), r, -1.0);
+            }
+            if j + 1 < ny {
+                coo.push_sym(idx(i, j + 1), r, -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2D Poisson matrix on a square `m × m` grid.
+pub fn poisson_2d(m: usize) -> CsrMatrix {
+    poisson_2d_rect(m, m)
+}
+
+/// 3D Poisson matrix: 7-point stencil (diagonal 6, neighbours −1) on an
+/// `nx × ny × nz` grid, size `nx·ny·nz`. This is the paper's Figure-1
+/// problem for `nx = ny = nz = 256`.
+pub fn poisson_3d_rect(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let r = idx(i, j, k);
+                coo.push(r, r, 6.0);
+                if i + 1 < nx {
+                    coo.push_sym(idx(i + 1, j, k), r, -1.0);
+                }
+                if j + 1 < ny {
+                    coo.push_sym(idx(i, j + 1, k), r, -1.0);
+                }
+                if k + 1 < nz {
+                    coo.push_sym(idx(i, j, k + 1), r, -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3D Poisson matrix on a cubic `m × m × m` grid.
+pub fn poisson_3d(m: usize) -> CsrMatrix {
+    poisson_3d_rect(m, m, m)
+}
+
+/// Exact extreme eigenvalues of the `m`-point-per-dimension Poisson matrix in
+/// `dim` dimensions: `λ = Σ_d (2 - 2cos(k_d π/(m+1)))`. Used by tests and as
+/// ground truth for the eigenvalue-estimation module.
+pub fn poisson_extreme_eigenvalues(m: usize, dim: usize) -> (f64, f64) {
+    let theta = std::f64::consts::PI / (m as f64 + 1.0);
+    let lo_1d = 2.0 - 2.0 * theta.cos();
+    let hi_1d = 2.0 - 2.0 * (theta * m as f64).cos();
+    (dim as f64 * lo_1d, dim as f64 * hi_1d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_1d_structure() {
+        let a = poisson_1d(5);
+        assert_eq!(a.nnz(), 13);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn poisson_2d_row_sums() {
+        let a = poisson_2d(4);
+        assert_eq!(a.nrows(), 16);
+        assert!(a.is_symmetric(0.0));
+        // Interior rows sum to 0; boundary rows are diagonally dominant.
+        let x = vec![1.0; 16];
+        let mut y = vec![0.0; 16];
+        a.spmv(&x, &mut y);
+        assert!(y.iter().all(|&v| v >= 0.0));
+        // The fully interior node (1,1) in a 4x4 grid has row sum 0.
+        assert_eq!(y[1 * 4 + 1], 0.0);
+    }
+
+    #[test]
+    fn poisson_3d_nnz_count() {
+        let m = 5;
+        let a = poisson_3d(m);
+        let n = m * m * m;
+        assert_eq!(a.nrows(), n);
+        // nnz = 7n - 2*(boundary face deficits) = n + 2*3*(m-1)*m^2 off-diags + n diag
+        let expected = n + 2 * 3 * (m - 1) * m * m;
+        assert_eq!(a.nnz(), expected);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn poisson_spd_via_gershgorin_and_smallest_eig() {
+        let (lo, hi) = poisson_extreme_eigenvalues(10, 3);
+        assert!(lo > 0.0);
+        assert!(hi < 12.0);
+        let a = poisson_3d(10);
+        let (glo, ghi) = a.gershgorin_bounds();
+        assert!(glo >= -1e-12);
+        assert!(ghi >= hi - 1e-9);
+    }
+
+    #[test]
+    fn rect_matches_square() {
+        let a = poisson_2d_rect(3, 3);
+        let b = poisson_2d(3);
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The Table-2 matrix suite.
+//!
+//! The paper's Table 2 uses the 40 SPD SuiteSparse matrices of size
+//! 100 000 – 2 000 000 for which standard PCG converges within 10 000
+//! iterations. Those files (up to 114M nonzeros) are not redistributable
+//! here, so this module generates a *difficulty-matched stand-in* for each:
+//! a banded SPD matrix with exactly prescribed spectrum (see
+//! [`super::random_spd`]), sized down ~40× so the whole Table-2 sweep runs
+//! on one machine, with the condition number calibrated so standard PCG's
+//! iteration count lands near the paper's (`paper_pcg_iters`).
+//!
+//! What this preserves (and what Table 2 measures) is the *relative*
+//! behaviour of the s-step solvers: whether the monomial basis collapses at
+//! `s = 10`, whether the Chebyshev basis restores PCG-like convergence, and
+//! which matrices defeat every s-step method. Those properties are driven by
+//! the spectrum, which the generator controls exactly. Real SuiteSparse
+//! `.mtx` files can be substituted via [`crate::io::read_matrix_market`].
+
+use crate::csr::CsrMatrix;
+use crate::generators::random_spd::{spd_with_spectrum, SpectrumShape};
+
+/// One matrix of the Table-2 suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// SuiteSparse name of the matrix this entry stands in for.
+    pub name: &'static str,
+    /// Row count of the original SuiteSparse matrix.
+    pub paper_n: usize,
+    /// Iterations standard PCG needed in the paper (Table 2, PCG column).
+    pub paper_pcg_iters: usize,
+    /// Row count of the generated stand-in.
+    pub n: usize,
+    /// Spectrum shape of the stand-in.
+    pub shape: SpectrumShape,
+    /// Givens sweeps; semi-bandwidth of the stand-in is `2·rounds` (controls nnz/row).
+    pub rounds: usize,
+    /// RNG seed (distinct per entry so the suite is deterministic).
+    pub seed: u64,
+}
+
+impl SuiteEntry {
+    /// Generates the matrix (deterministic for a given entry).
+    pub fn build(&self) -> CsrMatrix {
+        spd_with_spectrum(self.n, &self.shape, 1.0, self.rounds, self.seed)
+    }
+}
+
+/// Difficulty calibration: the paper's PCG iteration counts are reproduced
+/// by choosing the condition number of a *log-uniform* spectrum (uniform
+/// eigenvalue density per decade — the shape real FEM/structural matrices
+/// exhibit, and the one whose low-end density forces CG to do real work
+/// under the degree-3 Chebyshev preconditioner). An empirical sweep of this
+/// exact pipeline (`spcg-bench --bin calibrate`, n = 8000, tol 1e-9) gives
+/// the power law `iters ≈ 4.2·κ^0.43`; inverting:
+fn kappa_for_iters(iters: usize) -> f64 {
+    (iters as f64 / 4.2).powf(1.0 / 0.43).max(4.0)
+}
+
+fn scaled_n(paper_n: usize) -> usize {
+    // ~40× size reduction, capped so the full 40-matrix × 9-solver Table-2
+    // sweep finishes in minutes; difficulty (iteration count) is carried by
+    // the spectrum, not the size.
+    (paper_n / 40).clamp(3_000, 10_000)
+}
+
+/// Builds the 40-entry suite mirroring the paper's Table 2 row order.
+///
+/// Entries marked in the paper as defeating *all* s-step methods
+/// (pwtk, Fault_639, bone010, Serena, Flan_1565) use an [`SpectrumShape::Outlier`]
+/// spectrum — a detached tiny eigenvalue that finite-precision s-step bases
+/// cannot track — rather than a merely large uniform κ.
+pub fn suite_matrices() -> Vec<SuiteEntry> {
+    // (name, paper_n, paper_nnz/1e6, paper PCG iters, hard-for-all flag)
+    const ROWS: &[(&str, usize, f64, usize, bool)] = &[
+        ("2cubes_sphere", 101_492, 1.6, 22, false),
+        ("thermomech_TC", 102_158, 0.7, 11, false),
+        ("shipsec8", 114_919, 3.3, 1666, false),
+        ("ship_003", 121_728, 3.8, 1584, false),
+        ("cfd2", 123_440, 3.1, 1731, false),
+        ("boneS01", 127_224, 5.5, 787, false),
+        ("shipsec1", 140_874, 3.6, 909, false),
+        ("bmw7st_1", 141_347, 7.3, 7243, false),
+        ("Dubcova3", 146_689, 3.6, 73, false),
+        ("bmwcra_1", 148_770, 11.0, 2183, false),
+        ("G2_circuit", 150_102, 0.7, 506, false),
+        ("shipsec5", 179_860, 4.6, 751, false),
+        ("thermomech_dM", 204_316, 1.4, 11, false),
+        ("pwtk", 217_918, 12.0, 7377, true),
+        ("hood", 220_542, 9.9, 1515, false),
+        ("offshore", 259_789, 4.2, 178, false),
+        ("af_0_k101", 503_625, 18.0, 8891, false),
+        ("af_1_k101", 503_625, 18.0, 8359, false),
+        ("af_2_k101", 503_625, 18.0, 9956, false),
+        ("af_3_k101", 503_625, 18.0, 8076, false),
+        ("af_4_k101", 503_625, 18.0, 9881, false),
+        ("af_5_k101", 503_625, 18.0, 9467, false),
+        ("af_shell3", 504_855, 18.0, 993, false),
+        ("af_shell4", 504_855, 18.0, 993, false),
+        ("af_shell7", 504_855, 18.0, 991, false),
+        ("af_shell8", 504_855, 18.0, 991, false),
+        ("parabolic_fem", 525_825, 18.0, 540, false),
+        ("Fault_639", 638_802, 27.0, 5414, true),
+        ("apache2", 715_176, 4.8, 1554, false),
+        ("Emilia_923", 923_136, 40.0, 4564, false),
+        ("audikw_1", 943_695, 78.0, 2520, false),
+        ("ldoor", 952_203, 42.0, 2764, false),
+        ("bone010", 986_703, 48.0, 4308, true),
+        ("ecology2", 999_999, 5.0, 2345, false),
+        ("thermal2", 1_228_045, 8.6, 1674, false),
+        ("Serena", 1_391_349, 64.0, 570, true),
+        ("Geo_1438", 1_437_960, 60.0, 545, false),
+        ("Hook_1498", 1_498_023, 59.0, 1817, false),
+        ("Flan_1565", 1_564_794, 114.0, 4469, true),
+        ("G3_circuit", 1_585_478, 7.7, 628, false),
+    ];
+    ROWS.iter()
+        .enumerate()
+        .map(|(i, &(name, paper_n, paper_nnz_m, iters, hard_for_all))| {
+            let n = scaled_n(paper_n);
+            let kappa = kappa_for_iters(iters);
+            let shape = if hard_for_all {
+                // Detached outlier: PCG resolves it; s-step bases cannot.
+                SpectrumShape::Outlier { kappa: (kappa * 1e4).max(1e9), bulk_kappa: kappa }
+            } else if iters <= 30 {
+                // Very easy matrices: small geometric spectrum.
+                SpectrumShape::Geometric { kappa }
+            } else {
+                SpectrumShape::LogUniform { kappa, jitter: 0.1 }
+            };
+            // nnz/row of the stand-in ≈ 4·rounds+1 (semi-bandwidth 2·rounds),
+            // matched to the original's nnz/row.
+            let nnz_per_row = (paper_nnz_m * 1e6 / paper_n as f64).round() as usize;
+            let rounds = (nnz_per_row / 4).clamp(1, 6);
+            SuiteEntry { name, paper_n, paper_pcg_iters: iters, n, shape, rounds, seed: 1000 + i as u64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_forty_entries() {
+        assert_eq!(suite_matrices().len(), 40);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite_matrices();
+        let mut names: Vec<_> = s.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 40);
+    }
+
+    #[test]
+    fn sizes_are_scaled_and_bounded() {
+        for e in suite_matrices() {
+            assert!(e.n >= 3_000 && e.n <= 10_000, "{}: n = {}", e.name, e.n);
+            assert!(e.n <= e.paper_n);
+        }
+    }
+
+    #[test]
+    fn easy_matrix_builds_spd() {
+        let suite = suite_matrices();
+        let tc = suite.iter().find(|e| e.name == "thermomech_TC").unwrap();
+        let a = tc.build();
+        assert_eq!(a.nrows(), tc.n);
+        assert!(a.is_symmetric(1e-10));
+        let (lo, _) = a.gershgorin_bounds();
+        // Gershgorin may dip below zero after rotations, but not far below
+        // -λmax; the real SPD guarantee is by construction (similarity).
+        assert!(lo > -1.0);
+    }
+
+    #[test]
+    fn hard_for_all_entries_use_outlier_spectra() {
+        for e in suite_matrices() {
+            let is_outlier = matches!(e.shape, SpectrumShape::Outlier { .. });
+            let should = ["pwtk", "Fault_639", "bone010", "Serena", "Flan_1565"].contains(&e.name);
+            assert_eq!(is_outlier, should, "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn kappa_monotone_in_iters() {
+        assert!(kappa_for_iters(100) < kappa_for_iters(1000));
+        assert!(kappa_for_iters(10) >= 4.0);
+    }
+}

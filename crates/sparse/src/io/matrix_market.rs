@@ -1,0 +1,226 @@
+//! Matrix Market (`.mtx`) coordinate-format reader and writer.
+//!
+//! Supports the subset needed for SuiteSparse SPD matrices:
+//! `%%MatrixMarket matrix coordinate real {general|symmetric}` and
+//! `coordinate pattern` (pattern entries become 1.0). Symmetric files store
+//! the lower triangle; the reader mirrors off-diagonal entries.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// I/O failure reading the file.
+    Io(std::io::Error),
+    /// Structural problem with the file contents.
+    Parse { line: usize, msg: String },
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "matrix market io error: {e}"),
+            MmError::Parse { line, msg } => write!(f, "matrix market parse error (line {line}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> MmError {
+    MmError::Parse { line, msg: msg.into() }
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<CsrMatrix, MmError> {
+    let text = fs::read_to_string(path)?;
+    read_matrix_market_str(&text)
+}
+
+/// Parses Matrix Market content from a string.
+pub fn read_matrix_market_str(text: &str) -> Result<CsrMatrix, MmError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| parse_err(1, "empty file"))?;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || !fields[0].starts_with("%%matrixmarket") {
+        return Err(parse_err(1, "missing %%MatrixMarket header"));
+    }
+    if fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(parse_err(1, format!("unsupported object/format: {} {}", fields[1], fields[2])));
+    }
+    let pattern = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(1, format!("unsupported field type: {other}"))),
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(1, format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for (i, l) in lines.by_ref() {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((i + 1, t.to_string()));
+        break;
+    }
+    let (size_lineno, size_text) = size_line.ok_or_else(|| parse_err(0, "missing size line"))?;
+    let dims: Vec<usize> = size_text
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(size_lineno, "bad size entry")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(size_lineno, "size line must have 3 entries"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for (i, l) in lines {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let lineno = i + 1;
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing row index"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad row index"))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing column index"))?
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad column index"))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err(lineno, "missing value"))?
+                .parse()
+                .map_err(|_| parse_err(lineno, "bad value"))?
+        };
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(lineno, format!("index ({r},{c}) out of bounds")));
+        }
+        // Matrix Market is 1-based.
+        if symmetric {
+            coo.push_sym(r - 1, c - 1, v);
+        } else {
+            coo.push(r - 1, c - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(0, format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Writes a CSR matrix as `coordinate real general` (or `symmetric` when the
+/// matrix is symmetric, storing only the lower triangle).
+pub fn write_matrix_market(a: &CsrMatrix, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let symmetric = a.is_symmetric(0.0);
+    let mut out = String::new();
+    out.push_str("%%MatrixMarket matrix coordinate real ");
+    out.push_str(if symmetric { "symmetric\n" } else { "general\n" });
+    out.push_str("% written by spcg-sparse\n");
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    for r in 0..a.nrows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            if symmetric && c > r {
+                continue;
+            }
+            entries.push((r + 1, c + 1, v));
+        }
+    }
+    out.push_str(&format!("{} {} {}\n", a.nrows(), a.ncols(), entries.len()));
+    for (r, c, v) in entries {
+        out.push_str(&format!("{r} {c} {v:.17e}\n"));
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n2 2 3\n1 1 2.0\n2 2 3.0\n1 2 -1.0\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn parses_symmetric_and_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 4\n1 1 4.0\n2 1 -1.0\n2 2 4.0\n3 3 4.0\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(0.0));
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn parses_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n";
+        let a = read_matrix_market_str(text).unwrap();
+        assert_eq!(a.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market_str("garbage\n1 1 0\n").is_err());
+        assert!(read_matrix_market_str("%%MatrixMarket matrix array real general\n1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(matches!(read_matrix_market_str(text), Err(MmError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_str(text).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let a = crate::generators::poisson::poisson_2d(5);
+        let dir = std::env::temp_dir();
+        let path = dir.join("spcg_mm_roundtrip_test.mtx");
+        write_matrix_market(&a, &path).unwrap();
+        let b = read_matrix_market(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..a.nrows() {
+            for j in 0..a.ncols() {
+                assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-15);
+            }
+        }
+    }
+}

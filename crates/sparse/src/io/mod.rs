@@ -1,0 +1,5 @@
+//! Matrix file I/O.
+
+mod matrix_market;
+
+pub use matrix_market::{read_matrix_market, read_matrix_market_str, write_matrix_market, MmError};

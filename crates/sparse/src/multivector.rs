@@ -1,0 +1,331 @@
+//! Column-major dense block of vectors (an `n × k` "multivector").
+//!
+//! The s-step methods replace standard PCG's BLAS1 vector operations by
+//! operations on blocks of `O(s)` vectors of length `n`: Gram products
+//! (`Uᵀ·S`, one global reduction), blocked search-direction updates
+//! (`P ← U + P·B`, BLAS3), and basis-times-small-vector products (BLAS2).
+//! [`MultiVector`] provides these kernels with row-blocked loops so that the
+//! large dimension streams through cache once per operation.
+
+use crate::blas;
+use crate::dense::DenseMat;
+
+/// Row-block size for the blocked kernels. 1024 doubles = 8 KiB per column
+/// slice, so a handful of columns fit in L1 alongside the output block.
+const ROW_BLOCK: usize = 1024;
+
+/// A dense `n × k` matrix stored column-major, viewed as `k` vectors of
+/// length `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiVector {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVector {
+    /// The `n × k` zero multivector.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        MultiVector { n, k, data: vec![0.0; n * k] }
+    }
+
+    /// Builds from `k` column vectors.
+    ///
+    /// # Panics
+    /// Panics if the columns have differing lengths.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Self {
+        let k = cols.len();
+        let n = cols.first().map_or(0, Vec::len);
+        let mut mv = MultiVector::zeros(n, k);
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), n, "from_columns: column {j} has wrong length");
+            mv.col_mut(j).copy_from_slice(c);
+        }
+        mv
+    }
+
+    /// Vector length (number of rows).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.k);
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Column `j` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.k);
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Two distinct columns, the second mutable — used by the matrix powers
+    /// kernel which writes column `j+1` from column `j`.
+    pub fn col_pair_mut(&mut self, read: usize, write: usize) -> (&[f64], &mut [f64]) {
+        assert_ne!(read, write, "col_pair_mut: indices must differ");
+        assert!(read < self.k && write < self.k, "col_pair_mut: index out of bounds");
+        let n = self.n;
+        if read < write {
+            let (a, b) = self.data.split_at_mut(write * n);
+            (&a[read * n..read * n + n], &mut b[..n])
+        } else {
+            let (a, b) = self.data.split_at_mut(read * n);
+            (&b[..n], &mut a[write * n..write * n + n])
+        }
+    }
+
+    /// Sets every entry to zero.
+    pub fn fill_zero(&mut self) {
+        blas::zero(&mut self.data);
+    }
+
+    /// Copies all columns from `other` (same shape).
+    pub fn copy_from(&mut self, other: &MultiVector) {
+        assert_eq!(self.n, other.n, "copy_from: row mismatch");
+        assert_eq!(self.k, other.k, "copy_from: col mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Gram product `selfᵀ · other` (`k_self × k_other`).
+    ///
+    /// This is the local part of the single global reduction of the s-step
+    /// methods: each rank computes the Gram block of its rows and the blocks
+    /// are summed across ranks.
+    pub fn gram(&self, other: &MultiVector) -> DenseMat {
+        assert_eq!(self.n, other.n, "gram: row mismatch");
+        let (ka, kb) = (self.k, other.k);
+        let mut out = DenseMat::zeros(ka, kb);
+        let mut row = 0;
+        while row < self.n {
+            let hi = (row + ROW_BLOCK).min(self.n);
+            for i in 0..ka {
+                let a = &self.col(i)[row..hi];
+                for j in 0..kb {
+                    let b = &other.col(j)[row..hi];
+                    out[(i, j)] += blas::dot(a, b);
+                }
+            }
+            row = hi;
+        }
+        out
+    }
+
+    /// Gram product against a single vector: `selfᵀ · x` (length `k`).
+    pub fn gram_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "gram_vec: length mismatch");
+        (0..self.k).map(|j| blas::dot(self.col(j), x)).collect()
+    }
+
+    /// BLAS2 product `out ← self · coeffs` (`n`-vector from `k` coefficients).
+    pub fn gemv(&self, coeffs: &[f64], out: &mut [f64]) {
+        assert_eq!(coeffs.len(), self.k, "gemv: coefficient length mismatch");
+        assert_eq!(out.len(), self.n, "gemv: output length mismatch");
+        blas::zero(out);
+        self.gemv_acc(1.0, coeffs, out);
+    }
+
+    /// `out ← out + a · self · coeffs`.
+    pub fn gemv_acc(&self, a: f64, coeffs: &[f64], out: &mut [f64]) {
+        assert_eq!(coeffs.len(), self.k, "gemv_acc: coefficient length mismatch");
+        assert_eq!(out.len(), self.n, "gemv_acc: output length mismatch");
+        let mut row = 0;
+        while row < self.n {
+            let hi = (row + ROW_BLOCK).min(self.n);
+            for j in 0..self.k {
+                let c = a * coeffs[j];
+                if c == 0.0 {
+                    continue;
+                }
+                let col = &self.col(j)[row..hi];
+                let o = &mut out[row..hi];
+                for (oi, &ci) in o.iter_mut().zip(col) {
+                    *oi += c * ci;
+                }
+            }
+            row = hi;
+        }
+    }
+
+    /// BLAS3 product `out ← self · b` where `b` is `k_self × k_out`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn gemm_small(&self, b: &DenseMat, out: &mut MultiVector) {
+        assert_eq!(b.nrows(), self.k, "gemm_small: inner dimension mismatch");
+        assert_eq!(out.n, self.n, "gemm_small: output rows mismatch");
+        assert_eq!(out.k, b.ncols(), "gemm_small: output cols mismatch");
+        out.fill_zero();
+        self.gemm_small_acc(b, out);
+    }
+
+    /// `out ← out + self · b`.
+    pub fn gemm_small_acc(&self, b: &DenseMat, out: &mut MultiVector) {
+        assert_eq!(b.nrows(), self.k, "gemm_small_acc: inner dimension mismatch");
+        assert_eq!(out.n, self.n, "gemm_small_acc: output rows mismatch");
+        assert_eq!(out.k, b.ncols(), "gemm_small_acc: output cols mismatch");
+        let n = self.n;
+        let mut row = 0;
+        while row < n {
+            let hi = (row + ROW_BLOCK).min(n);
+            for j in 0..b.ncols() {
+                // Output column j accumulates Σ_l self_l · b[l][j] over this
+                // row block. We slice the output column once per l to satisfy
+                // the borrow checker without copying.
+                for l in 0..self.k {
+                    let c = b[(l, j)];
+                    if c == 0.0 {
+                        continue;
+                    }
+                    let src_ptr = l * n + row;
+                    let dst_ptr = j * n + row;
+                    for i in 0..hi - row {
+                        out.data[dst_ptr + i] += c * self.data[src_ptr + i];
+                    }
+                }
+            }
+            row = hi;
+        }
+    }
+
+    /// Blocked search-direction update `self ← u + self · b` (Alg. 5 line 10
+    /// and Alg. 2 line 9). Uses `scratch` (same shape) as the output buffer
+    /// and swaps, so no allocation happens per iteration.
+    pub fn blocked_update(&mut self, u: &MultiVector, b: &DenseMat, scratch: &mut MultiVector) {
+        assert_eq!(u.n, self.n, "blocked_update: row mismatch");
+        assert_eq!(u.k, b.ncols(), "blocked_update: u/b mismatch");
+        assert_eq!(b.nrows(), self.k, "blocked_update: self/b mismatch");
+        assert_eq!(scratch.n, self.n, "blocked_update: scratch rows mismatch");
+        assert_eq!(scratch.k, u.k, "blocked_update: scratch cols mismatch");
+        scratch.copy_from(u);
+        self.gemm_small_acc(b, scratch);
+        std::mem::swap(&mut self.data, &mut scratch.data);
+        std::mem::swap(&mut self.k, &mut scratch.k);
+    }
+
+    /// A view of the first `k` columns (cheap clone of the header, shared
+    /// data copied). Used to form `R^(k)` from `S^(k)`.
+    pub fn head_columns(&self, k: usize) -> MultiVector {
+        assert!(k <= self.k, "head_columns: too many columns requested");
+        MultiVector { n: self.n, k, data: self.data[..self.n * k].to_vec() }
+    }
+
+    /// Maximum absolute entry across all columns.
+    pub fn norm_max(&self) -> f64 {
+        blas::norm_inf(&self.data)
+    }
+
+    /// Returns `true` if any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        blas::has_non_finite(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(cols: &[&[f64]]) -> MultiVector {
+        MultiVector::from_columns(&cols.iter().map(|c| c.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn gram_matches_naive() {
+        let a = mv(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, 0.0]]);
+        let b = mv(&[&[1.0, 1.0, 1.0], &[2.0, 0.0, -1.0], &[0.0, 0.0, 1.0]]);
+        let g = a.gram(&b);
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g.ncols(), 3);
+        assert_eq!(g[(0, 0)], 6.0);
+        assert_eq!(g[(0, 1)], -1.0);
+        assert_eq!(g[(0, 2)], 3.0);
+        assert_eq!(g[(1, 0)], 1.0);
+        assert_eq!(g[(1, 1)], 0.0);
+        assert_eq!(g[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn gram_blocked_matches_unblocked_long() {
+        // Length > ROW_BLOCK so the blocking path is exercised.
+        let n = ROW_BLOCK * 2 + 17;
+        let c0: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let c1: Vec<f64> = (0..n).map(|i| ((i * 3 % 5) as f64) - 2.0).collect();
+        let a = MultiVector::from_columns(&[c0.clone(), c1.clone()]);
+        let g = a.gram(&a);
+        assert!((g[(0, 1)] - crate::blas::dot(&c0, &c1)).abs() < 1e-9);
+        assert!((g[(0, 1)] - g[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = mv(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let mut out = vec![0.0; 2];
+        a.gemv(&[2.0, 3.0, -1.0], &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn gemm_small_matches_column_combination() {
+        let a = mv(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMat::from_row_major(2, 2, vec![1.0, 0.0, 1.0, 1.0]);
+        let mut out = MultiVector::zeros(2, 2);
+        a.gemm_small(&b, &mut out);
+        // out col0 = col0 + col1, out col1 = col1.
+        assert_eq!(out.col(0), &[4.0, 6.0]);
+        assert_eq!(out.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn blocked_update_is_u_plus_pb() {
+        let mut p = mv(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let u = mv(&[&[10.0, 10.0], &[20.0, 20.0]]);
+        let b = DenseMat::from_row_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut scratch = MultiVector::zeros(2, 2);
+        p.blocked_update(&u, &b, &mut scratch);
+        // col0 = u0 + 1*p0 + 3*p1 = [10,10] + [1,0] + [0,3] = [11,13]
+        assert_eq!(p.col(0), &[11.0, 13.0]);
+        // col1 = u1 + 2*p0 + 4*p1 = [20,20] + [2,0] + [0,4] = [22,24]
+        assert_eq!(p.col(1), &[22.0, 24.0]);
+    }
+
+    #[test]
+    fn col_pair_mut_both_orders() {
+        let mut a = mv(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        {
+            let (r, w) = a.col_pair_mut(0, 1);
+            w[0] = r[0] * 10.0;
+        }
+        assert_eq!(a.col(1)[0], 10.0);
+        {
+            let (r, w) = a.col_pair_mut(1, 0);
+            w[1] = r[1] * 2.0;
+        }
+        assert_eq!(a.col(0)[1], 8.0);
+    }
+
+    #[test]
+    fn head_columns_truncates() {
+        let a = mv(&[&[1.0], &[2.0], &[3.0]]);
+        let h = a.head_columns(2);
+        assert_eq!(h.k(), 2);
+        assert_eq!(h.col(1), &[2.0]);
+    }
+
+    #[test]
+    fn gram_vec_matches_gram() {
+        let a = mv(&[&[1.0, 2.0], &[0.5, -1.0]]);
+        let x = vec![2.0, 2.0];
+        let gv = a.gram_vec(&x);
+        assert_eq!(gv, vec![6.0, -1.0]);
+    }
+}

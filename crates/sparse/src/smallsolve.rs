@@ -1,0 +1,341 @@
+//! Factorizations and solves for the small (`O(s) × O(s)`) "scalar work"
+//! systems of the s-step methods (eq. 12 and Alg. 6 lines 4 and 7).
+//!
+//! The coefficient matrices `W^(k)` are symmetric positive definite in exact
+//! arithmetic but become indefinite or singular when the s-step basis loses
+//! linear independence (the monomial-basis failure mode the paper studies),
+//! so the solvers here report failure through [`SolveError`] instead of
+//! panicking, letting the iterative solvers surface a diagnosed breakdown.
+
+use crate::dense::DenseMat;
+
+/// Why a small solve failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// Cholesky hit a non-positive pivot: the matrix is not numerically SPD.
+    NotPositiveDefinite { pivot_index: usize },
+    /// LU hit a zero pivot column: the matrix is numerically singular.
+    Singular { pivot_index: usize },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotPositiveDefinite { pivot_index } => {
+                write!(f, "matrix is not positive definite (pivot {pivot_index})")
+            }
+            SolveError::Singular { pivot_index } => {
+                write!(f, "matrix is numerically singular (pivot {pivot_index})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Cholesky factorization `A = L·Lᵀ` of a small SPD matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper part of the storage is unused).
+    l: DenseMat,
+}
+
+impl Cholesky {
+    /// Factors `a`; fails if a pivot is not strictly positive.
+    pub fn factor(a: &DenseMat) -> Result<Self, SolveError> {
+        assert_eq!(a.nrows(), a.ncols(), "Cholesky: matrix must be square");
+        let n = a.nrows();
+        let mut l = DenseMat::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(SolveError::NotPositiveDefinite { pivot_index: j });
+            }
+            let djj = d.sqrt();
+            l[(j, j)] = djj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / djj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// Solves `A·x = b` in place.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Cholesky::solve: rhs length mismatch");
+        // Forward substitution L·y = b.
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * b[k];
+            }
+            b[i] = v / self.l[(i, i)];
+        }
+        // Back substitution Lᵀ·x = y.
+        for i in (0..n).rev() {
+            let mut v = b[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * b[k];
+            }
+            b[i] = v / self.l[(i, i)];
+        }
+    }
+
+    /// Solves `A·x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_mat(&self, b: &DenseMat) -> DenseMat {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "Cholesky::solve_mat: rhs rows mismatch");
+        let mut out = DenseMat::zeros(n, b.ncols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.ncols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            self.solve_in_place(&mut col);
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        out
+    }
+
+    /// Determinant of `A` (product of squared diagonal entries of `L`).
+    pub fn det(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.dim() {
+            d *= self.l[(i, i)] * self.l[(i, i)];
+        }
+        d
+    }
+
+    /// Crude 2-norm condition estimate from the extreme Cholesky pivots:
+    /// `cond(A) ≈ (max_i L_ii / min_i L_ii)²`. Cheap and adequate for the
+    /// adaptive-s heuristic, which only needs an order of magnitude.
+    pub fn cond_estimate(&self) -> f64 {
+        let n = self.dim();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..n {
+            lo = lo.min(self.l[(i, i)]);
+            hi = hi.max(self.l[(i, i)]);
+        }
+        let r = hi / lo;
+        r * r
+    }
+}
+
+/// LU factorization with partial pivoting, `P·A = L·U`, for small square
+/// systems that may be indefinite (e.g. the moment matrices of sPCG_mon).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: DenseMat,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factors `a`; fails if a pivot column is entirely (near-)zero.
+    pub fn factor(a: &DenseMat) -> Result<Self, SolveError> {
+        assert_eq!(a.nrows(), a.ncols(), "LU: matrix must be square");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for j in 0..n {
+            // Partial pivoting: pick the largest entry in column j.
+            let mut piv = j;
+            let mut best = lu[(j, j)].abs();
+            for i in (j + 1)..n {
+                let v = lu[(i, j)].abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if !(best > 0.0) || !best.is_finite() {
+                return Err(SolveError::Singular { pivot_index: j });
+            }
+            if piv != j {
+                perm.swap(j, piv);
+                for c in 0..n {
+                    let tmp = lu[(j, c)];
+                    lu[(j, c)] = lu[(piv, c)];
+                    lu[(piv, c)] = tmp;
+                }
+            }
+            let d = lu[(j, j)];
+            for i in (j + 1)..n {
+                let m = lu[(i, j)] / d;
+                lu[(i, j)] = m;
+                for c in (j + 1)..n {
+                    let v = lu[(j, c)];
+                    lu[(i, c)] -= m * v;
+                }
+            }
+        }
+        Ok(Lu { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Lu::solve: rhs length mismatch");
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 0..n {
+            for k in 0..i {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+        }
+        // Back substitution with upper triangle.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A·X = B` column by column.
+    pub fn solve_mat(&self, b: &DenseMat) -> DenseMat {
+        let n = self.dim();
+        assert_eq!(b.nrows(), n, "Lu::solve_mat: rhs rows mismatch");
+        let mut out = DenseMat::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j));
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: solve a small SPD system, falling back to pivoted LU when the
+/// matrix has lost positive definiteness to round-off. Returns `Err` only if
+/// both factorizations fail, which the iterative solvers treat as breakdown.
+pub fn solve_spd_with_fallback(a: &DenseMat, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    match Cholesky::factor(a) {
+        Ok(ch) => Ok(ch.solve(b)),
+        Err(_) => Lu::factor(a).map(|lu| lu.solve(b)),
+    }
+}
+
+/// Matrix version of [`solve_spd_with_fallback`].
+pub fn solve_spd_mat_with_fallback(a: &DenseMat, b: &DenseMat) -> Result<DenseMat, SolveError> {
+    match Cholesky::factor(a) {
+        Ok(ch) => Ok(ch.solve_mat(b)),
+        Err(_) => Lu::factor(a).map(|lu| lu.solve_mat(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMat {
+        DenseMat::from_row_major(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0])
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let ax = a.matvec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMat::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(SolveError::NotPositiveDefinite { pivot_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn cholesky_det_and_cond() {
+        let a = DenseMat::from_row_major(2, 2, vec![4.0, 0.0, 0.0, 1.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.det() - 4.0).abs() < 1e-14);
+        assert!((ch.cond_estimate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_roundtrip_nonsymmetric() {
+        let a = DenseMat::from_row_major(3, 3, vec![0.0, 2.0, 1.0, 1.0, 1.0, 0.0, 3.0, 0.0, 2.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let b = vec![3.0, 1.0, 5.0];
+        let x = lu.solve(&b);
+        let ax = a.matvec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "residual too large: {ax:?}");
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = DenseMat::from_row_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(matches!(Lu::factor(&a), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_needs_pivoting() {
+        // Zero leading pivot requires the row swap.
+        let a = DenseMat::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = DenseMat::from_row_major(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let x = ch.solve_mat(&b);
+        let ax = a.matmul(&x);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((ax[(i, j)] - b[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_uses_lu_for_indefinite() {
+        // Symmetric indefinite: Cholesky fails, LU succeeds.
+        let a = DenseMat::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve_spd_with_fallback(&a, &[1.0, 2.0]).unwrap();
+        assert_eq!(x, vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # spcg — s-step preconditioned conjugate gradient methods
+//!
+//! A from-scratch Rust implementation of the solver family studied in
+//! *"Numerical Properties and Scalability of s-Step Preconditioned
+//! Conjugate Gradient Methods"* (Mayer & Gansterer, SC25 ScalAH): standard
+//! PCG, the monomial-basis s-step PCG of Chronopoulos/Gear, the paper's
+//! generalized **sPCG** with arbitrary polynomial bases, Toledo's CA-PCG
+//! and Hoemmen's CA-PCG3 — together with every substrate they need (sparse
+//! kernels, preconditioners, basis machinery, a distributed-execution
+//! stand-in, and a performance model).
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`sparse`] — CSR matrices, multivectors, generators, Matrix Market I/O;
+//! * [`dist`] — operation counters and the threaded rank executor;
+//! * [`precond`] — Jacobi, Chebyshev, block-Jacobi, SSOR;
+//! * [`basis`] — polynomial bases, matrix powers kernel, Ritz/Leja shifts;
+//! * [`solvers`] — the six solvers plus rank-parallel variants;
+//! * [`perf`] — Table-1 formulas and the α-β cluster model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spcg::precond::Jacobi;
+//! use spcg::solvers::{pcg, spcg as spcg_solve, Problem, SolveOptions};
+//! use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
+//!
+//! let a = poisson_2d(32);
+//! let b = paper_rhs(&a);
+//! let m = Jacobi::new(&a);
+//! let problem = Problem::new(&a, &m, &b);
+//! let opts = SolveOptions::default().with_tol(1e-8);
+//!
+//! // Standard PCG: two global reductions per iteration.
+//! let reference = pcg(&problem, &opts);
+//! assert!(reference.converged());
+//!
+//! // sPCG with a Chebyshev basis: one reduction per s steps.
+//! let basis = spcg::solvers::chebyshev_basis(&problem, 20, 0.05);
+//! let fast = spcg_solve(&problem, 5, &basis, &opts);
+//! assert!(fast.converged());
+//! assert!(fast.counters.global_collectives < reference.counters.global_collectives / 5);
+//! ```
+
+pub use spcg_basis as basis;
+pub use spcg_dist as dist;
+pub use spcg_perf as perf;
+pub use spcg_precond as precond;
+pub use spcg_solvers as solvers;
+pub use spcg_sparse as sparse;
