@@ -20,7 +20,11 @@ use spcg_sparse::DenseMat;
 /// Panics if `i < 2` or the parameters cover fewer than `i−1` polynomials.
 pub fn b_small(params: &BasisParams, i: usize) -> DenseMat {
     assert!(i >= 2, "b_small: need i >= 2");
-    assert!(params.degree() >= i - 1, "b_small: params degree {} too small for i = {i}", params.degree());
+    assert!(
+        params.degree() >= i - 1,
+        "b_small: params degree {} too small for i = {i}",
+        params.degree()
+    );
     let mut b = DenseMat::zeros(i, i - 1);
     for j in 0..i - 1 {
         b[(j, j)] = params.theta[j];
@@ -79,9 +83,16 @@ pub fn apply_b_to_columns(
     out: &mut spcg_sparse::MultiVector,
 ) -> u64 {
     let k = out.k();
-    assert_eq!(v.k(), k + 1, "apply_b_to_columns: v must have one more column than out");
+    assert_eq!(
+        v.k(),
+        k + 1,
+        "apply_b_to_columns: v must have one more column than out"
+    );
     assert_eq!(v.n(), out.n(), "apply_b_to_columns: row mismatch");
-    assert!(params.degree() >= k, "apply_b_to_columns: params degree too small");
+    assert!(
+        params.degree() >= k,
+        "apply_b_to_columns: params degree too small"
+    );
     let n = v.n();
     let mut flops = 0u64;
     for j in 0..k {
@@ -231,8 +242,9 @@ mod tests {
         use spcg_sparse::MultiVector;
         let params = BasisParams::chebyshev(0.3, 2.7, 4);
         let n = 5;
-        let cols: Vec<Vec<f64>> =
-            (0..5).map(|j| (0..n).map(|i| ((i * 5 + j * 3) % 7) as f64 - 3.0).collect()).collect();
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..n).map(|i| ((i * 5 + j * 3) % 7) as f64 - 3.0).collect())
+            .collect();
         let v = MultiVector::from_columns(&cols);
         let mut out = MultiVector::zeros(n, 4);
         let flops = apply_b_to_columns(&v, &params, &mut out);

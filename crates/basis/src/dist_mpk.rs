@@ -1,0 +1,322 @@
+//! Distributed Matrix Powers Kernel over a depth-s ghost zone.
+//!
+//! The serial [`crate::Mpk`] builds the basis matrices with one SpMV per
+//! column. Distributed naively, that is one neighbour exchange per column —
+//! s exchanges per s-step block. [`DistMpk`] instead runs the whole
+//! recurrence from a **single** exchange: the caller gathers the seed
+//! vector on the depth-s extended index set of a [`GhostZone`] (the "PA1"
+//! scheme), and level `j` of the recurrence is computed redundantly on the
+//! shrinking reach prefix `reach(s − j − 1)`, so the final level lands
+//! exactly on the owned rows with no further communication.
+//!
+//! This only works when the preconditioner is *pointwise* (`M⁻¹ = diag(w)`,
+//! i.e. Jacobi or identity): applying it on ghost rows needs nothing but
+//! the ghosted weight vector. Coupled preconditioners force the engine to a
+//! replicated fallback instead (see `spcg-solvers`).
+//!
+//! Counters are charged **identically** to the serial kernel (global SpMV
+//! FLOPs, global preconditioner FLOPs, global basis-correction BLAS1), so a
+//! ranked run's counter set differs from the serial one only in the halo
+//! fields the engine adds. The redundant ghost-row arithmetic is the price
+//! of the avoided latency and is deliberately not double-counted.
+
+use crate::poly::BasisParams;
+use spcg_dist::Counters;
+use spcg_sparse::{CsrMatrix, GhostZone, MultiVector};
+
+/// Matrix powers kernel over one rank's depth-s ghost zone.
+pub struct DistMpk {
+    gz: GhostZone,
+    /// Pointwise preconditioner weights on the extended index set.
+    weights_ext: Vec<f64>,
+    /// Global-size counter charges, mirroring the serial kernel.
+    spmv_flops: u64,
+    m_flops: u64,
+    n_global: u64,
+    /// Scratch: extended columns of V and M⁻¹V.
+    v_ext: Vec<Vec<f64>>,
+    mv_ext: Vec<Vec<f64>>,
+}
+
+impl DistMpk {
+    /// Builds the kernel for rows `[lo, hi)` of `a` at ghost depth `depth`,
+    /// with the global pointwise weight vector `weights` (`M⁻¹ = diag(w)`)
+    /// charged at `m_flops` FLOPs per (global) application.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or `depth == 0`.
+    pub fn new(
+        a: &CsrMatrix,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        weights: &[f64],
+        m_flops: u64,
+    ) -> Self {
+        assert_eq!(weights.len(), a.nrows(), "DistMpk: weight length mismatch");
+        let gz = GhostZone::new(a, lo, hi, depth);
+        let weights_ext = gz.extend_from_global(weights);
+        DistMpk {
+            weights_ext,
+            spmv_flops: a.spmv_flops(),
+            m_flops,
+            n_global: a.nrows() as u64,
+            v_ext: Vec::new(),
+            mv_ext: Vec::new(),
+            gz,
+        }
+    }
+
+    /// The underlying ghost-zone plan (the engine uses it to gather ghosts).
+    pub fn ghost(&self) -> &GhostZone {
+        &self.gz
+    }
+
+    /// Fills the **local** basis blocks `v` (`nl × v_cols`) and `mv`
+    /// (`nl × mv_cols`) from the seed gathered on the extended index set.
+    ///
+    /// * `w_ext` (and `known_mw_ext` if present) must hold the seed on all
+    ///   `ext_len()` extended indices — owned rows first, then ghosts.
+    /// * Supports `v_cols − 1 ≤ depth` levels; column counts follow the
+    ///   serial kernel's contract (`v_cols − 1 ≤ mv_cols ≤ v_cols`).
+    ///
+    /// Owned-row results are bitwise identical to [`crate::Mpk::run`]: the
+    /// remapped operator preserves per-row entry order and the elementwise
+    /// recurrence passes are the same code shape.
+    ///
+    /// # Panics
+    /// Panics on dimension or parameter-degree mismatches.
+    pub fn run(
+        &mut self,
+        w_ext: &[f64],
+        known_mw_ext: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    ) {
+        let nl = self.gz.n_owned();
+        let ext_len = self.gz.ext_len();
+        let v_cols = v.k();
+        let mv_cols = mv.k();
+        let s_levels = v_cols - 1;
+        assert!(v_cols >= 1, "DistMpk::run: need at least one V column");
+        assert!(
+            mv_cols + 1 >= v_cols && mv_cols <= v_cols,
+            "DistMpk::run: need v_cols-1 <= mv_cols <= v_cols (got {v_cols}, {mv_cols})"
+        );
+        assert!(
+            s_levels <= self.gz.depth(),
+            "DistMpk::run: {s_levels} levels exceed ghost depth {}",
+            self.gz.depth()
+        );
+        assert_eq!(v.n(), nl, "DistMpk::run: v row mismatch");
+        assert_eq!(mv.n(), nl, "DistMpk::run: mv row mismatch");
+        assert_eq!(w_ext.len(), ext_len, "DistMpk::run: seed length mismatch");
+        assert!(
+            params.degree() + 1 >= v_cols,
+            "DistMpk::run: basis degree {} too small for {v_cols} columns",
+            params.degree()
+        );
+
+        self.v_ext.resize(v_cols, Vec::new());
+        self.mv_ext.resize(mv_cols.max(1), Vec::new());
+        for c in self.v_ext.iter_mut().chain(self.mv_ext.iter_mut()) {
+            c.resize(ext_len, 0.0);
+        }
+
+        self.v_ext[0].copy_from_slice(w_ext);
+        if mv_cols > 0 {
+            match known_mw_ext {
+                Some(mw) => {
+                    assert_eq!(mw.len(), ext_len, "DistMpk::run: known_mw length mismatch");
+                    self.mv_ext[0].copy_from_slice(mw);
+                }
+                None => {
+                    for i in 0..ext_len {
+                        self.mv_ext[0][i] = self.weights_ext[i] * w_ext[i];
+                    }
+                    counters.record_precond(self.m_flops);
+                }
+            }
+        }
+
+        for j in 0..s_levels {
+            // Level j+1 is needed (and computable) on reach(s_levels−j−1);
+            // its operands are valid on the strictly larger reach set.
+            let rows = self.gz.reach_len(s_levels - j - 1);
+            let (lower, upper) = self.v_ext.split_at_mut(j + 1);
+            // t is the storage of the new column v_{j+1}, built in place.
+            let t = &mut upper[0];
+            self.gz.spmv_prefix(rows, &self.mv_ext[j], t);
+            counters.record_spmv(self.spmv_flops);
+            let theta = params.theta[j];
+            let inv_gamma = 1.0 / params.gamma[j];
+            if theta != 0.0 {
+                let vj = &lower[j];
+                for i in 0..rows {
+                    t[i] -= theta * vj[i];
+                }
+            }
+            if j >= 1 && params.mu[j - 1] != 0.0 {
+                let mu = params.mu[j - 1];
+                let vjm1 = &lower[j - 1];
+                for i in 0..rows {
+                    t[i] -= mu * vjm1[i];
+                }
+            }
+            if inv_gamma != 1.0 {
+                for ti in t[..rows].iter_mut() {
+                    *ti *= inv_gamma;
+                }
+            }
+            counters.blas1_flops += params.extra_flops_for_column(j + 1, self.n_global);
+            if j + 1 < mv_cols {
+                for i in 0..rows {
+                    self.mv_ext[j + 1][i] = self.weights_ext[i] * self.v_ext[j + 1][i];
+                }
+                counters.record_precond(self.m_flops);
+            }
+        }
+
+        for j in 0..v_cols {
+            v.col_mut(j).copy_from_slice(&self.v_ext[j][..nl]);
+        }
+        for j in 0..mv_cols {
+            mv.col_mut(j).copy_from_slice(&self.mv_ext[j][..nl]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpk::Mpk;
+    use spcg_precond::{Jacobi, Preconditioner};
+    use spcg_sparse::generators::poisson::poisson_2d;
+    use spcg_sparse::partition::BlockRowPartition;
+
+    fn serial_reference(
+        a: &CsrMatrix,
+        m: &dyn Preconditioner,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v_cols: usize,
+        mv_cols: usize,
+    ) -> (MultiVector, MultiVector, Counters) {
+        let n = a.nrows();
+        let mut v = MultiVector::zeros(n, v_cols);
+        let mut mv = MultiVector::zeros(n, mv_cols);
+        let mut c = Counters::new();
+        Mpk::new(a, m).run(w, known_mw, params, &mut v, &mut mv, &mut c);
+        (v, mv, c)
+    }
+
+    #[test]
+    fn matches_serial_bitwise_across_ranks() {
+        let a = poisson_2d(9);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let s = 4;
+        let params = BasisParams::chebyshev(0.2, 7.5, s);
+        let (v_ref, mv_ref, c_ref) = serial_reference(&a, &m, &w, None, &params, s + 1, s);
+
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let part = BlockRowPartition::balanced(n, 3);
+        let mut c_sum = Counters::new();
+        for p in 0..3 {
+            let (lo, hi) = part.range(p);
+            let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+            let w_ext = dk.ghost().extend_from_global(&w);
+            let mut v = MultiVector::zeros(hi - lo, s + 1);
+            let mut mv = MultiVector::zeros(hi - lo, s);
+            let mut c = Counters::new();
+            dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut c);
+            for j in 0..=s {
+                for i in 0..hi - lo {
+                    assert_eq!(
+                        v.col(j)[i],
+                        v_ref.col(j)[lo + i],
+                        "rank {p} v col {j} row {i}"
+                    );
+                }
+            }
+            for j in 0..s {
+                assert_eq!(mv.col(j), &mv_ref.col(j)[lo..hi], "rank {p} mv col {j}");
+            }
+            if p == 0 {
+                c_sum = c;
+            } else {
+                assert_eq!(c, c_sum, "per-rank counters must agree");
+            }
+        }
+        // Each rank charges exactly the serial (global) cost.
+        assert_eq!(c_sum, c_ref);
+    }
+
+    #[test]
+    fn supports_known_mw_and_full_mv_cols() {
+        // CA-PCG's Q-run: mv_cols == v_cols with the seed's M⁻¹ known.
+        let a = poisson_2d(7);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mw = m.apply_alloc(&w);
+        let s = 3;
+        let params = BasisParams::monomial(s);
+        let (v_ref, mv_ref, c_ref) = serial_reference(&a, &m, &w, Some(&mw), &params, s + 1, s + 1);
+
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let (lo, hi) = (14, 35);
+        let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+        let w_ext = dk.ghost().extend_from_global(&w);
+        let mw_ext = dk.ghost().extend_from_global(&mw);
+        let mut v = MultiVector::zeros(hi - lo, s + 1);
+        let mut mv = MultiVector::zeros(hi - lo, s + 1);
+        let mut c = Counters::new();
+        dk.run(&w_ext, Some(&mw_ext), &params, &mut v, &mut mv, &mut c);
+        for j in 0..=s {
+            assert_eq!(v.col(j), &v_ref.col(j)[lo..hi], "v col {j}");
+            assert_eq!(mv.col(j), &mv_ref.col(j)[lo..hi], "mv col {j}");
+        }
+        assert_eq!(c, c_ref);
+    }
+
+    #[test]
+    fn fewer_levels_than_depth_allowed() {
+        // CA-PCG's R-run uses s columns against the same depth-s plan.
+        let a = poisson_2d(6);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let s = 4;
+        let params = BasisParams::chebyshev(0.3, 7.0, s);
+        let (v_ref, _, _) = serial_reference(&a, &m, &w, None, &params, s, s);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let (lo, hi) = (0, 20);
+        let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+        let w_ext = dk.ghost().extend_from_global(&w);
+        let mut v = MultiVector::zeros(hi - lo, s);
+        let mut mv = MultiVector::zeros(hi - lo, s);
+        let mut c = Counters::new();
+        dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut c);
+        for j in 0..s {
+            assert_eq!(v.col(j), &v_ref.col(j)[lo..hi], "v col {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "levels exceed ghost depth")]
+    fn rejects_too_many_levels() {
+        let a = poisson_2d(4);
+        let weights = vec![1.0; 16];
+        let mut dk = DistMpk::new(&a, 0, 8, 2, &weights, 0);
+        let w_ext = vec![1.0; dk.ghost().ext_len()];
+        let params = BasisParams::monomial(4);
+        let mut v = MultiVector::zeros(8, 4);
+        let mut mv = MultiVector::zeros(8, 3);
+        dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut Counters::new());
+    }
+}

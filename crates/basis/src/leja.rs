@@ -101,7 +101,11 @@ mod tests {
         let out = leja_order(&grid);
         assert_eq!(out[0], 10.0);
         assert_eq!(out[1], 0.0);
-        assert!((out[2] - 5.0).abs() <= 1.0, "third pick {} not central", out[2]);
+        assert!(
+            (out[2] - 5.0).abs() <= 1.0,
+            "third pick {} not central",
+            out[2]
+        );
     }
 
     #[test]

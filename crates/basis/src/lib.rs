@@ -20,12 +20,14 @@
 //!   Newton shifts.
 
 pub mod cob;
+pub mod dist_mpk;
 pub mod leja;
 pub mod mpk;
 pub mod poly;
 pub mod ritz;
 pub mod types;
 
+pub use dist_mpk::DistMpk;
 pub use mpk::Mpk;
 pub use poly::BasisParams;
 pub use types::BasisType;

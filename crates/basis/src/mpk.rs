@@ -213,7 +213,11 @@ mod tests {
                 for l in 0..=s {
                     acc += b[(l, j)] * v.col(l)[i];
                 }
-                assert!((amv[i] - acc).abs() < 1e-10, "col {j} row {i}: {} vs {acc}", amv[i]);
+                assert!(
+                    (amv[i] - acc).abs() < 1e-10,
+                    "col {j} row {i}: {} vs {acc}",
+                    amv[i]
+                );
             }
         }
     }
@@ -244,7 +248,14 @@ mod tests {
         let mut v = MultiVector::zeros(5, 3);
         let mut mv = MultiVector::zeros(5, 3);
         let mut c = counters();
-        mpk.run(&[1.0, 2.0, 0.5, -1.0, 0.0], None, &params, &mut v, &mut mv, &mut c);
+        mpk.run(
+            &[1.0, 2.0, 0.5, -1.0, 0.0],
+            None,
+            &params,
+            &mut v,
+            &mut mv,
+            &mut c,
+        );
         assert_eq!(c.precond_count, 3);
         let z = m.apply_alloc(v.col(2));
         for i in 0..5 {
@@ -261,6 +272,13 @@ mod tests {
         let params = BasisParams::monomial(1);
         let mut v = MultiVector::zeros(4, 4);
         let mut mv = MultiVector::zeros(4, 3);
-        mpk.run(&[1.0; 4], None, &params, &mut v, &mut mv, &mut Counters::new());
+        mpk.run(
+            &[1.0; 4],
+            None,
+            &params,
+            &mut v,
+            &mut mv,
+            &mut Counters::new(),
+        );
     }
 }

@@ -29,14 +29,21 @@ impl BasisParams {
     /// # Panics
     /// Panics if lengths are inconsistent or some `γ_j == 0`.
     pub fn new(theta: Vec<f64>, gamma: Vec<f64>, mu: Vec<f64>) -> Self {
-        assert_eq!(theta.len(), gamma.len(), "BasisParams: theta/gamma length mismatch");
+        assert_eq!(
+            theta.len(),
+            gamma.len(),
+            "BasisParams: theta/gamma length mismatch"
+        );
         assert!(
             mu.len() + 1 == theta.len() || (theta.is_empty() && mu.is_empty()),
             "BasisParams: mu must have degree-1 entries (got {} for degree {})",
             mu.len(),
             theta.len()
         );
-        assert!(gamma.iter().all(|&g| g != 0.0), "BasisParams: gamma entries must be nonzero");
+        assert!(
+            gamma.iter().all(|&g| g != 0.0),
+            "BasisParams: gamma entries must be nonzero"
+        );
         BasisParams { theta, gamma, mu }
     }
 
@@ -59,7 +66,11 @@ impl BasisParams {
     /// # Panics
     /// Panics if fewer shifts than `degree` are supplied.
     pub fn newton(shifts: &[f64], degree: usize) -> Self {
-        assert!(shifts.len() >= degree, "BasisParams::newton: need {degree} shifts, got {}", shifts.len());
+        assert!(
+            shifts.len() >= degree,
+            "BasisParams::newton: need {degree} shifts, got {}",
+            shifts.len()
+        );
         BasisParams {
             theta: shifts[..degree].to_vec(),
             gamma: vec![1.0; degree],

@@ -60,7 +60,10 @@ pub fn estimate_spectrum(
     let n = a.nrows();
     assert_eq!(b.len(), n, "estimate_spectrum: rhs length mismatch");
     assert!(iters >= 1, "estimate_spectrum: need at least one iteration");
-    assert!(blas::norm2(b) > 0.0, "estimate_spectrum: rhs must be nonzero");
+    assert!(
+        blas::norm2(b) > 0.0,
+        "estimate_spectrum: rhs must be nonzero"
+    );
 
     let mut r = b.to_vec(); // x0 = 0 → r0 = b
     let mut u = vec![0.0; n];
@@ -91,7 +94,10 @@ pub fn estimate_spectrum(
         blas::xpby(&u, beta, &mut p);
     }
 
-    assert!(!alphas.is_empty(), "estimate_spectrum: breakdown before first iteration");
+    assert!(
+        !alphas.is_empty(),
+        "estimate_spectrum: breakdown before first iteration"
+    );
     let k = alphas.len();
     let mut d = Vec::with_capacity(k);
     let mut e = Vec::with_capacity(k.saturating_sub(1));
@@ -131,14 +137,22 @@ mod tests {
         // Ritz values lie inside the true spectrum and approach the extremes.
         assert!(est.lambda_min >= lo - 1e-10);
         assert!(est.lambda_max <= hi + 1e-10);
-        assert!(est.lambda_max > 0.9 * hi, "λmax estimate too small: {}", est.lambda_max);
-        assert!(est.lambda_min < 10.0 * lo, "λmin estimate too large: {}", est.lambda_min);
+        assert!(
+            est.lambda_max > 0.9 * hi,
+            "λmax estimate too small: {}",
+            est.lambda_max
+        );
+        assert!(
+            est.lambda_min < 10.0 * lo,
+            "λmin estimate too large: {}",
+            est.lambda_min
+        );
     }
 
     #[test]
     fn jacobi_preconditioned_spectrum_of_scaled_identity() {
         // For A = c·I, M⁻¹A = I: the single distinct Ritz value is 1.
-        let a = CsrMatrix::from_diagonal(&vec![5.0; 16]);
+        let a = CsrMatrix::from_diagonal(&[5.0; 16]);
         let m = Jacobi::new(&a);
         let b = vec![1.0; 16];
         let est = estimate_spectrum(&a, &m, &b, 8);

@@ -31,9 +31,10 @@ impl BasisType {
         match self {
             BasisType::Monomial => BasisParams::monomial(degree),
             BasisType::Newton { shifts } => BasisParams::newton(shifts, degree),
-            BasisType::Chebyshev { lambda_min, lambda_max } => {
-                BasisParams::chebyshev(*lambda_min, *lambda_max, degree)
-            }
+            BasisType::Chebyshev {
+                lambda_min,
+                lambda_max,
+            } => BasisParams::chebyshev(*lambda_min, *lambda_max, degree),
         }
     }
 
@@ -54,9 +55,14 @@ mod tests {
     #[test]
     fn params_dispatch() {
         assert_eq!(BasisType::Monomial.params(3), BasisParams::monomial(3));
-        let n = BasisType::Newton { shifts: vec![1.0, 2.0, 3.0] };
+        let n = BasisType::Newton {
+            shifts: vec![1.0, 2.0, 3.0],
+        };
         assert_eq!(n.params(2).theta, vec![1.0, 2.0]);
-        let c = BasisType::Chebyshev { lambda_min: 0.0, lambda_max: 2.0 };
+        let c = BasisType::Chebyshev {
+            lambda_min: 0.0,
+            lambda_max: 2.0,
+        };
         assert_eq!(c.params(2).theta, vec![1.0, 1.0]);
     }
 
@@ -64,6 +70,13 @@ mod tests {
     fn names() {
         assert_eq!(BasisType::Monomial.name(), "monomial");
         assert_eq!(BasisType::Newton { shifts: vec![] }.name(), "newton");
-        assert_eq!(BasisType::Chebyshev { lambda_min: 0.0, lambda_max: 1.0 }.name(), "chebyshev");
+        assert_eq!(
+            BasisType::Chebyshev {
+                lambda_min: 0.0,
+                lambda_max: 1.0
+            }
+            .name(),
+            "chebyshev"
+        );
     }
 }

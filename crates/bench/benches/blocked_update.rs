@@ -2,28 +2,30 @@
 //! versus the equivalent FLOPs as BLAS1 axpys (CA-PCG3's access pattern) —
 //! the performance argument of §4.1.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spcg_bench::harness::bench;
 use spcg_sparse::{blas, DenseMat, MultiVector};
+use std::hint::black_box;
 
-fn bench_update(c: &mut Criterion) {
+fn main() {
     let n = 100_000;
     let s = 10;
-    let cols: Vec<Vec<f64>> =
-        (0..s).map(|j| (0..n).map(|i| ((i + j) % 13) as f64 - 6.0).collect()).collect();
+    let cols: Vec<Vec<f64>> = (0..s)
+        .map(|j| (0..n).map(|i| ((i + j) % 13) as f64 - 6.0).collect())
+        .collect();
     let u = MultiVector::from_columns(&cols);
     let bmat = DenseMat::from_fn(s, s, |i, j| ((i * s + j) % 7) as f64 * 0.1 - 0.3);
-    let mut g = c.benchmark_group("block_update_s10");
-    g.bench_function("blas3_blocked", |b| {
+
+    {
         let mut p = u.clone();
         let mut scratch = MultiVector::zeros(n, s);
-        b.iter(|| {
+        bench("block_update_s10/blas3_blocked", || {
             p.blocked_update(black_box(&u), black_box(&bmat), &mut scratch);
-        })
-    });
-    g.bench_function("blas1_axpys_same_flops", |b| {
+        });
+    }
+    {
         // s² axpys + s copies — identical FLOPs, strided BLAS1 traffic.
-        let mut p: Vec<Vec<f64>> = cols.clone();
-        b.iter(|| {
+        let p: Vec<Vec<f64>> = cols.clone();
+        bench("block_update_s10/blas1_axpys_same_flops", || {
             for j in 0..s {
                 let mut out = u.col(j).to_vec();
                 for (l, pl) in p.iter().enumerate() {
@@ -31,11 +33,6 @@ fn bench_update(c: &mut Criterion) {
                 }
                 black_box(&out);
             }
-            p[0][0] += 0.0;
-        })
-    });
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_update);
-criterion_main!(benches);

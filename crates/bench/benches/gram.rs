@@ -3,34 +3,32 @@
 //! communication/computation trade at the heart of Table 1's "local
 //! reductions" column.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spcg_bench::harness::bench;
 use spcg_sparse::{blas, MultiVector};
+use std::hint::black_box;
 
-fn bench_gram(c: &mut Criterion) {
+fn main() {
     let n = 200_000;
     let s = 10;
     let u = MultiVector::from_columns(
-        &(0..s).map(|j| (0..n).map(|i| ((i * (j + 1)) % 17) as f64 - 8.0).collect()).collect::<Vec<_>>(),
+        &(0..s)
+            .map(|j| (0..n).map(|i| ((i * (j + 1)) % 17) as f64 - 8.0).collect())
+            .collect::<Vec<_>>(),
     );
     let sm = MultiVector::from_columns(
-        &(0..s + 1).map(|j| (0..n).map(|i| ((i * (j + 3)) % 23) as f64 - 11.0).collect()).collect::<Vec<_>>(),
+        &(0..s + 1)
+            .map(|j| (0..n).map(|i| ((i * (j + 3)) % 23) as f64 - 11.0).collect())
+            .collect::<Vec<_>>(),
     );
-    let mut g = c.benchmark_group("local_reductions");
-    g.bench_function("gram_UtS_s10", |b| {
-        b.iter(|| black_box(u.gram(&sm)))
+    bench("local_reductions/gram_UtS_s10", || {
+        black_box(u.gram(&sm));
     });
-    g.bench_function("dots_2s_separate", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for j in 0..2 * s {
-                let (x, y) = (u.col(j % s), sm.col(j % (s + 1)));
-                acc += blas::dot(black_box(x), black_box(y));
-            }
-            black_box(acc)
-        })
+    bench("local_reductions/dots_2s_separate", || {
+        let mut acc = 0.0;
+        for j in 0..2 * s {
+            let (x, y) = (u.col(j % s), sm.col(j % (s + 1)));
+            acc += blas::dot(black_box(x), black_box(y));
+        }
+        black_box(acc);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_gram);
-criterion_main!(benches);

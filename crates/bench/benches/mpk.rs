@@ -1,38 +1,32 @@
 //! Matrix Powers Kernel benchmark: cost of building the s-step basis, and
 //! the (paper §4.2) overhead of arbitrary bases over the monomial one.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spcg_basis::{BasisParams, Mpk};
+use spcg_bench::harness::bench;
 use spcg_dist::Counters;
 use spcg_precond::Jacobi;
 use spcg_sparse::generators::poisson::poisson_2d;
 use spcg_sparse::MultiVector;
+use std::hint::black_box;
 
-fn bench_mpk(c: &mut Criterion) {
+fn main() {
     let a = poisson_2d(128);
     let n = a.nrows();
     let m = Jacobi::new(&a);
     let mpk = Mpk::new(&a, &m);
     let w: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.1).sin()).collect();
 
-    let mut g = c.benchmark_group("mpk_s10");
     for (name, params) in [
-        ("monomial", BasisParams::monomial(10)),
-        ("newton", BasisParams::newton(&[0.5; 10], 10)),
-        ("chebyshev", BasisParams::chebyshev(0.1, 1.9, 10)),
+        ("mpk_s10/monomial", BasisParams::monomial(10)),
+        ("mpk_s10/newton", BasisParams::newton(&[0.5; 10], 10)),
+        ("mpk_s10/chebyshev", BasisParams::chebyshev(0.1, 1.9, 10)),
     ] {
         let mut v = MultiVector::zeros(n, 11);
         let mut mv = MultiVector::zeros(n, 10);
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut counters = Counters::new();
-                mpk.run(black_box(&w), None, &params, &mut v, &mut mv, &mut counters);
-                black_box(&v);
-            })
+        bench(name, || {
+            let mut counters = Counters::new();
+            mpk.run(black_box(&w), None, &params, &mut v, &mut mv, &mut counters);
+            black_box(&v);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_mpk);
-criterion_main!(benches);

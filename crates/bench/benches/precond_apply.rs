@@ -1,28 +1,24 @@
 //! Preconditioner application benchmark (Jacobi vs Chebyshev degrees).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spcg_bench::harness::bench;
 use spcg_precond::{ChebyshevPrecond, Jacobi, Preconditioner, Ssor};
 use spcg_sparse::generators::poisson::poisson_2d;
+use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_precond(c: &mut Criterion) {
+fn main() {
     let a = Arc::new(poisson_2d(128));
     let n = a.nrows();
     let r: Vec<f64> = (0..n).map(|i| ((i % 19) as f64) - 9.0).collect();
     let mut z = vec![0.0f64; n];
-    let mut g = c.benchmark_group("precond_apply");
     let jac = Jacobi::new(&a);
-    g.bench_function("jacobi", |b| b.iter(|| jac.apply(black_box(&r), &mut z)));
+    bench("precond_apply/jacobi", || jac.apply(black_box(&r), &mut z));
     for deg in [1usize, 3, 6] {
         let p = ChebyshevPrecond::from_matrix(Arc::clone(&a), deg, 30.0);
-        g.bench_function(format!("chebyshev_deg{deg}"), |b| {
-            b.iter(|| p.apply(black_box(&r), &mut z))
+        bench(&format!("precond_apply/chebyshev_deg{deg}"), || {
+            p.apply(black_box(&r), &mut z)
         });
     }
     let ssor = Ssor::new(&a, 1.0);
-    g.bench_function("ssor", |b| b.iter(|| ssor.apply(black_box(&r), &mut z)));
-    g.finish();
+    bench("precond_apply/ssor", || ssor.apply(black_box(&r), &mut z));
 }
-
-criterion_group!(benches, bench_precond);
-criterion_main!(benches);

@@ -2,42 +2,53 @@
 //! every method on one mid-size problem (the local-computation side of
 //! Figure 1, measured rather than modeled).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use spcg_basis::BasisType;
+use spcg_bench::harness::bench;
 use spcg_precond::Jacobi;
-use spcg_solvers::{solve, Method, Problem, SolveOptions, StoppingCriterion};
+use spcg_solvers::{solve, Engine, Method, Problem, SolveOptions, StoppingCriterion};
 use spcg_sparse::generators::paper_rhs;
 use spcg_sparse::generators::poisson::poisson_3d;
+use std::hint::black_box;
 
-fn bench_solvers(c: &mut Criterion) {
+fn main() {
     let a = poisson_3d(20);
     let m = Jacobi::new(&a);
     let b = paper_rhs(&a);
     let problem = Problem::new(&a, &m, &b);
     let basis = spcg_solvers::chebyshev_basis(&problem, 20, 0.05);
-    let opts = SolveOptions {
-        tol: 1e-30, // never reached: fixed 100-iteration budget
-        max_iters: 100,
-        criterion: StoppingCriterion::PrecondMNorm,
-        ..Default::default()
-    };
-    let mut g = c.benchmark_group("solve_100_iters_poisson20");
-    g.sample_size(10);
+    let opts = SolveOptions::builder()
+        .tol(1e-30) // never reached: fixed 100-iteration budget
+        .max_iters(100)
+        .criterion(StoppingCriterion::PrecondMNorm)
+        .build();
     let methods = [
         ("pcg", Method::Pcg),
         ("pcg3", Method::Pcg3),
-        ("spcg_s10", Method::SPcg { s: 10, basis: basis.clone() }),
+        (
+            "spcg_s10",
+            Method::SPcg {
+                s: 10,
+                basis: basis.clone(),
+            },
+        ),
         ("spcg_mon_s10", Method::SPcgMon { s: 10 }),
-        ("capcg_s10", Method::CaPcg { s: 10, basis: basis.clone() }),
-        ("capcg3_s10", Method::CaPcg3 { s: 10, basis: basis.clone() }),
+        (
+            "capcg_s10",
+            Method::CaPcg {
+                s: 10,
+                basis: basis.clone(),
+            },
+        ),
+        (
+            "capcg3_s10",
+            Method::CaPcg3 {
+                s: 10,
+                basis: basis.clone(),
+            },
+        ),
     ];
-    for (name, method) in methods {
-        g.bench_function(name, |bch| {
-            bch.iter(|| black_box(solve(&method, &problem, &opts)))
+    for (name, method) in &methods {
+        bench(&format!("solve_100_iters_poisson20/{name}"), || {
+            black_box(solve(method, &problem, &opts, Engine::Serial));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

@@ -1,32 +1,34 @@
 //! SpMV kernel benchmark — the dominant per-iteration cost of every solver.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spcg_bench::harness::bench_with_throughput;
 use spcg_sparse::generators::poisson::{poisson_2d, poisson_3d};
 use spcg_sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
+use std::hint::black_box;
 
-fn bench_spmv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spmv");
+fn main() {
     let cases = [
-        ("poisson2d_128", poisson_2d(128)),
-        ("poisson3d_24", poisson_3d(24)),
+        ("spmv/poisson2d_128", poisson_2d(128)),
+        ("spmv/poisson3d_24", poisson_3d(24)),
         (
-            "banded_loguni_20k",
-            spd_with_spectrum(20_000, &SpectrumShape::LogUniform { kappa: 1e6, jitter: 0.1 }, 1.0, 4, 7),
+            "spmv/banded_loguni_20k",
+            spd_with_spectrum(
+                20_000,
+                &SpectrumShape::LogUniform {
+                    kappa: 1e6,
+                    jitter: 0.1,
+                },
+                1.0,
+                4,
+                7,
+            ),
         ),
     ];
     for (name, a) in cases {
         let x = vec![1.0f64; a.ncols()];
         let mut y = vec![0.0f64; a.nrows()];
-        g.throughput(criterion::Throughput::Elements(a.nnz() as u64));
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                a.spmv(black_box(&x), &mut y);
-                black_box(&y);
-            })
+        bench_with_throughput(name, a.nnz() as u64, || {
+            a.spmv(black_box(&x), &mut y);
+            black_box(&y);
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_spmv);
-criterion_main!(benches);

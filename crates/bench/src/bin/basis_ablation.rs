@@ -8,7 +8,9 @@
 
 use spcg_basis::BasisType;
 use spcg_bench::{prepare_instance, write_results, Precond, TextTable};
-use spcg_solvers::{newton_basis, solve, Method, SolveOptions, SolveResult, StoppingCriterion};
+use spcg_solvers::{
+    newton_basis, solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion,
+};
 use spcg_sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
 
 fn cell(r: &SolveResult) -> String {
@@ -20,7 +22,16 @@ fn cell(r: &SolveResult) -> String {
 }
 
 fn main() {
-    let a = spd_with_spectrum(6000, &SpectrumShape::LogUniform { kappa: 1e5, jitter: 0.1 }, 1.0, 4, 17);
+    let a = spd_with_spectrum(
+        6000,
+        &SpectrumShape::LogUniform {
+            kappa: 1e5,
+            jitter: 0.1,
+        },
+        1.0,
+        4,
+        17,
+    );
     let inst = prepare_instance("loguni_1e5", a, Precond::Chebyshev);
     let opts = SolveOptions {
         tol: 1e-8,
@@ -28,7 +39,7 @@ fn main() {
         criterion: StoppingCriterion::TrueResidual2Norm,
         ..Default::default()
     };
-    let pcg = solve(&Method::Pcg, &inst.problem(), &opts);
+    let pcg = solve(&Method::Pcg, &inst.problem(), &opts, Engine::Serial);
     let mut out = format!(
         "Basis ablation — log-uniform spectrum, kappa 1e5, n = 6000, Chebyshev \
          preconditioner (degree 3), tol 1e-8.\nPCG reference: {} iterations.\n\n",
@@ -37,18 +48,33 @@ fn main() {
     let mut t = TextTable::new(&["method", "s", "monomial", "newton", "chebyshev"]);
     for s in [2usize, 5, 10, 15] {
         let newton = newton_basis(&inst.problem(), 2 * s.max(10), s);
-        let bases =
-            [BasisType::Monomial, newton, inst.chebyshev.clone()];
+        let bases = [BasisType::Monomial, newton, inst.chebyshev.clone()];
         for (name, make) in [
-            ("sPCG", &(|b: BasisType| Method::SPcg { s, basis: b }) as &dyn Fn(BasisType) -> Method),
+            (
+                "sPCG",
+                &(|b: BasisType| Method::SPcg { s, basis: b }) as &dyn Fn(BasisType) -> Method,
+            ),
             ("CA-PCG", &|b| Method::CaPcg { s, basis: b }),
             ("CA-PCG3", &|b| Method::CaPcg3 { s, basis: b }),
         ] {
             let cells: Vec<String> = bases
                 .iter()
-                .map(|b| cell(&solve(&make(b.clone()), &inst.problem(), &opts)))
+                .map(|b| {
+                    cell(&solve(
+                        &make(b.clone()),
+                        &inst.problem(),
+                        &opts,
+                        Engine::Serial,
+                    ))
+                })
                 .collect();
-            t.row(vec![name.into(), s.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+            t.row(vec![
+                name.into(),
+                s.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
         }
     }
     out.push_str(&t.render());

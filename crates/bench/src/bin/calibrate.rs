@@ -2,14 +2,23 @@
 //! pipeline (uniform spectrum, degree-3 Chebyshev preconditioner, warm-up
 //! spectral bounds). Used to fit `suite::kappa_for_iters`.
 use spcg_bench::{paper, prepare_instance, Precond};
-use spcg_solvers::{solve, Method, SolveOptions, StoppingCriterion};
+use spcg_solvers::{solve, Engine, Method, SolveOptions, StoppingCriterion};
 use spcg_sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
 
 fn main() {
-    let precond = if std::env::args().any(|a| a == "--jacobi") { Precond::Jacobi } else { Precond::Chebyshev };
+    let precond = if std::env::args().any(|a| a == "--jacobi") {
+        Precond::Jacobi
+    } else {
+        Precond::Chebyshev
+    };
     let shapes: Vec<(String, SpectrumShape)> = [1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8]
         .into_iter()
-        .map(|kappa| (format!("loguni(k={kappa:.0e})"), SpectrumShape::LogUniform { kappa, jitter: 0.1 }))
+        .map(|kappa| {
+            (
+                format!("loguni(k={kappa:.0e})"),
+                SpectrumShape::LogUniform { kappa, jitter: 0.1 },
+            )
+        })
         .collect();
     for (name, shape) in shapes {
         let a = spd_with_spectrum(8000, &shape, 1.0, 3, 42);
@@ -20,7 +29,7 @@ fn main() {
             criterion: StoppingCriterion::TrueResidual2Norm,
             ..Default::default()
         };
-        let r = solve(&Method::Pcg, &inst.problem(), &opts);
+        let r = solve(&Method::Pcg, &inst.problem(), &opts, Engine::Serial);
         println!("{name} iters={} outcome={:?}", r.iterations, r.outcome);
     }
 }

@@ -9,32 +9,56 @@
 //! the run finishes in minutes; set `SPCG_GRID=256` for the paper's 256³.
 //!
 //! Run: `cargo run --release -p spcg-bench --bin fig1`
+//!
+//! With `--ranks R` the solves execute on the real rank-parallel engine
+//! (`Engine::Ranked`): R communicating ranks over `ThreadComm`, block-row
+//! partitions, and depth-s ghost-zone exchange. The output then carries the
+//! *measured* per-rank communication — collectives and halo exchanges —
+//! demonstrating one halo exchange per s-block, and is written to
+//! `fig1_ranks<R>.txt`.
 
-use spcg_bench::{paper, prepare_instance, write_results, Precond, TextTable};
+use spcg_bench::{paper, prepare_instance, ranks_arg, write_results, Precond, TextTable};
 use spcg_perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
 use spcg_perf::MachineParams;
-use spcg_solvers::{solve, Method, SolveOptions, SolveResult, StoppingCriterion};
+use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
 use spcg_sparse::generators::poisson::poisson_3d;
 
 const NODES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 const RANKS_PER_NODE: usize = 128;
 
-fn run(method: &Method, inst: &spcg_bench::Instance) -> SolveResult {
-    let opts = SolveOptions {
-        tol: paper::TOL,
-        max_iters: 100_000,
-        criterion: StoppingCriterion::PrecondMNorm,
-        ..Default::default()
-    };
-    solve(method, &inst.problem(), &opts)
+fn run(method: &Method, inst: &spcg_bench::Instance, engine: Engine) -> SolveResult {
+    let opts = SolveOptions::builder()
+        .tol(paper::TOL)
+        .max_iters(100_000)
+        .criterion(StoppingCriterion::PrecondMNorm)
+        .build();
+    solve(method, &inst.problem(), &opts, engine)
 }
 
 fn main() {
-    let grid: usize = std::env::var("SPCG_GRID").ok().and_then(|v| v.parse().ok()).unwrap_or(128);
+    let ranks = ranks_arg();
+    let engine = match ranks {
+        Some(r) => Engine::Ranked { ranks: r },
+        None => Engine::Serial,
+    };
+    // Ranked mode runs R real solver threads per solve: default to a grid
+    // that keeps the demonstration run short.
+    let default_grid = if ranks.is_some() { 32 } else { 128 };
+    let grid: usize = std::env::var("SPCG_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_grid);
     let machine = MachineParams::default();
 
-    eprintln!("[fig1] building 3D Poisson {grid}^3 ({} rows)", grid * grid * grid);
-    let inst = prepare_instance(&format!("poisson3d_{grid}"), poisson_3d(grid), Precond::Jacobi);
+    eprintln!(
+        "[fig1] building 3D Poisson {grid}^3 ({} rows)",
+        grid * grid * grid
+    );
+    let inst = prepare_instance(
+        &format!("poisson3d_{grid}"),
+        poisson_3d(grid),
+        Precond::Jacobi,
+    );
     let basis = inst.chebyshev.clone();
 
     let mut out = String::new();
@@ -45,35 +69,89 @@ fn main() {
     ));
 
     // Run each solver once; iterations are topology-independent.
-    let mut curves: Vec<(String, SolveResult)> = Vec::new();
+    let mut curves: Vec<(String, usize, SolveResult)> = Vec::new();
     eprintln!("[fig1] PCG");
-    curves.push(("PCG".into(), run(&Method::Pcg, &inst)));
+    curves.push(("PCG".into(), 1, run(&Method::Pcg, &inst, engine)));
     for s in [5usize, 10, 15] {
         for (label, method) in [
-            (format!("sPCG(s={s})"), Method::SPcg { s, basis: basis.clone() }),
-            (format!("CA-PCG(s={s})"), Method::CaPcg { s, basis: basis.clone() }),
-            (format!("CA-PCG3(s={s})"), Method::CaPcg3 { s, basis: basis.clone() }),
+            (
+                format!("sPCG(s={s})"),
+                Method::SPcg {
+                    s,
+                    basis: basis.clone(),
+                },
+            ),
+            (
+                format!("CA-PCG(s={s})"),
+                Method::CaPcg {
+                    s,
+                    basis: basis.clone(),
+                },
+            ),
+            (
+                format!("CA-PCG3(s={s})"),
+                Method::CaPcg3 {
+                    s,
+                    basis: basis.clone(),
+                },
+            ),
         ] {
             eprintln!("[fig1] {label}");
-            curves.push((label.clone(), run(&method, &inst)));
+            curves.push((label.clone(), s, run(&method, &inst, engine)));
         }
+    }
+
+    // Ranked mode: report the *measured* per-rank communication before the
+    // modeled scaling — the point is one ghost-zone exchange per s-block.
+    if let Some(r) = ranks {
+        out.push_str(&format!(
+            "Measured communication on the rank-parallel engine ({r} ranks):\n\
+             one halo exchange per s-block (CA-PCG builds two bases per block),\n\
+             one global collective per s steps.\n\n"
+        ));
+        let mut t = TextTable::new(&[
+            "Solver",
+            "iters",
+            "s-blocks",
+            "collectives/rank",
+            "halo exchanges",
+            "halo/iter",
+        ]);
+        for (label, s, res) in &curves {
+            let c = &res.counters;
+            let blocks = if *s == 1 {
+                c.iterations
+            } else {
+                c.outer_iterations
+            };
+            t.row(vec![
+                label.clone(),
+                res.iterations.to_string(),
+                blocks.to_string(),
+                res.collectives_per_rank.unwrap_or(0).to_string(),
+                c.halo_exchanges.to_string(),
+                format!("{:.3}", c.halo_exchanges as f64 / res.iterations as f64),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
     }
 
     let halo = |ranks: usize| poisson3d_halo_per_rank(grid, ranks);
     let pcg_one_node = {
-        let pts = strong_scaling(&curves[0].1.counters, &machine, &[1], RANKS_PER_NODE, halo);
+        let pts = strong_scaling(&curves[0].2.counters, &machine, &[1], RANKS_PER_NODE, halo);
         pts[0].time.total()
     };
     out.push_str(&format!(
         "PCG on 1 node: modeled {pcg_one_node:.3}s over {} iterations (paper: 9.341s)\n\n",
-        curves[0].1.iterations
+        curves[0].2.iterations
     ));
 
     let mut header: Vec<String> = vec!["Solver".into(), "iters".into()];
     header.extend(NODES.iter().map(|n| format!("{n}n")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = TextTable::new(&header_refs);
-    for (label, res) in &curves {
+    for (label, _, res) in &curves {
         let mut cells = vec![label.clone(), res.iterations.to_string()];
         if res.converged() {
             let pts = strong_scaling(&res.counters, &machine, &NODES, RANKS_PER_NODE, halo);
@@ -81,7 +159,7 @@ fn main() {
                 cells.push(format!("{:.2}", pcg_one_node / p.time.total()));
             }
         } else {
-            cells.extend(std::iter::repeat("-".to_string()).take(NODES.len()));
+            cells.extend(std::iter::repeat_n("-".to_string(), NODES.len()));
         }
         t.row(cells);
     }
@@ -89,12 +167,15 @@ fn main() {
 
     // Communication-fraction diagnostics at the scaling limit.
     out.push_str("\nModeled communication fraction at 128 nodes:\n");
-    for (label, res) in &curves {
+    for (label, _, res) in &curves {
         if !res.converged() {
             continue;
         }
         let pts = strong_scaling(&res.counters, &machine, &[128], RANKS_PER_NODE, halo);
-        out.push_str(&format!("  {label:14} {:.0}%\n", 100.0 * pts[0].time.comm_fraction()));
+        out.push_str(&format!(
+            "  {label:14} {:.0}%\n",
+            100.0 * pts[0].time.comm_fraction()
+        ));
     }
     out.push_str(
         "\nPaper reference (shape): PCG stops scaling beyond 32 nodes; all s-step\n\
@@ -102,5 +183,8 @@ fn main() {
          PCG from 16 nodes, CA-PCG/CA-PCG3 only from 64-128 nodes.\n",
     );
 
-    write_results("fig1.txt", &out);
+    match ranks {
+        Some(r) => write_results(&format!("fig1_ranks{r}.txt"), &out),
+        None => write_results("fig1.txt", &out),
+    }
 }

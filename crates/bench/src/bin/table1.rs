@@ -6,7 +6,7 @@
 
 use spcg_bench::{paper, write_results, TextTable};
 use spcg_perf::table1::{verify_against_counters, Algorithm};
-use spcg_solvers::{Method, Problem, SolveOptions, StoppingCriterion};
+use spcg_solvers::{Engine, Method, Problem, SolveOptions, StoppingCriterion};
 use spcg_sparse::generators::paper_rhs;
 use spcg_sparse::generators::poisson::poisson_3d;
 
@@ -30,7 +30,8 @@ fn main() {
                 format!("{}", alg.mv_and_precond(s)),
                 format!("{}", alg.local_reductions(s)),
                 format!("{}", alg.vector_flops_monomial(s)),
-                alg.vector_flops_extra_arbitrary(s).map_or("-".into(), |v| v.to_string()),
+                alg.vector_flops_extra_arbitrary(s)
+                    .map_or("-".into(), |v| v.to_string()),
                 format!("{}", alg.total_monomial(s)),
                 alg.total_arbitrary(s).map_or("-".into(), |v| v.to_string()),
             ]);
@@ -66,12 +67,33 @@ fn main() {
     let cases = [
         (Algorithm::Pcg, Method::Pcg, false),
         (Algorithm::SPcgMon, Method::SPcgMon { s }, false),
-        (Algorithm::SPcg, Method::SPcg { s, basis: basis.clone() }, true),
-        (Algorithm::CaPcg, Method::CaPcg { s, basis: basis.clone() }, true),
-        (Algorithm::CaPcg3, Method::CaPcg3 { s, basis: basis.clone() }, true),
+        (
+            Algorithm::SPcg,
+            Method::SPcg {
+                s,
+                basis: basis.clone(),
+            },
+            true,
+        ),
+        (
+            Algorithm::CaPcg,
+            Method::CaPcg {
+                s,
+                basis: basis.clone(),
+            },
+            true,
+        ),
+        (
+            Algorithm::CaPcg3,
+            Method::CaPcg3 {
+                s,
+                basis: basis.clone(),
+            },
+            true,
+        ),
     ];
     for (alg, method, arb) in cases {
-        let res = spcg_solvers::solve(&method, &problem, &opts);
+        let res = spcg_solvers::solve(&method, &problem, &opts, Engine::Serial);
         // Convergence is not required here (monomial s = 10 legitimately
         // stalls); per-outer-iteration counters are valid either way.
         assert!(

@@ -10,8 +10,11 @@
 //! Run: `cargo run --release -p spcg-bench --bin table2`
 //! (`SPCG_QUICK=1` runs a 8-matrix subset).
 
-use spcg_bench::{not_significant, paper, prepare_instance, quick_mode, table2_cell, write_results, Precond, TextTable};
-use spcg_solvers::{solve, Method, SolveOptions, SolveResult, StoppingCriterion};
+use spcg_bench::{
+    not_significant, paper, prepare_instance, quick_mode, table2_cell, write_results, Precond,
+    TextTable,
+};
+use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
 use spcg_sparse::generators::suite::suite_matrices;
 
 fn run(method: &Method, inst: &spcg_bench::Instance) -> SolveResult {
@@ -21,7 +24,7 @@ fn run(method: &Method, inst: &spcg_bench::Instance) -> SolveResult {
         criterion: StoppingCriterion::TrueResidual2Norm,
         ..Default::default()
     };
-    solve(method, &inst.problem(), &opts)
+    solve(method, &inst.problem(), &opts, Engine::Serial)
 }
 
 fn main() {
@@ -73,18 +76,45 @@ fn main() {
         total += 1;
         let basis_cheb = inst.chebyshev.clone();
         let methods: [(usize, [Method; 2]); 3] = [
-            (0, [
-                Method::SPcg { s, basis: spcg_basis::BasisType::Monomial },
-                Method::SPcg { s, basis: basis_cheb.clone() },
-            ]),
-            (1, [
-                Method::CaPcg { s, basis: spcg_basis::BasisType::Monomial },
-                Method::CaPcg { s, basis: basis_cheb.clone() },
-            ]),
-            (2, [
-                Method::CaPcg3 { s, basis: spcg_basis::BasisType::Monomial },
-                Method::CaPcg3 { s, basis: basis_cheb.clone() },
-            ]),
+            (
+                0,
+                [
+                    Method::SPcg {
+                        s,
+                        basis: spcg_basis::BasisType::Monomial,
+                    },
+                    Method::SPcg {
+                        s,
+                        basis: basis_cheb.clone(),
+                    },
+                ],
+            ),
+            (
+                1,
+                [
+                    Method::CaPcg {
+                        s,
+                        basis: spcg_basis::BasisType::Monomial,
+                    },
+                    Method::CaPcg {
+                        s,
+                        basis: basis_cheb.clone(),
+                    },
+                ],
+            ),
+            (
+                2,
+                [
+                    Method::CaPcg3 {
+                        s,
+                        basis: spcg_basis::BasisType::Monomial,
+                    },
+                    Method::CaPcg3 {
+                        s,
+                        basis: basis_cheb.clone(),
+                    },
+                ],
+            ),
         ];
         let mut cells = Vec::new();
         for (mi, [mono, cheb]) in methods {

@@ -11,24 +11,41 @@
 //! must reproduce.
 //!
 //! Run: `cargo run --release -p spcg-bench --bin table3`
+//!
+//! With `--ranks R` the solves execute on the real rank-parallel engine
+//! (`Engine::Ranked { ranks: R }`) instead of the serial reference; the
+//! counters the model prices are then the globally merged counts measured
+//! across the R communicating ranks, and output goes to
+//! `table3_ranks<R>.txt`.
 
-use spcg_bench::{paper, prepare_instance, write_results, Precond, TextTable};
+use spcg_bench::{paper, prepare_instance, ranks_arg, write_results, Precond, TextTable};
 use spcg_dist::{Counters, MachineTopology};
 use spcg_perf::{predict_time, MachineParams};
-use spcg_solvers::{solve, Method, SolveOptions, SolveResult, StoppingCriterion};
+use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
 use spcg_sparse::generators::suite::suite_matrices;
 
-const MATRICES: [&str; 7] =
-    ["parabolic_fem", "apache2", "audikw_1", "ldoor", "ecology2", "Geo_1438", "G3_circuit"];
+const MATRICES: [&str; 7] = [
+    "parabolic_fem",
+    "apache2",
+    "audikw_1",
+    "ldoor",
+    "ecology2",
+    "Geo_1438",
+    "G3_circuit",
+];
 
-fn run(method: &Method, inst: &spcg_bench::Instance, crit: StoppingCriterion) -> SolveResult {
-    let opts = SolveOptions {
-        tol: paper::TOL,
-        max_iters: paper::MAX_ITERS,
-        criterion: crit,
-        ..Default::default()
-    };
-    solve(method, &inst.problem(), &opts)
+fn run(
+    method: &Method,
+    inst: &spcg_bench::Instance,
+    crit: StoppingCriterion,
+    engine: Engine,
+) -> SolveResult {
+    let opts = SolveOptions::builder()
+        .tol(paper::TOL)
+        .max_iters(paper::MAX_ITERS)
+        .criterion(crit)
+        .build();
+    solve(method, &inst.problem(), &opts, engine)
 }
 
 /// Prices the stand-in's measured counters at the *original* SuiteSparse
@@ -58,6 +75,11 @@ fn speedup_cell(pcg_time: f64, res: &SolveResult, time: f64) -> String {
 
 fn main() {
     let s = paper::S;
+    let ranks = ranks_arg();
+    let engine = match ranks {
+        Some(r) => Engine::Ranked { ranks: r },
+        None => Engine::Serial,
+    };
     let machine = MachineParams::default();
     let topo = MachineTopology::paper(4); // 4 nodes × 128 ranks
     let suite = suite_matrices();
@@ -75,29 +97,49 @@ fn main() {
             StoppingCriterion::RecursiveResidual2Norm,
             "Chebyshev preconditioner (degree 3), recursive 2-norm criterion",
         ),
-        (Precond::Jacobi, StoppingCriterion::PrecondMNorm, "Jacobi preconditioner, M-norm criterion"),
+        (
+            Precond::Jacobi,
+            StoppingCriterion::PrecondMNorm,
+            "Jacobi preconditioner, M-norm criterion",
+        ),
     ] {
         out.push_str(&format!("{label}\n"));
         let mut t = TextTable::new(&["Matrix", "PCG time", "sPCG", "CA-PCG", "CA-PCG3"]);
         for name in MATRICES {
-            let entry = suite.iter().find(|e| e.name == name).expect("matrix in suite");
+            let entry = suite
+                .iter()
+                .find(|e| e.name == name)
+                .expect("matrix in suite");
             eprintln!("[table3] {name} ({label})");
             let inst = prepare_instance(name, entry.build(), precond);
             // Banded stand-ins: per-rank halo ≈ the band width each side.
             let halo = (4 * entry.rounds) as f64;
             let size_factor = entry.paper_n as f64 / entry.n as f64;
-            let pcg = run(&Method::Pcg, &inst, crit);
-            let pcg_time =
-                predict_time(&scale_to_paper_size(&pcg.counters, size_factor), &machine, &topo, halo)
-                    .total();
+            let pcg = run(&Method::Pcg, &inst, crit, engine);
+            let pcg_time = predict_time(
+                &scale_to_paper_size(&pcg.counters, size_factor),
+                &machine,
+                &topo,
+                halo,
+            )
+            .total();
             let basis = inst.chebyshev.clone();
             let mut cells = vec![name.to_string(), format!("{:.3}s", pcg_time)];
             for method in [
-                Method::SPcg { s, basis: basis.clone() },
-                Method::CaPcg { s, basis: basis.clone() },
-                Method::CaPcg3 { s, basis: basis.clone() },
+                Method::SPcg {
+                    s,
+                    basis: basis.clone(),
+                },
+                Method::CaPcg {
+                    s,
+                    basis: basis.clone(),
+                },
+                Method::CaPcg3 {
+                    s,
+                    basis: basis.clone(),
+                },
             ] {
-                let res = run(&method, &inst, crit);
+                let res = run(&method, &inst, crit, engine);
                 let time = predict_time(
                     &scale_to_paper_size(&res.counters, size_factor),
                     &machine,
@@ -117,5 +159,8 @@ fn main() {
          (1.05-1.63x); CA-PCG is below 1.0x everywhere; CA-PCG3 lands between.\n",
     );
 
-    write_results("table3.txt", &out);
+    match ranks {
+        Some(r) => write_results(&format!("table3_ranks{r}.txt"), &out),
+        None => write_results("table3.txt", &out),
+    }
 }

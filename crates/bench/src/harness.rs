@@ -1,0 +1,56 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds offline, so the kernel benchmarks under
+//! `crates/bench/benches/` use this self-contained timer instead of an
+//! external benchmarking framework: warm up, pick an iteration count that
+//! fills a target window, repeat over several samples, and report the best
+//! sample (least scheduler noise) in ns/iter.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement window per sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(100);
+/// Samples per benchmark; the minimum is reported.
+const SAMPLES: usize = 5;
+
+/// Times `f` and prints `name: <t> ns/iter (<throughput>)`.
+///
+/// `elements_per_iter`, when nonzero, adds an `Melem/s` throughput column
+/// (used by the SpMV benchmark with nnz as the element count).
+pub fn bench_with_throughput<F: FnMut()>(name: &str, elements_per_iter: u64, mut f: F) {
+    // Warm-up and calibration: find iters filling the sample window.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed();
+        if dt >= SAMPLE_WINDOW / 4 || iters >= 1 << 30 {
+            let per_iter = dt.as_nanos().max(1) as u64 / iters;
+            iters = (SAMPLE_WINDOW.as_nanos() as u64 / per_iter.max(1)).max(1);
+            break;
+        }
+        iters *= 4;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    if elements_per_iter > 0 {
+        let melem_s = elements_per_iter as f64 / best * 1e3;
+        println!("{name:40} {best:12.1} ns/iter  {melem_s:10.1} Melem/s");
+    } else {
+        println!("{name:40} {best:12.1} ns/iter");
+    }
+}
+
+/// Times `f` and prints `name: <t> ns/iter`.
+pub fn bench<F: FnMut()>(name: &str, f: F) {
+    bench_with_throughput(name, 0, f);
+}

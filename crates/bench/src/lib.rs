@@ -1,6 +1,8 @@
 //! Shared experiment-harness utilities for the Table/Figure regeneration
-//! binaries (`table1`, `table2`, `table3`, `fig1`) and the Criterion
+//! binaries (`table1`, `table2`, `table3`, `fig1`) and the kernel
 //! benchmarks.
+
+pub mod harness;
 
 use spcg_basis::BasisType;
 use spcg_precond::{ChebyshevPrecond, Jacobi, Preconditioner};
@@ -82,7 +84,12 @@ pub fn prepare_instance(name: &str, a: CsrMatrix, precond: Precond) -> Instance 
             // Degree-3 polynomials cannot resolve more than a few decades of
             // spread; clamp the target interval like Ifpack2's eigRatio.
             let lo = lo.max(hi / 1e4);
-            Box::new(ChebyshevPrecond::new(Arc::clone(&a), paper::CHEB_PRECOND_DEGREE, lo, hi))
+            Box::new(ChebyshevPrecond::new(
+                Arc::clone(&a),
+                paper::CHEB_PRECOND_DEGREE,
+                lo,
+                hi,
+            ))
         }
     };
     // Basis interval for M⁻¹A, estimated with the actual preconditioner.
@@ -92,8 +99,17 @@ pub fn prepare_instance(name: &str, a: CsrMatrix, precond: Precond) -> Instance 
     };
     let est = spcg_basis::ritz::estimate_spectrum(&a, m.as_ref(), &b, warmup);
     let (lo, hi) = est.chebyshev_interval(margin);
-    let chebyshev = BasisType::Chebyshev { lambda_min: lo, lambda_max: hi };
-    Instance { name: name.to_string(), a, b, m, chebyshev }
+    let chebyshev = BasisType::Chebyshev {
+        lambda_min: lo,
+        lambda_max: hi,
+    };
+    Instance {
+        name: name.to_string(),
+        a,
+        b,
+        m,
+        chebyshev,
+    }
 }
 
 /// Formats an s-step result the way Table 2 prints it: the iteration count,
@@ -112,6 +128,22 @@ pub fn table2_cell(res: &SolveResult) -> String {
 pub fn not_significant(iters: usize, pcg_iters: usize, s: usize) -> bool {
     let overhead = iters.saturating_sub(pcg_iters);
     (overhead as f64) < 0.2 * pcg_iters as f64 || overhead < s
+}
+
+/// Parses a `--ranks R` command-line flag (ranked execution mode of the
+/// fig1/table3 binaries). `None` means serial execution. A `--ranks`
+/// with a missing, unparsable, or zero value aborts rather than silently
+/// running the (much longer) serial configuration.
+pub fn ranks_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--ranks")?;
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(0) | None => {
+            eprintln!("error: --ranks requires a positive integer, e.g. --ranks 4");
+            std::process::exit(2);
+        }
+        some => some,
+    }
 }
 
 /// Writes experiment output under `results/` (relative to the workspace
@@ -138,7 +170,9 @@ pub fn results_dir() -> PathBuf {
 /// Quick-mode toggle (`SPCG_QUICK=1`): subsample heavy sweeps so smoke
 /// runs finish fast.
 pub fn quick_mode() -> bool {
-    std::env::var("SPCG_QUICK").map(|v| v == "1" || v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    std::env::var("SPCG_QUICK")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 /// A plain-text fixed-width table builder.
@@ -150,12 +184,19 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "TextTable: row arity mismatch");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "TextTable: row arity mismatch"
+        );
         self.rows.push(cells);
     }
 
@@ -202,7 +243,10 @@ mod tests {
         let p = inst.problem();
         assert_eq!(p.n(), 144);
         match &inst.chebyshev {
-            BasisType::Chebyshev { lambda_min, lambda_max } => {
+            BasisType::Chebyshev {
+                lambda_min,
+                lambda_max,
+            } => {
                 assert!(*lambda_min > 0.0 && lambda_max > lambda_min);
             }
             other => panic!("unexpected basis {other:?}"),

@@ -10,8 +10,7 @@
 //! in rank order by every participant, so results are bit-identical across
 //! runs regardless of thread scheduling.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A reusable sense-reversing barrier.
 struct Barrier {
@@ -27,11 +26,18 @@ struct BarrierState {
 
 impl Barrier {
     fn new(total: usize) -> Self {
-        Barrier { lock: Mutex::new(BarrierState { count: 0, generation: 0 }), cvar: Condvar::new(), total }
+        Barrier {
+            lock: Mutex::new(BarrierState {
+                count: 0,
+                generation: 0,
+            }),
+            cvar: Condvar::new(),
+            total,
+        }
     }
 
     fn wait(&self) {
-        let mut st = self.lock.lock();
+        let mut st = self.lock.lock().unwrap();
         let gen = st.generation;
         st.count += 1;
         if st.count == self.total {
@@ -40,7 +46,7 @@ impl Barrier {
             self.cvar.notify_all();
         } else {
             while st.generation == gen {
-                self.cvar.wait(&mut st);
+                st = self.cvar.wait(st).unwrap();
             }
         }
     }
@@ -71,7 +77,10 @@ impl CommGroup {
     /// Hands out the per-rank communicator handle.
     pub fn rank_comm(self: &Arc<Self>, rank: usize) -> ThreadComm {
         assert!(rank < self.nranks, "rank_comm: rank out of range");
-        ThreadComm { group: Arc::clone(self), rank }
+        ThreadComm {
+            group: Arc::clone(self),
+            rank,
+        }
     }
 }
 
@@ -109,7 +118,7 @@ impl ThreadComm {
     pub fn allreduce_sum(&self, buf: &mut [f64]) {
         // Deposit phase.
         {
-            let mut slot = self.group.slots[self.rank].lock();
+            let mut slot = self.group.slots[self.rank].lock().unwrap();
             slot.clear();
             slot.extend_from_slice(buf);
         }
@@ -119,8 +128,12 @@ impl ThreadComm {
             *v = 0.0;
         }
         for r in 0..self.group.nranks {
-            let slot = self.group.slots[r].lock();
-            assert_eq!(slot.len(), buf.len(), "allreduce_sum: length mismatch across ranks");
+            let slot = self.group.slots[r].lock().unwrap();
+            assert_eq!(
+                slot.len(),
+                buf.len(),
+                "allreduce_sum: length mismatch across ranks"
+            );
             for (b, s) in buf.iter_mut().zip(slot.iter()) {
                 *b += *s;
             }

@@ -44,6 +44,12 @@ pub struct Counters {
     pub iterations: u64,
     /// Outer iterations (equals `iterations` for standard PCG).
     pub outer_iterations: u64,
+    /// Neighbour (halo / ghost-zone) exchange rounds this rank took part
+    /// in. A depth-s ghost-zone MPK performs **one** round per s-step
+    /// block; a naive distributed MPK performs s. Zero for serial runs.
+    pub halo_exchanges: u64,
+    /// Remote words (f64 values) this rank read across all halo exchanges.
+    pub halo_words: u64,
 }
 
 impl Counters {
@@ -88,6 +94,14 @@ impl Counters {
         self.allreduce_words += words;
     }
 
+    /// Records one halo (ghost-zone) exchange round reading `words` remote
+    /// values. A round may carry several vectors; it still counts once.
+    #[inline]
+    pub fn record_halo_exchange(&mut self, words: u64) {
+        self.halo_exchanges += 1;
+        self.halo_words += words;
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &Counters) {
         self.spmv_count += other.spmv_count;
@@ -104,6 +118,8 @@ impl Counters {
         self.small_flops += other.small_flops;
         self.iterations += other.iterations;
         self.outer_iterations += other.outer_iterations;
+        self.halo_exchanges += other.halo_exchanges;
+        self.halo_words += other.halo_words;
     }
 
     /// All FLOPs on length-n vectors beyond SpMV and preconditioner — the
@@ -140,11 +156,14 @@ mod tests {
         a.record_precond(40);
         a.record_collective(21);
         a.record_dots(3, 10);
+        a.record_halo_exchange(12);
         let mut b = Counters::new();
         b.record_spmv(100);
         b.blas1_flops = 7;
         b.merge(&a);
         assert_eq!(b.spmv_count, 2);
+        assert_eq!(b.halo_exchanges, 1);
+        assert_eq!(b.halo_words, 12);
         assert_eq!(b.spmv_flops, 200);
         assert_eq!(b.precond_count, 1);
         assert_eq!(b.global_collectives, 1);

@@ -14,8 +14,7 @@
 //! synchronizes internally).
 
 use crate::comm::ThreadComm;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A shared full-length vector that ranks publish chunks into.
 pub struct VectorBoard {
@@ -27,17 +26,26 @@ impl VectorBoard {
     /// Creates a board for a vector of `n` entries partitioned at `offsets`
     /// (length `nranks + 1`, `offsets[0] == 0`, `offsets[nranks] == n`).
     pub fn new(offsets: Vec<usize>) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0, "VectorBoard: bad offsets");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "VectorBoard: bad offsets"
+        );
         for w in offsets.windows(2) {
             assert!(w[0] <= w[1], "VectorBoard: offsets must be monotone");
         }
         let n = *offsets.last().unwrap();
-        VectorBoard { data: Arc::new(RwLock::new(vec![0.0; n])), offsets: Arc::new(offsets) }
+        VectorBoard {
+            data: Arc::new(RwLock::new(vec![0.0; n])),
+            offsets: Arc::new(offsets),
+        }
     }
 
     /// Clones a handle for another rank's thread.
     pub fn handle(&self) -> VectorBoard {
-        VectorBoard { data: Arc::clone(&self.data), offsets: Arc::clone(&self.offsets) }
+        VectorBoard {
+            data: Arc::clone(&self.data),
+            offsets: Arc::clone(&self.offsets),
+        }
     }
 
     /// Row range owned by `rank`.
@@ -51,7 +59,7 @@ impl VectorBoard {
         let (lo, hi) = self.range(comm.rank());
         assert_eq!(chunk.len(), hi - lo, "publish: chunk length mismatch");
         {
-            let mut board = self.data.write();
+            let mut board = self.data.write().unwrap();
             board[lo..hi].copy_from_slice(chunk);
         }
         comm.barrier();
@@ -60,12 +68,12 @@ impl VectorBoard {
     /// Reads a copy of the full board (call only after [`Self::publish`] has
     /// completed on all ranks in this round).
     pub fn snapshot(&self) -> Vec<f64> {
-        self.data.read().clone()
+        self.data.read().unwrap().clone()
     }
 
     /// Reads selected entries (the halo indices) into `out`.
     pub fn gather(&self, indices: &[usize], out: &mut Vec<f64>) {
-        let board = self.data.read();
+        let board = self.data.read().unwrap();
         out.clear();
         out.extend(indices.iter().map(|&i| board[i]));
     }
@@ -73,7 +81,7 @@ impl VectorBoard {
     /// Runs `f` with a read view of the full board, avoiding the copy that
     /// [`Self::snapshot`] makes.
     pub fn with_view<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
-        let board = self.data.read();
+        let board = self.data.read().unwrap();
         f(&board)
     }
 }

@@ -26,7 +26,10 @@ where
                 scope.spawn(move || f(comm))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
     })
 }
 

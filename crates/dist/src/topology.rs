@@ -18,8 +18,14 @@ pub struct MachineTopology {
 impl MachineTopology {
     /// Creates a topology; both dimensions must be positive.
     pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
-        assert!(nodes > 0 && ranks_per_node > 0, "MachineTopology: dimensions must be positive");
-        MachineTopology { nodes, ranks_per_node }
+        assert!(
+            nodes > 0 && ranks_per_node > 0,
+            "MachineTopology: dimensions must be positive"
+        );
+        MachineTopology {
+            nodes,
+            ranks_per_node,
+        }
     }
 
     /// The paper's configuration: `nodes` nodes with 128 ranks each.

@@ -94,8 +94,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn validate_rejects_zero_rate() {
-        let mut m = MachineParams::default();
-        m.blas1_flops = 0.0;
+        let m = MachineParams {
+            blas1_flops: 0.0,
+            ..Default::default()
+        };
         m.validate();
     }
 }

@@ -25,7 +25,13 @@ pub struct TimeBreakdown {
 impl TimeBreakdown {
     /// Total modeled wall time.
     pub fn total(&self) -> f64 {
-        self.spmv + self.precond + self.blas1 + self.blas23 + self.small + self.allreduce + self.halo
+        self.spmv
+            + self.precond
+            + self.blas1
+            + self.blas23
+            + self.small
+            + self.allreduce
+            + self.halo
     }
 
     /// Fraction of total time spent communicating.

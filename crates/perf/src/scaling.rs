@@ -29,7 +29,10 @@ pub fn strong_scaling(
         .map(|&nodes| {
             let topo = MachineTopology::new(nodes, ranks_per_node);
             let halo = halo_words_per_rank(topo.total_ranks());
-            ScalingPoint { nodes, time: predict_time(counters, machine, &topo, halo) }
+            ScalingPoint {
+                nodes,
+                time: predict_time(counters, machine, &topo, halo),
+            }
         })
         .collect()
 }
@@ -85,8 +88,13 @@ mod tests {
         let nodes = [1usize, 2, 4, 8, 16, 32, 64, 128];
         let halo = |ranks: usize| poisson3d_halo_per_rank(m, ranks);
         let pcg = strong_scaling(&pcg_like_counters(600, n, nnz), &machine, &nodes, 128, halo);
-        let spcg =
-            strong_scaling(&spcg_like_counters(600, 10, n, nnz), &machine, &nodes, 128, halo);
+        let spcg = strong_scaling(
+            &spcg_like_counters(600, 10, n, nnz),
+            &machine,
+            &nodes,
+            128,
+            halo,
+        );
         // PCG: no speedup from 32 to 128 nodes worth mentioning.
         let t32 = pcg[5].time.total();
         let t128 = pcg[7].time.total();

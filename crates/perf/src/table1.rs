@@ -26,8 +26,13 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All rows of Table 1 in paper order.
-    pub const ALL: [Algorithm; 5] =
-        [Algorithm::Pcg, Algorithm::SPcgMon, Algorithm::SPcg, Algorithm::CaPcg, Algorithm::CaPcg3];
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Pcg,
+        Algorithm::SPcgMon,
+        Algorithm::SPcg,
+        Algorithm::CaPcg,
+        Algorithm::CaPcg3,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -89,7 +94,8 @@ impl Algorithm {
     /// Total remaining FLOPs per row per s steps, arbitrary basis (last
     /// column; `None` where the algorithm supports only the monomial basis).
     pub fn total_arbitrary(&self, s: u64) -> Option<u64> {
-        self.vector_flops_extra_arbitrary(s).map(|e| self.total_monomial(s) + e)
+        self.vector_flops_extra_arbitrary(s)
+            .map(|e| self.total_monomial(s) + e)
     }
 
     /// Global collectives per s steps.
@@ -168,7 +174,8 @@ pub fn verify_against_counters(
         (counters.blas1_flops + counters.blas2_flops + counters.blas3_flops) as f64 / n as f64,
     );
     let formula_total = if arbitrary_basis {
-        alg.total_arbitrary(s).expect("algorithm supports only the monomial basis") as f64
+        alg.total_arbitrary(s)
+            .expect("algorithm supports only the monomial basis") as f64
     } else {
         alg.total_monomial(s) as f64
     };
@@ -217,7 +224,10 @@ mod tests {
             // sPCG: 6s² + 6s monomial, 6s² + 16s − 4 arbitrary.
             assert_eq!(Algorithm::SPcg.total_monomial(s), 6 * s * s + 6 * s);
             if s >= 1 {
-                assert_eq!(Algorithm::SPcg.total_arbitrary(s), Some(6 * s * s + 16 * s - 4));
+                assert_eq!(
+                    Algorithm::SPcg.total_arbitrary(s),
+                    Some(6 * s * s + 16 * s - 4)
+                );
             }
         }
     }

@@ -5,7 +5,7 @@
 //! classic communication-free domain preconditioner; it generalizes Jacobi
 //! (block size 1) and is used in ablation benchmarks.
 
-use crate::traits::Preconditioner;
+use crate::traits::{DistForm, Preconditioner, RankLocalApply};
 use spcg_sparse::smallsolve::Cholesky;
 use spcg_sparse::{CsrMatrix, DenseMat};
 
@@ -51,14 +51,58 @@ impl BlockJacobi {
             // Triangular solves: ~2·b² FLOPs per application of this block.
             flops += 2 * (b * b) as u64;
         }
-        BlockJacobi { n, offsets, factors, flops }
+        BlockJacobi {
+            n,
+            offsets,
+            factors,
+            flops,
+        }
+    }
+
+    /// Block boundaries (length `nblocks + 1`, first 0, last `n`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+impl RankLocalApply for BlockJacobi {
+    fn apply_rows(&self, lo: usize, hi: usize, r: &[f64], z: &mut [f64]) {
+        assert_eq!(
+            r.len(),
+            hi - lo,
+            "BlockJacobi::apply_rows: input length mismatch"
+        );
+        assert_eq!(
+            z.len(),
+            hi - lo,
+            "BlockJacobi::apply_rows: output length mismatch"
+        );
+        let first = self
+            .offsets
+            .binary_search(&lo)
+            .unwrap_or_else(|_| panic!("BlockJacobi::apply_rows: {lo} is not a block boundary"));
+        assert!(
+            self.offsets.binary_search(&hi).is_ok(),
+            "BlockJacobi::apply_rows: {hi} is not a block boundary"
+        );
+        z.copy_from_slice(r);
+        for (i, w) in self.offsets[first..].windows(2).enumerate() {
+            if w[0] >= hi {
+                break;
+            }
+            self.factors[first + i].solve_in_place(&mut z[w[0] - lo..w[1] - lo]);
+        }
     }
 }
 
 impl Preconditioner for BlockJacobi {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         assert_eq!(r.len(), self.n, "BlockJacobi::apply: input length mismatch");
-        assert_eq!(z.len(), self.n, "BlockJacobi::apply: output length mismatch");
+        assert_eq!(
+            z.len(),
+            self.n,
+            "BlockJacobi::apply: output length mismatch"
+        );
         z.copy_from_slice(r);
         for (i, w) in self.offsets.windows(2).enumerate() {
             self.factors[i].solve_in_place(&mut z[w[0]..w[1]]);
@@ -74,8 +118,20 @@ impl Preconditioner for BlockJacobi {
     }
 
     fn name(&self) -> String {
-        let block = self.offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let block = self
+            .offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
         format!("block-jacobi(b={block})")
+    }
+
+    fn dist_form(&self) -> DistForm<'_> {
+        DistForm::RankLocal {
+            offsets: &self.offsets,
+            op: self,
+        }
     }
 }
 

@@ -13,7 +13,7 @@
 //! few warm-up iterations (see `spcg-basis::ritz`) or Gershgorin circles;
 //! like Trilinos/Ifpack2 the lower bound defaults to `λ_hi / ratio`.
 
-use crate::traits::Preconditioner;
+use crate::traits::{DistForm, Preconditioner, SpmvPolyApply};
 use spcg_sparse::CsrMatrix;
 use std::sync::Arc;
 
@@ -36,8 +36,17 @@ impl ChebyshevPrecond {
             lambda_lo > 0.0 && lambda_lo < lambda_hi,
             "ChebyshevPrecond: need 0 < lambda_lo < lambda_hi (got {lambda_lo}, {lambda_hi})"
         );
-        assert_eq!(a.nrows(), a.ncols(), "ChebyshevPrecond: matrix must be square");
-        ChebyshevPrecond { a, degree, lambda_lo, lambda_hi }
+        assert_eq!(
+            a.nrows(),
+            a.ncols(),
+            "ChebyshevPrecond: matrix must be square"
+        );
+        ChebyshevPrecond {
+            a,
+            degree,
+            lambda_lo,
+            lambda_hi,
+        }
     }
 
     /// Builds with bounds from Gershgorin circles: `λ_hi` is the (safe)
@@ -61,11 +70,10 @@ impl ChebyshevPrecond {
     }
 }
 
-impl Preconditioner for ChebyshevPrecond {
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        let n = self.a.nrows();
-        assert_eq!(r.len(), n, "ChebyshevPrecond::apply: input length mismatch");
-        assert_eq!(z.len(), n, "ChebyshevPrecond::apply: output length mismatch");
+impl SpmvPolyApply for ChebyshevPrecond {
+    fn apply_with_spmv(&self, r: &[f64], z: &mut [f64], spmv: &mut dyn FnMut(&[f64], &mut [f64])) {
+        let n = r.len();
+        assert_eq!(z.len(), n, "ChebyshevPrecond: output length mismatch");
         let theta = 0.5 * (self.lambda_hi + self.lambda_lo);
         let delta = 0.5 * (self.lambda_hi - self.lambda_lo);
         let sigma1 = theta / delta;
@@ -77,7 +85,7 @@ impl Preconditioner for ChebyshevPrecond {
         for _ in 0..self.degree {
             let rho = 1.0 / (2.0 * sigma1 - rho_prev);
             // res = r − A z (one SpMV).
-            self.a.spmv(z, &mut ax);
+            spmv(z, &mut ax);
             let c1 = rho * rho_prev;
             let c2 = 2.0 * rho / delta;
             for i in 0..n {
@@ -86,6 +94,23 @@ impl Preconditioner for ChebyshevPrecond {
             }
             rho_prev = rho;
         }
+    }
+
+    fn spmvs_per_apply(&self) -> usize {
+        self.degree
+    }
+}
+
+impl Preconditioner for ChebyshevPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.a.nrows();
+        assert_eq!(r.len(), n, "ChebyshevPrecond::apply: input length mismatch");
+        assert_eq!(
+            z.len(),
+            n,
+            "ChebyshevPrecond::apply: output length mismatch"
+        );
+        self.apply_with_spmv(r, z, &mut |x, y| self.a.spmv(x, y));
     }
 
     fn dim(&self) -> usize {
@@ -100,6 +125,10 @@ impl Preconditioner for ChebyshevPrecond {
 
     fn name(&self) -> String {
         format!("chebyshev(deg={})", self.degree)
+    }
+
+    fn dist_form(&self) -> DistForm<'_> {
+        DistForm::SpmvPolynomial(self)
     }
 }
 

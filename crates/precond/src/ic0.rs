@@ -58,7 +58,13 @@ fn try_factor(a: &CsrMatrix, shift: f64) -> Option<CsrMatrix> {
             .iter()
             .zip(vals)
             .filter(|&(&c, _)| c <= i)
-            .map(|(&c, &v)| if c == i { (c, v * (1.0 + shift)) } else { (c, v) })
+            .map(|(&c, &v)| {
+                if c == i {
+                    (c, v * (1.0 + shift))
+                } else {
+                    (c, v)
+                }
+            })
             .collect();
         row.sort_unstable_by_key(|&(c, _)| c);
         rows.push(row);
@@ -200,8 +206,8 @@ mod tests {
         use spcg_solvers_shim::*;
         // Inline mini-PCG to avoid a dev-dependency cycle with spcg-solvers.
         mod spcg_solvers_shim {
-            use spcg_sparse::{blas, CsrMatrix};
             use crate::Preconditioner;
+            use spcg_sparse::{blas, CsrMatrix};
             pub fn pcg_iters(a: &CsrMatrix, m: &dyn Preconditioner, b: &[f64], tol: f64) -> usize {
                 let n = a.nrows();
                 let mut x = vec![0.0; n];
@@ -237,6 +243,9 @@ mod tests {
         let it_i = pcg_iters(&a, &ic, &b, 1e-8);
         assert!(it_i < it_j, "IC(0) {it_i} not better than Jacobi {it_j}");
         // Classical result: IC(0) roughly halves Poisson's iteration count.
-        assert!(it_i <= it_j / 2, "IC(0) should roughly halve the count: {it_i} vs {it_j}");
+        assert!(
+            it_i <= it_j / 2,
+            "IC(0) should roughly halve the count: {it_i} vs {it_j}"
+        );
     }
 }

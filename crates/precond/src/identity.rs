@@ -1,17 +1,22 @@
 //! Identity preconditioner (`M = I`), turning PCG into plain CG.
 
-use crate::traits::Preconditioner;
+use crate::traits::{DistForm, Preconditioner};
 
 /// The identity operator.
 #[derive(Debug, Clone)]
 pub struct Identity {
     n: usize,
+    /// Unit weights backing the [`DistForm::Pointwise`] view.
+    ones: Vec<f64>,
 }
 
 impl Identity {
     /// Identity of dimension `n`.
     pub fn new(n: usize) -> Self {
-        Identity { n }
+        Identity {
+            n,
+            ones: vec![1.0; n],
+        }
     }
 }
 
@@ -32,6 +37,10 @@ impl Preconditioner for Identity {
 
     fn name(&self) -> String {
         "identity".to_string()
+    }
+
+    fn dist_form(&self) -> DistForm<'_> {
+        DistForm::Pointwise(&self.ones)
     }
 }
 

@@ -3,7 +3,7 @@
 //! The cheapest communication-free preconditioner; used in the paper's
 //! Table 3 (columns 6–9) and Figure 1.
 
-use crate::traits::Preconditioner;
+use crate::traits::{DistForm, Preconditioner};
 use spcg_sparse::CsrMatrix;
 
 /// `M⁻¹ = diag(A)⁻¹`.
@@ -24,7 +24,10 @@ impl Jacobi {
             .iter()
             .enumerate()
             .map(|(i, &d)| {
-                assert!(d > 0.0, "Jacobi: non-positive diagonal entry {d} at row {i}");
+                assert!(
+                    d > 0.0,
+                    "Jacobi: non-positive diagonal entry {d} at row {i}"
+                );
                 1.0 / d
             })
             .collect();
@@ -39,8 +42,16 @@ impl Jacobi {
 
 impl Preconditioner for Jacobi {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
-        assert_eq!(r.len(), self.inv_diag.len(), "Jacobi::apply: input length mismatch");
-        assert_eq!(z.len(), self.inv_diag.len(), "Jacobi::apply: output length mismatch");
+        assert_eq!(
+            r.len(),
+            self.inv_diag.len(),
+            "Jacobi::apply: input length mismatch"
+        );
+        assert_eq!(
+            z.len(),
+            self.inv_diag.len(),
+            "Jacobi::apply: output length mismatch"
+        );
         for i in 0..r.len() {
             z[i] = r[i] * self.inv_diag[i];
         }
@@ -56,6 +67,10 @@ impl Preconditioner for Jacobi {
 
     fn name(&self) -> String {
         "jacobi".to_string()
+    }
+
+    fn dist_form(&self) -> DistForm<'_> {
+        DistForm::Pointwise(&self.inv_diag)
     }
 }
 

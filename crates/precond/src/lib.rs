@@ -26,4 +26,4 @@ pub use ic0::Ic0;
 pub use identity::Identity;
 pub use jacobi::Jacobi;
 pub use ssor::Ssor;
-pub use traits::Preconditioner;
+pub use traits::{DistForm, Preconditioner, RankLocalApply, SpmvPolyApply};

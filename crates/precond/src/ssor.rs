@@ -33,7 +33,11 @@ impl Ssor {
                 1.0 / d
             })
             .collect();
-        Ssor { a: a.clone(), inv_diag, omega }
+        Ssor {
+            a: a.clone(),
+            inv_diag,
+            omega,
+        }
     }
 }
 
@@ -106,7 +110,10 @@ mod tests {
         let py = p.apply_alloc(&y);
         let ip1: f64 = px.iter().zip(&y).map(|(a, b)| a * b).sum();
         let ip2: f64 = x.iter().zip(&py).map(|(a, b)| a * b).sum();
-        assert!((ip1 - ip2).abs() < 1e-10 * ip1.abs().max(1.0), "{ip1} vs {ip2}");
+        assert!(
+            (ip1 - ip2).abs() < 1e-10 * ip1.abs().max(1.0),
+            "{ip1} vs {ip2}"
+        );
     }
 
     #[test]
@@ -114,7 +121,9 @@ mod tests {
         let a = poisson_1d(10);
         let p = Ssor::new(&a, 1.0);
         for seed in 0..5 {
-            let x: Vec<f64> = (0..10).map(|i| ((i * 7 + seed * 3) % 5) as f64 - 2.0).collect();
+            let x: Vec<f64> = (0..10)
+                .map(|i| ((i * 7 + seed * 3) % 5) as f64 - 2.0)
+                .collect();
             if x.iter().all(|&v| v == 0.0) {
                 continue;
             }

@@ -1,4 +1,66 @@
-//! The preconditioner abstraction.
+//! The preconditioner abstraction, and its distributed decomposition.
+//!
+//! Besides the serial [`Preconditioner::apply`] entry point, every
+//! preconditioner advertises a [`DistForm`] describing how it decomposes
+//! under a block-row rank partition. The distributed engine in
+//! `spcg-solvers` dispatches on this form to pick the cheapest correct
+//! application strategy — and, for pointwise forms, to ghost the operator
+//! into the depth-s matrix powers kernel.
+
+/// How a preconditioner decomposes under a contiguous block-row partition.
+///
+/// Returned by [`Preconditioner::dist_form`]; borrowed views into the
+/// preconditioner's own storage, so constructing one is free.
+pub enum DistForm<'a> {
+    /// `z[i] = w[i] · r[i]` with a global weight vector `w` of length `n`.
+    ///
+    /// Appliable on *any* index subset — including the ghost rows of a
+    /// depth-s ghost zone, which is what lets the distributed matrix powers
+    /// kernel run all s preconditioned levels from a single exchange.
+    /// Jacobi (`w = diag(A)⁻¹`) and the identity (`w = 1`) take this form.
+    Pointwise(&'a [f64]),
+    /// Block-diagonal with the given block `offsets` (length `nblocks+1`,
+    /// first 0, last `n`). The engine applies it rank-locally with zero
+    /// communication when every partition boundary is a block boundary,
+    /// and falls back to [`DistForm::Coupled`] handling otherwise.
+    RankLocal {
+        offsets: &'a [usize],
+        op: &'a dyn RankLocalApply,
+    },
+    /// A fixed polynomial in `A`: the application is a short sequence of
+    /// SpMVs plus pointwise vector work, so the engine can distribute it by
+    /// substituting its own halo-exchanged SpMV (Chebyshev).
+    SpmvPolynomial(&'a dyn SpmvPolyApply),
+    /// No exploitable structure (e.g. SSOR, IC(0) triangular solves): the
+    /// engine gathers the full residual, applies the serial operator, and
+    /// keeps its own rows.
+    Coupled,
+}
+
+/// Rank-local application of a block-diagonal operator on an aligned row
+/// range.
+pub trait RankLocalApply: Send + Sync {
+    /// Applies the blocks covering `[lo, hi)` to the local slices `r`, `z`
+    /// (both of length `hi − lo`).
+    ///
+    /// # Panics
+    /// Panics unless `lo` and `hi` are block boundaries.
+    fn apply_rows(&self, lo: usize, hi: usize, r: &[f64], z: &mut [f64]);
+}
+
+/// A preconditioner whose application is a polynomial in `A`, expressed
+/// against an injected SpMV so the same recurrence runs serially or over a
+/// distributed operator.
+pub trait SpmvPolyApply: Send + Sync {
+    /// Applies `z ← q(A) r` where every product with `A` goes through
+    /// `spmv`. Vector lengths follow `r.len()` (local length under a rank
+    /// partition), not the global dimension.
+    fn apply_with_spmv(&self, r: &[f64], z: &mut [f64], spmv: &mut dyn FnMut(&[f64], &mut [f64]));
+
+    /// Number of `spmv` calls one application makes (= halo exchanges the
+    /// distributed engine will perform per apply).
+    fn spmvs_per_apply(&self) -> usize;
+}
 
 /// A fixed symmetric-positive-definite linear operator `M⁻¹` applied as
 /// `z = M⁻¹ r`.
@@ -32,6 +94,13 @@ pub trait Preconditioner: Send + Sync {
         let mut z = vec![0.0; r.len()];
         self.apply(r, &mut z);
         z
+    }
+
+    /// How this operator decomposes under a block-row rank partition.
+    /// Defaults to [`DistForm::Coupled`] (correct for everything, optimal
+    /// for nothing); structured preconditioners override it.
+    fn dist_form(&self) -> DistForm<'_> {
+        DistForm::Coupled
     }
 }
 

@@ -131,15 +131,21 @@ mod tests {
         let m = Jacobi::new(&a);
         let b = paper_rhs(&a);
         let problem = Problem::new(&a, &m, &b);
-        let opts = SolveOptions::default().with_max_iters(20_000).with_history();
+        let opts = SolveOptions::default()
+            .with_max_iters(20_000)
+            .with_history();
         assert!(pcg(&problem, &opts).converged());
         let out = adaptive_spcg(&problem, 10, &BasisType::Monomial, &opts);
         if out.result.converged() {
-            assert!(out.stages.len() >= 1);
+            assert!(!out.stages.is_empty());
             assert!(out.result.true_relative_residual(&a, &b) < 1e-6);
         } else {
             // At minimum the schedule must have tried smaller s.
-            assert!(out.stages.len() > 1, "no adaptation happened: {:?}", out.result.outcome);
+            assert!(
+                out.stages.len() > 1,
+                "no adaptation happened: {:?}",
+                out.result.outcome
+            );
         }
     }
 

@@ -36,14 +36,22 @@ pub fn gram_concat(
 /// # Panics
 /// Panics if `coef.len() != l.k() + r.k()`.
 pub fn gemv_concat(l: &MultiVector, r: &MultiVector, coef: &[f64], out: &mut [f64]) {
-    assert_eq!(coef.len(), l.k() + r.k(), "gemv_concat: coefficient length mismatch");
+    assert_eq!(
+        coef.len(),
+        l.k() + r.k(),
+        "gemv_concat: coefficient length mismatch"
+    );
     l.gemv(&coef[..l.k()], out);
     r.gemv_acc(1.0, &coef[l.k()..], out);
 }
 
 /// `out ← out + a·[l|r]·coef`.
 pub fn gemv_concat_acc(l: &MultiVector, r: &MultiVector, a: f64, coef: &[f64], out: &mut [f64]) {
-    assert_eq!(coef.len(), l.k() + r.k(), "gemv_concat_acc: coefficient length mismatch");
+    assert_eq!(
+        coef.len(),
+        l.k() + r.k(),
+        "gemv_concat_acc: coefficient length mismatch"
+    );
     l.gemv_acc(a, &coef[..l.k()], out);
     r.gemv_acc(a, &coef[l.k()..], out);
 }

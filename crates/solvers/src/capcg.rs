@@ -13,10 +13,11 @@
 //! Figure 1 despite its excellent stability in Table 2.
 
 use crate::blockops::{gemv_concat, gemv_concat_acc, gram_concat};
+use crate::engine::{allreduce_gram, Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::b_capcg;
-use spcg_basis::{BasisType, Mpk};
+use spcg_basis::BasisType;
 use spcg_dist::Counters;
 use spcg_sparse::{blas, MultiVector};
 
@@ -31,9 +32,19 @@ pub fn capcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
+    capcg_g(&mut SerialExec::new(problem), s, basis, opts)
+}
+
+/// CA-PCG over any execution substrate (see [`crate::engine`]).
+pub(crate) fn capcg_g<E: Exec>(
+    exec: &mut E,
+    s: usize,
+    basis: &BasisType,
+    opts: &SolveOptions,
+) -> SolveResult {
     assert!(s >= 2, "capcg: s must be at least 2");
-    let n = problem.n();
-    let nw = n as u64;
+    let n = exec.nl();
+    let nw = exec.n_global();
     let sw = s as u64;
     let dim = 2 * s + 1;
     let mut counters = Counters::new();
@@ -44,14 +55,13 @@ pub fn capcg(
     let b_mat = b_capcg(&params, s);
 
     let mut x = vec![0.0; n];
-    let mut r = problem.b.to_vec();
+    let mut r = exec.b_local().to_vec();
     let mut u = vec![0.0; n];
-    problem.m.apply(&r, &mut u);
-    counters.record_precond(problem.m.flops_per_apply());
+    exec.precond(&r, &mut u, &mut counters);
+    counters.record_precond(exec.m_flops());
     let mut q = r.clone();
     let mut p = u.clone();
 
-    let mpk = Mpk::new(problem.a, problem.m);
     // Y = [Q | R̂], Z = [P | U] kept as separate blocks.
     let mut q_mat = MultiVector::zeros(n, s + 1);
     let mut p_mat = MultiVector::zeros(n, s + 1);
@@ -62,18 +72,27 @@ pub fn capcg(
     let final_verdict;
     'outer: loop {
         // --- the two s-step bases (2s−1 SpMVs, 2s−1 precond total) ---
-        mpk.run(&q, Some(&p), &params, &mut q_mat, &mut p_mat, &mut counters);
-        mpk.run(&r, Some(&u), &params, &mut r_mat, &mut u_mat, &mut counters);
+        exec.mpk(&q, Some(&p), &params, &mut q_mat, &mut p_mat, &mut counters);
+        exec.mpk(&r, Some(&u), &params, &mut r_mat, &mut u_mat, &mut counters);
 
         // --- single global reduction: G = ZᵀY, (2s+1)² words ---
-        let g = gram_concat(&p_mat, &u_mat, &q_mat, &r_mat);
+        let mut g = gram_concat(&p_mat, &u_mat, &q_mat, &r_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
+        allreduce_gram(exec, &mut [&mut g], &mut []);
+        let g = g;
 
         // --- convergence check every s steps ---
         let rtu = g[(s + 1, s + 1)]; // uᵀr
-        let value =
-            criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch_vec, &mut counters);
+        let value = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch_vec,
+            &mut counters,
+        );
         let verdict = stop.check(iterations, value);
         if verdict != Verdict::Continue {
             final_verdict = StopState::outcome(verdict);
@@ -101,7 +120,7 @@ pub fn capcg(
                 gemv_concat_acc(&p_mat, &u_mat, 1.0, &x_c, &mut x);
                 gemv_concat(&q_mat, &r_mat, &r_c, &mut r);
                 let v = criterion_value(
-                    problem,
+                    exec,
                     opts.criterion,
                     &x,
                     &r,
@@ -143,7 +162,14 @@ pub fn capcg(
         counters.outer_iterations += 1;
     }
 
-    SolveResult { x, outcome: final_verdict, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome: final_verdict,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 /// `aᵀ G b` for small vectors.
@@ -165,7 +191,10 @@ mod tests {
     fn chebyshev_basis(problem: &Problem<'_>) -> BasisType {
         let est = estimate_spectrum(problem.a, problem.m, problem.b, 20);
         let (lo, hi) = est.chebyshev_interval(0.1);
-        BasisType::Chebyshev { lambda_min: lo, lambda_max: hi }
+        BasisType::Chebyshev {
+            lambda_min: lo,
+            lambda_max: hi,
+        }
     }
 
     #[test]
@@ -191,7 +220,12 @@ mod tests {
             let res = capcg(&problem, s, &basis, &SolveOptions::default());
             assert!(res.converged(), "s={s}: {:?}", res.outcome);
             let cap = ((r_pcg.iterations + s) / s) * s + 2 * s;
-            assert!(res.iterations <= cap, "s={s}: {} vs {}", res.iterations, r_pcg.iterations);
+            assert!(
+                res.iterations <= cap,
+                "s={s}: {} vs {}",
+                res.iterations,
+                r_pcg.iterations
+            );
         }
     }
 
@@ -219,24 +253,39 @@ mod tests {
     #[test]
     fn monomial_s10_degrades_on_hard_problem() {
         use spcg_sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
-        let a = spd_with_spectrum(500, &SpectrumShape::Uniform { kappa: 1e6 }, 1.0, 3, 21);
-        let m = Jacobi::new(&a);
-        let b = paper_rhs(&a);
+        let kappa = 1e5;
+        let a = spd_with_spectrum(500, &SpectrumShape::Uniform { kappa }, 1.0, 3, 21);
+        let m = Identity::new(a.nrows());
+        // A rhs with uniform eigencomponent weights (unlike `paper_rhs`,
+        // whose `b = A·x*` damps the small-eigenvalue components) so the
+        // full κ difficulty is exposed to the basis conditioning.
+        let n = a.nrows();
+        let b = vec![1.0 / (n as f64).sqrt(); n];
         let problem = Problem::new(&a, &m, &b);
-        // tol 1e-7: above the s-step attainable-accuracy floor at κ = 1e6
+        // tol 1e-7: above the s-step attainable-accuracy floor at this κ
         // (at 1e-9 even the Chebyshev basis stalls — the behaviour the
         // paper's Table 2 hyphens record for its hardest matrices).
-        let opts = SolveOptions::default().with_max_iters(4000).with_tol(1e-7);
+        let opts = SolveOptions::default().with_max_iters(8000).with_tol(1e-7);
         let r_pcg = pcg(&problem, &opts);
         assert!(r_pcg.converged());
+        // The generator pins the spectrum to [1/κ, 1] exactly, so the
+        // Chebyshev basis interval needs no Ritz estimation here.
+        let basis = BasisType::Chebyshev {
+            lambda_min: 1.0 / kappa,
+            lambda_max: 1.0,
+        };
         let r_mono = capcg(&problem, 10, &BasisType::Monomial, &opts);
-        let r_cheb = capcg(&problem, 10, &chebyshev_basis(&problem), &opts);
-        assert!(r_cheb.converged(), "chebyshev should converge: {:?}", r_cheb.outcome);
+        let r_cheb = capcg(&problem, 10, &basis, &opts);
+        assert!(
+            r_cheb.converged(),
+            "chebyshev should converge: {:?}",
+            r_cheb.outcome
+        );
         // Monomial either fails or is significantly delayed (Table 2's
         // CA-PCG column shows delays up to 3×).
         if r_mono.converged() {
             assert!(
-                r_mono.iterations > r_cheb.iterations,
+                r_mono.iterations > r_cheb.iterations + 20,
                 "monomial {} vs chebyshev {}",
                 r_mono.iterations,
                 r_cheb.iterations
@@ -252,6 +301,9 @@ mod tests {
         let problem = Problem::new(&a, &m, &b);
         let opts = SolveOptions::default().with_tol(1e-15).with_max_iters(10);
         let res = capcg(&problem, 5, &BasisType::Monomial, &opts);
-        assert!(matches!(res.outcome, Outcome::MaxIterations | Outcome::Stagnated));
+        assert!(matches!(
+            res.outcome,
+            Outcome::MaxIterations | Outcome::Stagnated
+        ));
     }
 }

@@ -23,10 +23,11 @@
 //! performance drawback the paper holds against CA-PCG3 (§4.1).
 
 use crate::blockops::{gemv_concat, gram_concat};
+use crate::engine::{allreduce_gram, Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::b_small;
-use spcg_basis::{BasisType, Mpk};
+use spcg_basis::BasisType;
 use spcg_dist::Counters;
 use spcg_sparse::{blas, DenseMat, MultiVector};
 
@@ -40,9 +41,19 @@ pub fn capcg3(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
+    capcg3_g(&mut SerialExec::new(problem), s, basis, opts)
+}
+
+/// CA-PCG3 over any execution substrate (see [`crate::engine`]).
+pub(crate) fn capcg3_g<E: Exec>(
+    exec: &mut E,
+    s: usize,
+    basis: &BasisType,
+    opts: &SolveOptions,
+) -> SolveResult {
     assert!(s >= 2, "capcg3: s must be at least 2");
-    let n = problem.n();
-    let nw = n as u64;
+    let n = exec.nl();
+    let nw = exec.n_global();
     let sw = s as u64;
     let dim = 2 * s + 1;
     let mut counters = Counters::new();
@@ -56,11 +67,11 @@ pub fn capcg3(
     let mut x_prev = vec![0.0; n];
     let mut x = vec![0.0; n];
     let mut r_prev = vec![0.0; n];
-    let mut r = problem.b.to_vec();
+    let mut r = exec.b_local().to_vec();
     let mut u_prev = vec![0.0; n];
     let mut u = vec![0.0; n];
-    problem.m.apply(&r, &mut u);
-    counters.record_precond(problem.m.flops_per_apply());
+    exec.precond(&r, &mut u, &mut counters);
+    counters.record_precond(exec.m_flops());
 
     // Previous residual block R^(k-1) / U^(k-1) and its recurrence scalars.
     let mut r_old = MultiVector::zeros(n, s);
@@ -73,7 +84,6 @@ pub fn capcg3(
     let mut gamma_prev = 0.0f64;
     let mut rho_prev = 1.0f64;
 
-    let mpk = Mpk::new(problem.a, problem.m);
     let mut w_mat = MultiVector::zeros(n, s + 1);
     let mut v_mat = MultiVector::zeros(n, s + 1);
     let mut w_vec = vec![0.0; n];
@@ -89,18 +99,27 @@ pub fn capcg3(
         // recursion compounds drift across blocks and, at s ≳ 10, costs
         // several digits of attainable accuracy. One extra preconditioner
         // application per s steps.
-        mpk.run(&r, None, &params, &mut w_mat, &mut v_mat, &mut counters);
+        exec.mpk(&r, None, &params, &mut w_mat, &mut v_mat, &mut counters);
         u.copy_from_slice(v_mat.col(0));
 
         // --- single global reduction: G = [U_old|V]ᵀ[R_old|W] ---
-        let g_mat = gram_concat(&u_old, &v_mat, &r_old, &w_mat);
+        let mut g_mat = gram_concat(&u_old, &v_mat, &r_old, &w_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
+        allreduce_gram(exec, &mut [&mut g_mat], &mut []);
+        let g_mat = g_mat;
 
         // --- convergence check every s steps ---
         let rtu = g_mat[(s, s)]; // uᵀr (V col 0 · W col 0)
-        let value =
-            criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch_vec, &mut counters);
+        let value = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch_vec,
+            &mut counters,
+        );
         let verdict = stop.check(iterations, value);
         if verdict != Verdict::Continue {
             final_verdict = StopState::outcome(verdict);
@@ -141,7 +160,7 @@ pub fn capcg3(
             if !(nu > 0.0) || !(mu > 0.0) || !nu.is_finite() || !mu.is_finite() {
                 // x, r, u are live full vectors; judge before failing.
                 let v = criterion_value(
-                    problem,
+                    exec,
                     opts.criterion,
                     &x,
                     &r,
@@ -216,7 +235,14 @@ pub fn capcg3(
         counters.outer_iterations += 1;
     }
 
-    SolveResult { x, outcome: final_verdict, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome: final_verdict,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 /// Builds the `(2s+1)²` operator mapping residual coordinates `g` to the
@@ -270,7 +296,10 @@ mod tests {
     fn chebyshev_basis(problem: &Problem<'_>) -> BasisType {
         let est = estimate_spectrum(problem.a, problem.m, problem.b, 20);
         let (lo, hi) = est.chebyshev_interval(0.1);
-        BasisType::Chebyshev { lambda_min: lo, lambda_max: hi }
+        BasisType::Chebyshev {
+            lambda_min: lo,
+            lambda_max: hi,
+        }
     }
 
     #[test]
@@ -296,7 +325,12 @@ mod tests {
             let res = capcg3(&problem, s, &basis, &SolveOptions::default());
             assert!(res.converged(), "s={s}: {:?}", res.outcome);
             let cap = ((r3.iterations + s) / s) * s + 2 * s;
-            assert!(res.iterations <= cap, "s={s}: {} vs PCG3 {}", res.iterations, r3.iterations);
+            assert!(
+                res.iterations <= cap,
+                "s={s}: {} vs PCG3 {}",
+                res.iterations,
+                r3.iterations
+            );
         }
     }
 
@@ -348,7 +382,11 @@ mod tests {
         let opts = SolveOptions::default().with_max_iters(3000);
         assert!(pcg(&problem, &opts).converged());
         let res = capcg3(&problem, 10, &BasisType::Monomial, &opts);
-        assert!(!res.converged(), "monomial s=10 should fail, got {:?}", res.outcome);
+        assert!(
+            !res.converged(),
+            "monomial s=10 should fail, got {:?}",
+            res.outcome
+        );
     }
 
     #[test]
@@ -359,6 +397,9 @@ mod tests {
         let problem = Problem::new(&a, &m, &b);
         let opts = SolveOptions::default().with_tol(1e-15).with_max_iters(8);
         let res = capcg3(&problem, 4, &BasisType::Monomial, &opts);
-        assert!(matches!(res.outcome, Outcome::MaxIterations | Outcome::Stagnated));
+        assert!(matches!(
+            res.outcome,
+            Outcome::MaxIterations | Outcome::Stagnated
+        ));
     }
 }

@@ -1,0 +1,516 @@
+//! The unified execution engine: one `solve` entry over serial and
+//! rank-parallel execution.
+//!
+//! Every solver body in this crate is written once, generically over an
+//! [`Exec`] — the small set of operations whose *implementation* differs
+//! between serial and distributed execution: SpMV, preconditioner
+//! application, the Matrix Powers Kernel, local dot partials, and the
+//! allreduce combining them. The bodies record all [`Counters`] charges
+//! themselves, always with **global** operation sizes, so a ranked run
+//! reports the same Table-1 instrumentation as the serial run it mirrors;
+//! the `Exec` implementations only *perform* the work (and additionally
+//! count halo traffic, which exists only under ranking).
+//!
+//! * [`SerialExec`] delegates straight to `CsrMatrix::spmv`,
+//!   `Preconditioner::apply`, `Mpk::run`, and `blas::dot`, with a no-op
+//!   allreduce — bitwise identical to the pre-engine serial solvers.
+//! * [`RankExec`] owns a block of rows `[lo, hi)` on one
+//!   [`ThreadComm`] rank. SpMV gathers a depth-1 ghost zone through a
+//!   [`VectorBoard`]; the MPK gathers a depth-s ghost zone **once per
+//!   s-step block** and runs [`DistMpk`] — the PA1 halo amortization the
+//!   paper's §4.2 communication model assumes. The preconditioner is
+//!   dispatched on its [`DistForm`]: pointwise and rank-aligned block
+//!   operators apply locally, polynomial operators apply through the
+//!   distributed SpMV, and anything else falls back to a replicated apply.
+//!
+//! Reductions go through `ThreadComm::allreduce_sum`, which sums rank
+//! contributions in rank order — deterministic, so every rank takes the
+//! same branches and a ranked solve is reproducible run to run.
+
+use crate::method::Method;
+use crate::options::{Problem, SolveOptions, SolveResult};
+use spcg_basis::poly::BasisParams;
+use spcg_basis::{DistMpk, Mpk};
+use spcg_dist::executor::run_ranks;
+use spcg_dist::{Counters, ThreadComm, VectorBoard};
+use spcg_precond::{DistForm, Preconditioner};
+use spcg_sparse::partition::BlockRowPartition;
+use spcg_sparse::{blas, CsrMatrix, DenseMat, GhostZone, MultiVector};
+
+/// Where a [`solve`](crate::solve) call executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Single-threaded reference execution — bitwise identical to the
+    /// serial solvers this workspace has always had.
+    Serial,
+    /// `ranks` real OS-thread ranks over [`ThreadComm`]: block-row
+    /// partitioned matrix and vectors, ghost-zone halo exchanges (one per
+    /// s-step block for the s-step methods), and rank-ordered deterministic
+    /// allreduces.
+    Ranked {
+        /// Number of ranks; must satisfy `1 ≤ ranks ≤ n`.
+        ranks: usize,
+    },
+}
+
+/// The execution substrate a solver body runs on.
+///
+/// Vectors handled through an `Exec` are rank-local slices of length
+/// [`Exec::nl`]; under serial execution the "local" block is the whole
+/// vector. `dot` returns the **local partial** — bodies combine partials
+/// with [`Exec::allreduce`], which serially is the identity, so packing a
+/// value through it never perturbs bits.
+pub(crate) trait Exec {
+    /// Local row count.
+    fn nl(&self) -> usize;
+    /// Global row count, as the `u64` the counter charges use.
+    fn n_global(&self) -> u64;
+    /// Global FLOPs of one full SpMV.
+    fn spmv_flops(&self) -> u64;
+    /// Global FLOPs of one full preconditioner application.
+    fn m_flops(&self) -> u64;
+    /// Local block of the right-hand side.
+    fn b_local(&self) -> &[f64];
+    /// `y ← A x` on the local rows (halo traffic is counted; the SpMV FLOP
+    /// charge itself is the body's job).
+    fn spmv(&mut self, x: &[f64], y: &mut [f64], counters: &mut Counters);
+    /// `z ← M⁻¹ r` on the local rows.
+    fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters);
+    /// Matrix Powers Kernel: fills the local blocks of `V` and `M⁻¹V`
+    /// seeded by `w`, recording the same SpMV/precond/BLAS1 charges as the
+    /// serial [`Mpk::run`] plus (under ranking) one halo-exchange round.
+    fn mpk(
+        &mut self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    );
+    /// Local partial of `aᵀb`.
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64;
+    /// Sums `buf` across ranks (in rank order); serially a no-op.
+    fn allreduce(&mut self, buf: &mut [f64]);
+}
+
+/// Packs Gram matrices (and loose scalars) into one buffer, allreduces it,
+/// and unpacks — the one-collective-per-s-steps fusion of the s-step
+/// methods. Serially this is a pack/unpack round trip: bitwise identity.
+pub(crate) fn allreduce_gram<E: Exec>(exec: &mut E, mats: &mut [&mut DenseMat], extra: &mut [f64]) {
+    let mut buf: Vec<f64> = Vec::new();
+    for m in mats.iter() {
+        for i in 0..m.nrows() {
+            for j in 0..m.ncols() {
+                buf.push(m[(i, j)]);
+            }
+        }
+    }
+    buf.extend_from_slice(extra);
+    exec.allreduce(&mut buf);
+    let mut it = buf.into_iter();
+    for m in mats.iter_mut() {
+        for i in 0..m.nrows() {
+            for j in 0..m.ncols() {
+                m[(i, j)] = it.next().unwrap();
+            }
+        }
+    }
+    for e in extra.iter_mut() {
+        *e = it.next().unwrap();
+    }
+}
+
+/// Serial execution: the whole problem is one "rank".
+pub(crate) struct SerialExec<'a> {
+    a: &'a CsrMatrix,
+    m: &'a dyn Preconditioner,
+    b: &'a [f64],
+    mpk: Mpk<'a>,
+}
+
+impl<'a> SerialExec<'a> {
+    pub(crate) fn new(problem: &Problem<'a>) -> Self {
+        SerialExec {
+            a: problem.a,
+            m: problem.m,
+            b: problem.b,
+            mpk: Mpk::new(problem.a, problem.m),
+        }
+    }
+}
+
+impl Exec for SerialExec<'_> {
+    fn nl(&self) -> usize {
+        self.a.nrows()
+    }
+    fn n_global(&self) -> u64 {
+        self.a.nrows() as u64
+    }
+    fn spmv_flops(&self) -> u64 {
+        self.a.spmv_flops()
+    }
+    fn m_flops(&self) -> u64 {
+        self.m.flops_per_apply()
+    }
+    fn b_local(&self) -> &[f64] {
+        self.b
+    }
+    fn spmv(&mut self, x: &[f64], y: &mut [f64], _counters: &mut Counters) {
+        self.a.spmv(x, y);
+    }
+    fn precond(&mut self, r: &[f64], z: &mut [f64], _counters: &mut Counters) {
+        self.m.apply(r, z);
+    }
+    fn mpk(
+        &mut self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    ) {
+        self.mpk.run(w, known_mw, params, v, mv, counters);
+    }
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        blas::dot(a, b)
+    }
+    fn allreduce(&mut self, _buf: &mut [f64]) {}
+}
+
+/// Publishes this rank's `chunk` and gathers the extended vector
+/// `[chunk, ghosts]` into `ext`. The trailing barrier keeps a slow reader
+/// from racing the next publish on the same board — the ordering an MPI
+/// halo exchange gets from receive completion. The caller records the
+/// halo-traffic counters (a round may carry several vectors).
+fn gather_ext(
+    board: &VectorBoard,
+    comm: &ThreadComm,
+    chunk: &[f64],
+    ghosts: &[usize],
+    ext: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
+    board.publish(comm, chunk);
+    board.gather(ghosts, scratch);
+    ext.clear();
+    ext.extend_from_slice(chunk);
+    ext.extend_from_slice(scratch);
+    comm.barrier();
+}
+
+/// One rank of a block-row-partitioned solve.
+pub(crate) struct RankExec<'a> {
+    a: &'a CsrMatrix,
+    m: &'a dyn Preconditioner,
+    /// This rank's slice of the right-hand side.
+    b: &'a [f64],
+    comm: ThreadComm,
+    lo: usize,
+    hi: usize,
+    board: VectorBoard,
+    board2: VectorBoard,
+    /// Depth-1 ghost zone for single SpMVs.
+    gz1: GhostZone,
+    /// Depth-s MPK plan — present when the method is s-step and the
+    /// preconditioner is pointwise (the paper's Jacobi configuration).
+    dist_mpk: Option<DistMpk>,
+    /// Partition boundaries align with the block-operator boundaries, so a
+    /// `DistForm::RankLocal` preconditioner can apply locally.
+    rank_local_ok: bool,
+    ext_buf: Vec<f64>,
+    ext_buf2: Vec<f64>,
+    ghost_buf: Vec<f64>,
+    full_buf: Vec<f64>,
+}
+
+impl<'a> RankExec<'a> {
+    pub(crate) fn new(
+        problem: &Problem<'a>,
+        comm: ThreadComm,
+        lo: usize,
+        hi: usize,
+        board: VectorBoard,
+        board2: VectorBoard,
+        mpk_depth: Option<usize>,
+    ) -> Self {
+        let gz1 = GhostZone::new(problem.a, lo, hi, 1);
+        let dist_mpk = match (mpk_depth, problem.m.dist_form()) {
+            (Some(depth), DistForm::Pointwise(w)) => Some(DistMpk::new(
+                problem.a,
+                lo,
+                hi,
+                depth,
+                w,
+                problem.m.flops_per_apply(),
+            )),
+            _ => None,
+        };
+        let rank_local_ok = match problem.m.dist_form() {
+            DistForm::RankLocal { offsets, .. } => {
+                offsets.binary_search(&lo).is_ok() && offsets.binary_search(&hi).is_ok()
+            }
+            _ => false,
+        };
+        RankExec {
+            a: problem.a,
+            m: problem.m,
+            b: &problem.b[lo..hi],
+            comm,
+            lo,
+            hi,
+            board,
+            board2,
+            gz1,
+            dist_mpk,
+            rank_local_ok,
+            ext_buf: Vec::new(),
+            ext_buf2: Vec::new(),
+            ghost_buf: Vec::new(),
+            full_buf: Vec::new(),
+        }
+    }
+
+    /// Replicated preconditioner application: publish the local residual,
+    /// apply the (coupled) operator on the assembled global vector, keep the
+    /// owned rows. One exchange of the full remote vector.
+    fn precond_replicated(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
+        self.board.publish(&self.comm, r);
+        let r_full = self.board.snapshot();
+        self.comm.barrier();
+        counters.record_halo_exchange((r_full.len() - (self.hi - self.lo)) as u64);
+        self.full_buf.resize(r_full.len(), 0.0);
+        self.m.apply(&r_full, &mut self.full_buf);
+        z.copy_from_slice(&self.full_buf[self.lo..self.hi]);
+    }
+}
+
+impl Exec for RankExec<'_> {
+    fn nl(&self) -> usize {
+        self.hi - self.lo
+    }
+    fn n_global(&self) -> u64 {
+        self.a.nrows() as u64
+    }
+    fn spmv_flops(&self) -> u64 {
+        self.a.spmv_flops()
+    }
+    fn m_flops(&self) -> u64 {
+        self.m.flops_per_apply()
+    }
+    fn b_local(&self) -> &[f64] {
+        self.b
+    }
+
+    fn spmv(&mut self, x: &[f64], y: &mut [f64], counters: &mut Counters) {
+        let RankExec {
+            comm,
+            board,
+            gz1,
+            ext_buf,
+            ghost_buf,
+            ..
+        } = self;
+        gather_ext(board, comm, x, gz1.ghost_indices(), ext_buf, ghost_buf);
+        counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
+        gz1.spmv_prefix(gz1.n_owned(), ext_buf, y);
+    }
+
+    fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
+        // Detach the preconditioner borrow from `self` so the dispatch can
+        // still use the mutable exchange state.
+        let m: &dyn Preconditioner = self.m;
+        match m.dist_form() {
+            DistForm::Pointwise(w) => {
+                let lo = self.lo;
+                for (i, (zi, ri)) in z.iter_mut().zip(r).enumerate() {
+                    *zi = ri * w[lo + i];
+                }
+            }
+            DistForm::RankLocal { op, .. } if self.rank_local_ok => {
+                op.apply_rows(self.lo, self.hi, r, z);
+            }
+            DistForm::SpmvPolynomial(op) => {
+                let RankExec {
+                    comm,
+                    board,
+                    gz1,
+                    ext_buf,
+                    ghost_buf,
+                    ..
+                } = self;
+                op.apply_with_spmv(r, z, &mut |xv, yv| {
+                    gather_ext(board, comm, xv, gz1.ghost_indices(), ext_buf, ghost_buf);
+                    counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
+                    gz1.spmv_prefix(gz1.n_owned(), ext_buf, yv);
+                });
+            }
+            // Coupled operators — and block operators whose boundaries cut
+            // across the partition — need the assembled vector.
+            DistForm::RankLocal { .. } | DistForm::Coupled => {
+                self.precond_replicated(r, z, counters);
+            }
+        }
+    }
+
+    fn mpk(
+        &mut self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    ) {
+        if self.dist_mpk.is_some() {
+            // PA1: one depth-s ghost exchange covers the whole s-step block.
+            let RankExec {
+                comm,
+                board,
+                board2,
+                dist_mpk,
+                ext_buf,
+                ext_buf2,
+                ghost_buf,
+                ..
+            } = self;
+            let dk = dist_mpk.as_mut().unwrap();
+            let n_ghost = dk.ghost().ghost_indices().len() as u64;
+            gather_ext(
+                board,
+                comm,
+                w,
+                dk.ghost().ghost_indices(),
+                ext_buf,
+                ghost_buf,
+            );
+            if let Some(mw) = known_mw {
+                gather_ext(
+                    board2,
+                    comm,
+                    mw,
+                    dk.ghost().ghost_indices(),
+                    ext_buf2,
+                    ghost_buf,
+                );
+            }
+            counters.record_halo_exchange(n_ghost * if known_mw.is_some() { 2 } else { 1 });
+            dk.run(
+                ext_buf,
+                known_mw.map(|_| ext_buf2.as_slice()),
+                params,
+                v,
+                mv,
+                counters,
+            );
+        } else {
+            // Non-pointwise preconditioner: the basis recurrence couples all
+            // rows through M⁻¹, so replicate the kernel on the assembled
+            // seed(s) and keep the owned rows. Costs a full-vector exchange
+            // (still one round per s-step block).
+            let n = self.a.nrows();
+            let nl = self.hi - self.lo;
+            self.board.publish(&self.comm, w);
+            let w_full = self.board.snapshot();
+            self.comm.barrier();
+            let mut words = (n - nl) as u64;
+            let mw_full = known_mw.map(|mw| {
+                self.board2.publish(&self.comm, mw);
+                let full = self.board2.snapshot();
+                self.comm.barrier();
+                words += (n - nl) as u64;
+                full
+            });
+            counters.record_halo_exchange(words);
+            let mut v_full = MultiVector::zeros(n, v.k());
+            let mut mv_full = MultiVector::zeros(n, mv.k());
+            Mpk::new(self.a, self.m).run(
+                &w_full,
+                mw_full.as_deref(),
+                params,
+                &mut v_full,
+                &mut mv_full,
+                counters,
+            );
+            for j in 0..v.k() {
+                v.col_mut(j)
+                    .copy_from_slice(&v_full.col(j)[self.lo..self.hi]);
+            }
+            for j in 0..mv.k() {
+                mv.col_mut(j)
+                    .copy_from_slice(&mv_full.col(j)[self.lo..self.hi]);
+            }
+        }
+    }
+
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        blas::dot(a, b)
+    }
+
+    fn allreduce(&mut self, buf: &mut [f64]) {
+        self.comm.allreduce_sum(buf);
+    }
+}
+
+/// Runs `method` over `ranks` real ranks and assembles the result.
+///
+/// Every branch a solver takes depends only on allreduced (deterministic,
+/// rank-order-summed) scalars, so all ranks run the same control flow;
+/// rank 0's outcome/iterations/counters describe the collective run, and
+/// the solution is the concatenation of the rank-local blocks.
+pub(crate) fn run_ranked(
+    method: &Method,
+    problem: &Problem<'_>,
+    opts: &SolveOptions,
+    ranks: usize,
+) -> SolveResult {
+    let n = problem.n();
+    assert!(ranks >= 1, "Engine::Ranked: need at least one rank");
+    assert!(ranks <= n, "Engine::Ranked: {ranks} ranks exceed {n} rows");
+    let part = BlockRowPartition::balanced(n, ranks);
+    let offsets: Vec<usize> = (0..=ranks)
+        .map(|p| if p == 0 { 0 } else { part.range(p - 1).1 })
+        .collect();
+    let board = VectorBoard::new(offsets.clone());
+    let board2 = VectorBoard::new(offsets);
+    let mpk_depth = match method {
+        Method::Pcg | Method::Pcg3 => None,
+        _ => Some(method.s()),
+    };
+
+    let results = run_ranks(ranks, |comm: ThreadComm| {
+        let (lo, hi) = part.range(comm.rank());
+        let mut exec = RankExec::new(
+            problem,
+            comm,
+            lo,
+            hi,
+            board.handle(),
+            board2.handle(),
+            mpk_depth,
+        );
+        dispatch(method, &mut exec, opts)
+    });
+
+    let mut x = Vec::with_capacity(n);
+    for r in &results {
+        x.extend_from_slice(&r.x);
+    }
+    let mut out = results.into_iter().next().unwrap();
+    out.collectives_per_rank = Some(out.counters.global_collectives);
+    out.x = x;
+    out
+}
+
+/// Dispatches a method onto an execution substrate.
+pub(crate) fn dispatch<E: Exec>(method: &Method, exec: &mut E, opts: &SolveOptions) -> SolveResult {
+    match method {
+        Method::Pcg => crate::pcg::pcg_g(exec, opts),
+        Method::Pcg3 => crate::pcg3::pcg3_g(exec, opts),
+        Method::SPcg { s, basis } => crate::spcg::spcg_g(exec, *s, basis, opts),
+        Method::SPcgMon { s } => crate::spcg_mon::spcg_mon_g(exec, *s, opts),
+        Method::CaPcg { s, basis } => crate::capcg::capcg_g(exec, *s, basis, opts),
+        Method::CaPcg3 { s, basis } => crate::capcg3::capcg3_g(exec, *s, basis, opts),
+    }
+}

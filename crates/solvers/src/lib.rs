@@ -21,6 +21,7 @@ pub mod adaptive;
 pub mod blockops;
 pub mod capcg;
 pub mod capcg3;
+pub mod engine;
 pub mod method;
 pub mod options;
 pub mod par;
@@ -31,13 +32,18 @@ pub mod spcg;
 pub mod spcg_mon;
 pub mod stopping;
 
+pub use capcg::capcg;
+pub use capcg3::capcg3;
+pub use engine::Engine;
 pub use method::{solve, Method};
-pub use options::{Outcome, Problem, SolveOptions, SolveResult, StoppingCriterion};
+pub use options::{
+    Outcome, Problem, ProblemError, SolveOptions, SolveOptionsBuilder, SolveResult,
+    StoppingCriterion,
+};
+#[allow(deprecated)]
 pub use par::{par_pcg, par_spcg, ParSolveResult};
 pub use pcg::pcg;
 pub use pcg3::pcg3;
 pub use setup::{chebyshev_basis, newton_basis};
 pub use spcg::spcg;
 pub use spcg_mon::spcg_mon;
-pub use capcg::capcg;
-pub use capcg3::capcg3;

@@ -1,5 +1,6 @@
 //! Unified method dispatch for the experiment harnesses.
 
+use crate::engine::Engine;
 use crate::options::{Problem, SolveOptions, SolveResult};
 use spcg_basis::BasisType;
 
@@ -45,15 +46,29 @@ impl Method {
     }
 }
 
-/// Runs the selected method.
-pub fn solve(method: &Method, problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    match method {
-        Method::Pcg => crate::pcg::pcg(problem, opts),
-        Method::Pcg3 => crate::pcg3::pcg3(problem, opts),
-        Method::SPcg { s, basis } => crate::spcg::spcg(problem, *s, basis, opts),
-        Method::SPcgMon { s } => crate::spcg_mon::spcg_mon(problem, *s, opts),
-        Method::CaPcg { s, basis } => crate::capcg::capcg(problem, *s, basis, opts),
-        Method::CaPcg3 { s, basis } => crate::capcg3::capcg3(problem, *s, basis, opts),
+/// Runs the selected method on the chosen execution [`Engine`].
+///
+/// `Engine::Serial` runs the reference single-address-space solver;
+/// `Engine::Ranked { ranks }` partitions the rows over `ranks` communicating
+/// ranks (`spcg_dist::ThreadComm`) and solves the same system with the same
+/// arithmetic, one rank per OS thread. Iterates agree with serial execution
+/// up to reduction rounding (bitwise for one rank).
+pub fn solve(
+    method: &Method,
+    problem: &Problem<'_>,
+    opts: &SolveOptions,
+    engine: Engine,
+) -> SolveResult {
+    match engine {
+        Engine::Serial => match method {
+            Method::Pcg => crate::pcg::pcg(problem, opts),
+            Method::Pcg3 => crate::pcg3::pcg3(problem, opts),
+            Method::SPcg { s, basis } => crate::spcg::spcg(problem, *s, basis, opts),
+            Method::SPcgMon { s } => crate::spcg_mon::spcg_mon(problem, *s, opts),
+            Method::CaPcg { s, basis } => crate::capcg::capcg(problem, *s, basis, opts),
+            Method::CaPcg3 { s, basis } => crate::capcg3::capcg3(problem, *s, basis, opts),
+        },
+        Engine::Ranked { ranks } => crate::engine::run_ranked(method, problem, opts, ranks),
     }
 }
 
@@ -74,14 +89,25 @@ mod tests {
         let methods = [
             Method::Pcg,
             Method::Pcg3,
-            Method::SPcg { s: 4, basis: basis.clone() },
+            Method::SPcg {
+                s: 4,
+                basis: basis.clone(),
+            },
             Method::SPcgMon { s: 4 },
-            Method::CaPcg { s: 4, basis: basis.clone() },
+            Method::CaPcg {
+                s: 4,
+                basis: basis.clone(),
+            },
             Method::CaPcg3 { s: 4, basis },
         ];
         for method in &methods {
-            let res = solve(method, &problem, &SolveOptions::default());
-            assert!(res.converged(), "{} failed: {:?}", method.name(), res.outcome);
+            let res = solve(method, &problem, &SolveOptions::default(), Engine::Serial);
+            assert!(
+                res.converged(),
+                "{} failed: {:?}",
+                method.name(),
+                res.outcome
+            );
             assert!(
                 res.true_relative_residual(&a, &b) < 1e-7,
                 "{}: residual too large",
@@ -94,7 +120,10 @@ mod tests {
     fn names_and_s() {
         assert_eq!(Method::Pcg.name(), "PCG");
         assert_eq!(Method::Pcg.s(), 1);
-        let m = Method::SPcg { s: 10, basis: BasisType::Monomial };
+        let m = Method::SPcg {
+            s: 10,
+            basis: BasisType::Monomial,
+        };
         assert_eq!(m.name(), "sPCG(s=10,monomial)");
         assert_eq!(m.s(), 10);
     }

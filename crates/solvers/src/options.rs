@@ -14,16 +14,86 @@ pub struct Problem<'a> {
     pub b: &'a [f64],
 }
 
+/// Why a [`Problem`] could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemError {
+    /// The system matrix is not square.
+    NotSquare {
+        /// Matrix row count.
+        nrows: usize,
+        /// Matrix column count.
+        ncols: usize,
+    },
+    /// The preconditioner's dimension does not match the matrix.
+    PrecondDim {
+        /// Matrix dimension.
+        matrix: usize,
+        /// Preconditioner dimension.
+        preconditioner: usize,
+    },
+    /// The right-hand side's length does not match the matrix.
+    RhsLen {
+        /// Matrix dimension.
+        matrix: usize,
+        /// Right-hand-side length.
+        rhs: usize,
+    },
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::NotSquare { nrows, ncols } => {
+                write!(f, "matrix must be square (got {nrows}×{ncols})")
+            }
+            ProblemError::PrecondDim { matrix, preconditioner } => write!(
+                f,
+                "preconditioner dimension mismatch (matrix {matrix}, preconditioner {preconditioner})"
+            ),
+            ProblemError::RhsLen { matrix, rhs } => {
+                write!(f, "rhs length mismatch (matrix {matrix}, rhs {rhs})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
 impl<'a> Problem<'a> {
     /// Bundles a system, validating dimensions.
     ///
     /// # Panics
-    /// Panics on any dimension mismatch.
+    /// Panics on any dimension mismatch; use [`Problem::try_new`] to handle
+    /// invalid input without unwinding.
     pub fn new(a: &'a CsrMatrix, m: &'a dyn Preconditioner, b: &'a [f64]) -> Self {
-        assert_eq!(a.nrows(), a.ncols(), "Problem: matrix must be square");
-        assert_eq!(a.nrows(), m.dim(), "Problem: preconditioner dimension mismatch");
-        assert_eq!(a.nrows(), b.len(), "Problem: rhs length mismatch");
-        Problem { a, m, b }
+        Self::try_new(a, m, b).unwrap_or_else(|e| panic!("Problem: {e}"))
+    }
+
+    /// Bundles a system, returning the specific mismatch on invalid input.
+    pub fn try_new(
+        a: &'a CsrMatrix,
+        m: &'a dyn Preconditioner,
+        b: &'a [f64],
+    ) -> Result<Self, ProblemError> {
+        if a.nrows() != a.ncols() {
+            return Err(ProblemError::NotSquare {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            });
+        }
+        if a.nrows() != m.dim() {
+            return Err(ProblemError::PrecondDim {
+                matrix: a.nrows(),
+                preconditioner: m.dim(),
+            });
+        }
+        if a.nrows() != b.len() {
+            return Err(ProblemError::RhsLen {
+                matrix: a.nrows(),
+                rhs: b.len(),
+            });
+        }
+        Ok(Problem { a, m, b })
     }
 
     /// System dimension.
@@ -97,6 +167,13 @@ impl SolveOptions {
         Self::default()
     }
 
+    /// Starts a [`SolveOptionsBuilder`] seeded with the defaults.
+    pub fn builder() -> SolveOptionsBuilder {
+        SolveOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+
     /// Builder-style tolerance override.
     pub fn with_tol(mut self, tol: f64) -> Self {
         self.tol = tol;
@@ -123,9 +200,81 @@ impl SolveOptions {
 
     /// Builder-style residual replacement (see the field docs).
     pub fn with_residual_replacement(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor < 1.0, "replacement factor must be in (0, 1)");
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "replacement factor must be in (0, 1)"
+        );
         self.residual_replacement = Some(factor);
         self
+    }
+}
+
+/// Fluent constructor for [`SolveOptions`] (see [`SolveOptions::builder`]).
+///
+/// ```
+/// use spcg_solvers::{SolveOptions, StoppingCriterion};
+/// let opts = SolveOptions::builder()
+///     .tol(1e-9)
+///     .max_iters(500)
+///     .criterion(StoppingCriterion::RecursiveResidual2Norm)
+///     .build();
+/// assert_eq!(opts.max_iters, 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolveOptionsBuilder {
+    opts: SolveOptions,
+}
+
+impl SolveOptionsBuilder {
+    /// Relative reduction required by the stopping criterion.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.opts.tol = tol;
+        self
+    }
+
+    /// Cap on fine-grained (PCG-equivalent) iterations.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.opts.max_iters = max_iters;
+        self
+    }
+
+    /// Stopping criterion.
+    pub fn criterion(mut self, criterion: StoppingCriterion) -> Self {
+        self.opts.criterion = criterion;
+        self
+    }
+
+    /// Relative growth of the criterion value that is declared divergence.
+    pub fn divergence_factor(mut self, factor: f64) -> Self {
+        self.opts.divergence_factor = factor;
+        self
+    }
+
+    /// Convergence checks without improvement before declaring stagnation.
+    pub fn stall_checks(mut self, checks: usize) -> Self {
+        self.opts.stall_checks = checks;
+        self
+    }
+
+    /// Record the criterion value at every check into the result's history.
+    pub fn keep_history(mut self, keep: bool) -> Self {
+        self.opts.keep_history = keep;
+        self
+    }
+
+    /// Residual replacement factor (see [`SolveOptions::residual_replacement`]).
+    pub fn residual_replacement(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "replacement factor must be in (0, 1)"
+        );
+        self.opts.residual_replacement = Some(factor);
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> SolveOptions {
+        self.opts
     }
 }
 
@@ -168,6 +317,11 @@ pub struct SolveResult {
     pub history: Vec<(usize, f64)>,
     /// Instrumented operation counts.
     pub counters: Counters,
+    /// Global collectives observed by each rank under ranked execution
+    /// ([`crate::Engine::Ranked`]); `None` for serial solves. Every rank
+    /// participates in every collective, so this is also the per-rank
+    /// synchronization count the paper's Table 1 models.
+    pub collectives_per_rank: Option<u64>,
 }
 
 impl SolveResult {
@@ -181,7 +335,12 @@ impl SolveResult {
     pub fn true_relative_residual(&self, a: &CsrMatrix, b: &[f64]) -> f64 {
         let mut ax = vec![0.0; b.len()];
         a.spmv(&self.x, &mut ax);
-        let num: f64 = ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let num: f64 = ax
+            .iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         num / den
     }
@@ -222,6 +381,49 @@ mod tests {
         assert_eq!(o.max_iters, 100);
         assert_eq!(o.criterion, StoppingCriterion::PrecondMNorm);
         assert!(o.keep_history);
+    }
+
+    #[test]
+    fn try_new_reports_the_specific_mismatch() {
+        let a = poisson_1d(4);
+        let m = Identity::new(4);
+        let b3 = vec![1.0; 3];
+        match Problem::try_new(&a, &m, &b3) {
+            Err(ProblemError::RhsLen { matrix, rhs }) => {
+                assert_eq!((matrix, rhs), (4, 3));
+            }
+            other => panic!("expected RhsLen, got {:?}", other.err()),
+        }
+        let m5 = Identity::new(5);
+        let b4 = vec![1.0; 4];
+        assert!(matches!(
+            Problem::try_new(&a, &m5, &b4),
+            Err(ProblemError::PrecondDim {
+                matrix: 4,
+                preconditioner: 5
+            })
+        ));
+        assert!(Problem::try_new(&a, &m, &b4).is_ok());
+    }
+
+    #[test]
+    fn builder_matches_with_style() {
+        let o = SolveOptions::builder()
+            .tol(1e-6)
+            .max_iters(100)
+            .criterion(StoppingCriterion::PrecondMNorm)
+            .keep_history(true)
+            .stall_checks(7)
+            .divergence_factor(1e6)
+            .residual_replacement(0.25)
+            .build();
+        assert_eq!(o.tol, 1e-6);
+        assert_eq!(o.max_iters, 100);
+        assert_eq!(o.criterion, StoppingCriterion::PrecondMNorm);
+        assert!(o.keep_history);
+        assert_eq!(o.stall_checks, 7);
+        assert_eq!(o.divergence_factor, 1e6);
+        assert_eq!(o.residual_replacement, Some(0.25));
     }
 
     #[test]

@@ -1,27 +1,19 @@
-//! Rank-parallel PCG and sPCG over the shared-memory communicator.
+//! Deprecated rank-parallel entry points.
 //!
-//! These run the *actual distributed algorithm*: every rank owns a
-//! contiguous row block (matrix and vectors), SpMV operands are exchanged
-//! through a [`VectorBoard`] (the shared-memory analogue of a halo
-//! exchange), and scalars/Gram matrices are combined with real
-//! [`ThreadComm::allreduce_sum`] collectives. The point being demonstrated
-//! — and asserted by the integration tests — is the paper's communication
-//! structure: standard PCG synchronizes **2 times per iteration**, sPCG
-//! **once per s iterations**, while both produce the same iterates as their
-//! serial counterparts.
-//!
-//! The preconditioner is Jacobi (the paper's Figure-1 choice): its
-//! application is rank-local by construction. The "Scalar Work" of sPCG is
-//! replicated on every rank from the allreduced Gram blocks, exactly as a
-//! production MPI implementation would do.
+//! The original `par_pcg`/`par_spcg` free functions predate the unified
+//! execution engine. Rank-parallel execution is now a first-class mode of
+//! [`crate::solve`]: pass [`crate::Engine::Ranked`] and any of the six
+//! methods runs over `spcg_dist::ThreadComm` with block-row partitions and
+//! `VectorBoard` halo exchange. These shims reproduce the old behaviour
+//! (Jacobi preconditioner, recursive-residual 2-norm criterion) on top of
+//! the engine and will be removed in a future release.
 
-use crate::options::Outcome;
-use spcg_basis::cob::b_small;
+use crate::engine::Engine;
+use crate::method::{solve, Method};
+use crate::options::{Outcome, Problem, SolveOptions, StoppingCriterion};
 use spcg_basis::BasisType;
-use spcg_dist::{executor::run_ranks, ThreadComm, VectorBoard};
-use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
-use spcg_sparse::{blas, CsrMatrix, DenseMat};
+use spcg_precond::Jacobi;
+use spcg_sparse::CsrMatrix;
 
 /// Result of a rank-parallel solve.
 #[derive(Debug, Clone)]
@@ -43,24 +35,27 @@ impl ParSolveResult {
     }
 }
 
-struct RankOut {
-    x_local: Vec<f64>,
-    outcome: Outcome,
-    iterations: usize,
-    collectives: u64,
-}
-
-fn assemble(parts: Vec<RankOut>) -> ParSolveResult {
-    let mut x = Vec::new();
-    for p in &parts {
-        x.extend_from_slice(&p.x_local);
-    }
-    let first = &parts[0];
+fn par_shim(
+    method: &Method,
+    a: &CsrMatrix,
+    b: &[f64],
+    nranks: usize,
+    tol: f64,
+    max_iters: usize,
+) -> ParSolveResult {
+    let m = Jacobi::new(a);
+    let problem = Problem::new(a, &m, b);
+    let opts = SolveOptions::builder()
+        .tol(tol)
+        .max_iters(max_iters)
+        .criterion(StoppingCriterion::RecursiveResidual2Norm)
+        .build();
+    let res = solve(method, &problem, &opts, Engine::Ranked { ranks: nranks });
     ParSolveResult {
-        outcome: first.outcome.clone(),
-        iterations: first.iterations,
-        collectives_per_rank: first.collectives,
-        x,
+        x: res.x,
+        outcome: res.outcome,
+        iterations: res.iterations,
+        collectives_per_rank: res.collectives_per_rank.unwrap_or(0),
     }
 }
 
@@ -68,6 +63,10 @@ fn assemble(parts: Vec<RankOut>) -> ParSolveResult {
 ///
 /// # Panics
 /// Panics on dimension mismatches or `nranks == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solve(&Method::Pcg, &problem, &opts, Engine::Ranked { ranks })`"
+)]
 pub fn par_pcg(
     a: &CsrMatrix,
     b: &[f64],
@@ -75,80 +74,7 @@ pub fn par_pcg(
     tol: f64,
     max_iters: usize,
 ) -> ParSolveResult {
-    let n = a.nrows();
-    assert_eq!(b.len(), n, "par_pcg: rhs length mismatch");
-    let part = BlockRowPartition::balanced(n, nranks);
-    let offsets: Vec<usize> = (0..=nranks).map(|p| if p == 0 { 0 } else { part.range(p - 1).1 }).collect();
-    let board = VectorBoard::new(offsets);
-    let inv_diag: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
-
-    let parts = run_ranks(nranks, |comm: ThreadComm| {
-        let rank = comm.rank();
-        let (lo, hi) = part.range(rank);
-        let ln = hi - lo;
-        let board = board.handle();
-        let mut collectives = 0u64;
-
-        let mut x = vec![0.0; ln];
-        let mut r = b[lo..hi].to_vec();
-        let mut u: Vec<f64> = r.iter().zip(&inv_diag[lo..hi]).map(|(v, d)| v * d).collect();
-        let mut p = u.clone();
-        let mut s = vec![0.0; ln];
-
-        let mut rtu = blas::dot(&r, &u);
-        let mut rtr = blas::dot(&r, &r);
-        {
-            let mut buf = [rtu, rtr];
-            comm.allreduce_sum(&mut buf);
-            collectives += 1;
-            rtu = buf[0];
-            rtr = buf[1];
-        }
-        let rtr0 = rtr;
-
-        let mut iterations = 0usize;
-        let outcome = loop {
-            if rtr <= tol * tol * rtr0 {
-                break Outcome::Converged;
-            }
-            if iterations >= max_iters {
-                break Outcome::MaxIterations;
-            }
-            if !rtr.is_finite() {
-                break Outcome::Diverged;
-            }
-            // Halo exchange of the search direction, then the local SpMV.
-            board.publish(&comm, &p);
-            board.with_view(|p_full| a.spmv_rows(lo, hi, p_full, &mut s));
-            let mut pts = blas::dot(&p, &s);
-            pts = comm.allreduce_scalar(pts);
-            collectives += 1;
-            if !(pts > 0.0) {
-                break if rtr <= tol * tol * rtr0 {
-                    Outcome::Converged
-                } else {
-                    Outcome::Breakdown(format!("pᵀAp = {pts}"))
-                };
-            }
-            let alpha = rtu / pts;
-            blas::axpy(alpha, &p, &mut x);
-            blas::axpy(-alpha, &s, &mut r);
-            for i in 0..ln {
-                u[i] = r[i] * inv_diag[lo + i];
-            }
-            let mut buf = [blas::dot(&r, &u), blas::dot(&r, &r)];
-            comm.allreduce_sum(&mut buf);
-            collectives += 1;
-            let (rtu_new, rtr_new) = (buf[0], buf[1]);
-            let beta = rtu_new / rtu;
-            rtu = rtu_new;
-            rtr = rtr_new;
-            blas::xpby(&u, beta, &mut p);
-            iterations += 1;
-        };
-        RankOut { x_local: x, outcome, iterations, collectives }
-    });
-    assemble(parts)
+    par_shim(&Method::Pcg, a, b, nranks, tol, max_iters)
 }
 
 /// Rank-parallel Jacobi-sPCG (Alg. 5) with the recursive-residual 2-norm
@@ -157,6 +83,10 @@ pub fn par_pcg(
 ///
 /// # Panics
 /// Panics on dimension mismatches, `nranks == 0`, or `s < 1`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `solve(&Method::SPcg { s, basis }, &problem, &opts, Engine::Ranked { ranks })`"
+)]
 pub fn par_spcg(
     a: &CsrMatrix,
     b: &[f64],
@@ -167,182 +97,23 @@ pub fn par_spcg(
     max_iters: usize,
 ) -> ParSolveResult {
     assert!(s >= 1, "par_spcg: s must be at least 1");
-    let n = a.nrows();
-    assert_eq!(b.len(), n, "par_spcg: rhs length mismatch");
-    let part = BlockRowPartition::balanced(n, nranks);
-    let offsets: Vec<usize> =
-        (0..=nranks).map(|p| if p == 0 { 0 } else { part.range(p - 1).1 }).collect();
-    let board = VectorBoard::new(offsets);
-    let inv_diag: Vec<f64> = a.diagonal().iter().map(|d| 1.0 / d).collect();
-    let params = basis.params(s);
-    let b_cob = b_small(&params, s + 1);
-
-    let parts = run_ranks(nranks, |comm: ThreadComm| {
-        let rank = comm.rank();
-        let (lo, hi) = part.range(rank);
-        let ln = hi - lo;
-        let board = board.handle();
-        let mut collectives = 0u64;
-
-        let mut x = vec![0.0; ln];
-        let mut r = b[lo..hi].to_vec();
-        // Local blocks of S (s+1 cols), U, AU, P, AP (s cols each).
-        let mut s_cols: Vec<Vec<f64>> = vec![vec![0.0; ln]; s + 1];
-        let mut u_cols: Vec<Vec<f64>> = vec![vec![0.0; ln]; s];
-        let mut p_cols: Vec<Vec<f64>> = vec![vec![0.0; ln]; s];
-        let mut ap_cols: Vec<Vec<f64>> = vec![vec![0.0; ln]; s];
-        let mut w_prev: Option<DenseMat> = None;
-        let mut rtr0: Option<f64> = None;
-
-        let mut iterations = 0usize;
-        let outcome = loop {
-            // --- local MPK: S = [r, (AM⁻¹)r, …], U = M⁻¹S[:, :s] ---
-            s_cols[0].copy_from_slice(&r);
-            for j in 0..s {
-                for i in 0..ln {
-                    u_cols[j][i] = s_cols[j][i] * inv_diag[lo + i];
-                }
-                // Halo exchange of u_j, then local SpMV into the next col.
-                board.publish(&comm, &u_cols[j]);
-                let (head, tail) = s_cols.split_at_mut(j + 1);
-                board.with_view(|u_full| a.spmv_rows(lo, hi, u_full, &mut tail[0]));
-                // All ranks must finish reading this round's board before
-                // anyone publishes the next column (an MPI halo exchange
-                // gets this ordering from receive completion).
-                comm.barrier();
-                // Three-term basis recurrence.
-                let theta = params.theta[j];
-                let inv_gamma = 1.0 / params.gamma[j];
-                if theta != 0.0 {
-                    for i in 0..ln {
-                        tail[0][i] -= theta * head[j][i];
-                    }
-                }
-                if j >= 1 && params.mu[j - 1] != 0.0 {
-                    let mu = params.mu[j - 1];
-                    for i in 0..ln {
-                        tail[0][i] -= mu * head[j - 1][i];
-                    }
-                }
-                if inv_gamma != 1.0 {
-                    for v in tail[0].iter_mut() {
-                        *v *= inv_gamma;
-                    }
-                }
-            }
-
-            // --- ONE fused allreduce: UᵀS, PᵀS, and rᵀr ---
-            let blk = s * (s + 1);
-            let mut buf = vec![0.0; 2 * blk + 1];
-            for (ji, u) in u_cols.iter().enumerate() {
-                for (jj, sc) in s_cols.iter().enumerate() {
-                    buf[ji * (s + 1) + jj] = blas::dot(u, sc);
-                }
-            }
-            if w_prev.is_some() {
-                for (ji, p) in p_cols.iter().enumerate() {
-                    for (jj, sc) in s_cols.iter().enumerate() {
-                        buf[blk + ji * (s + 1) + jj] = blas::dot(p, sc);
-                    }
-                }
-            }
-            buf[2 * blk] = blas::dot(&r, &r);
-            comm.allreduce_sum(&mut buf);
-            collectives += 1;
-            let g1 = DenseMat::from_row_major(s, s + 1, buf[..blk].to_vec());
-            let g2 = DenseMat::from_row_major(s, s + 1, buf[blk..2 * blk].to_vec());
-            let rtr = buf[2 * blk];
-            let rtr0v = *rtr0.get_or_insert(rtr);
-
-            if rtr <= tol * tol * rtr0v {
-                break Outcome::Converged;
-            }
-            if iterations >= max_iters {
-                break Outcome::MaxIterations;
-            }
-            if !rtr.is_finite() || rtr > 1e16 * rtr0v {
-                break Outcome::Diverged;
-            }
-
-            // --- replicated scalar work (identical on every rank) ---
-            let m_vec = g1.col(0);
-            let uau = g1.matmul(&b_cob);
-            let (b_k, mut w) = match &w_prev {
-                Some(wp) => {
-                    let d = g2.matmul(&b_cob);
-                    let mut rhs = d.clone();
-                    rhs.scale(-1.0);
-                    match solve_spd_mat_with_fallback(wp, &rhs) {
-                        Ok(b_k) => {
-                            let mut w = uau;
-                            w.axpy(1.0, &d.transpose().matmul(&b_k));
-                            (Some(b_k), w)
-                        }
-                        Err(e) => break Outcome::Breakdown(format!("W solve failed: {e}")),
-                    }
-                }
-                None => (None, uau),
-            };
-            w.symmetrize();
-            let a_vec = match solve_spd_with_fallback(&w, &m_vec) {
-                Ok(v) => v,
-                Err(e) => break Outcome::Breakdown(format!("a solve failed: {e}")),
-            };
-
-            // --- local AU = S·B and blocked updates ---
-            let mut au_cols: Vec<Vec<f64>> = vec![vec![0.0; ln]; s];
-            for j in 0..s {
-                let gamma = params.gamma[j];
-                let theta = params.theta[j];
-                for i in 0..ln {
-                    au_cols[j][i] = gamma * s_cols[j + 1][i] + theta * s_cols[j][i];
-                }
-                if j >= 1 && params.mu[j - 1] != 0.0 {
-                    let mu = params.mu[j - 1];
-                    for i in 0..ln {
-                        au_cols[j][i] += mu * s_cols[j - 1][i];
-                    }
-                }
-            }
-            match &b_k {
-                Some(b_k) => {
-                    let update = |old: &[Vec<f64>], add: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                        (0..s)
-                            .map(|j| {
-                                let mut col = add[j].clone();
-                                for (l, o) in old.iter().enumerate() {
-                                    blas::axpy(b_k[(l, j)], o, &mut col);
-                                }
-                                col
-                            })
-                            .collect()
-                    };
-                    p_cols = update(&p_cols, &u_cols);
-                    ap_cols = update(&ap_cols, &au_cols);
-                }
-                None => {
-                    p_cols.clone_from(&u_cols);
-                    ap_cols.clone_from(&au_cols);
-                }
-            }
-            for j in 0..s {
-                blas::axpy(a_vec[j], &p_cols[j], &mut x);
-                blas::axpy(-a_vec[j], &ap_cols[j], &mut r);
-            }
-
-            w_prev = Some(w);
-            iterations += s;
-        };
-        RankOut { x_local: x, outcome, iterations, collectives }
-    });
-    assemble(parts)
+    par_shim(
+        &Method::SPcg {
+            s,
+            basis: basis.clone(),
+        },
+        a,
+        b,
+        nranks,
+        tol,
+        max_iters,
+    )
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::options::{Problem, SolveOptions, StoppingCriterion};
-    use spcg_precond::Jacobi;
     use spcg_sparse::generators::paper_rhs;
     use spcg_sparse::generators::poisson::{poisson_1d, poisson_2d};
 

@@ -5,6 +5,7 @@
 //! global reductions, which is what stops PCG from scaling beyond ~32 nodes
 //! in the paper's Figure 1.
 
+use crate::engine::{Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_dist::Counters;
@@ -12,42 +13,67 @@ use spcg_sparse::blas;
 
 /// Solves `A x = b` with standard PCG (zero initial guess).
 pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    let n = problem.n();
-    let nw = n as u64;
+    pcg_g(&mut SerialExec::new(problem), opts)
+}
+
+/// PCG over any execution substrate (see [`crate::engine`]).
+pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
+    let n = exec.nl();
+    let nw = exec.n_global();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
 
     // r0 = b − A x0 = b for x0 = 0.
     let mut x = vec![0.0; n];
-    let mut r = problem.b.to_vec();
+    let mut r = exec.b_local().to_vec();
     let mut u = vec![0.0; n];
-    problem.m.apply(&r, &mut u);
-    counters.record_precond(problem.m.flops_per_apply());
+    exec.precond(&r, &mut u, &mut counters);
+    counters.record_precond(exec.m_flops());
     let mut p = u.clone();
     let mut s = vec![0.0; n];
 
     // rtu = rᵀu (reduced globally together with the first pᵀs next
     // iteration in real MPI; charged as part of the 2 collectives/iter).
-    let mut rtu = blas::dot(&r, &u);
+    let mut red = [exec.dot(&r, &u)];
+    exec.allreduce(&mut red);
+    let mut rtu = red[0];
     counters.record_dots(1, nw);
     counters.record_collective(1);
 
-    let v0 = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+    let v0 = criterion_value(
+        exec,
+        opts.criterion,
+        &x,
+        &r,
+        rtu,
+        &mut scratch,
+        &mut counters,
+    );
     let mut verdict = stop.check(0, v0);
 
     let mut iterations = 0usize;
     while verdict == Verdict::Continue && iterations < opts.max_iters {
         // s = A p.
-        problem.a.spmv(&p, &mut s);
-        counters.record_spmv(problem.a.spmv_flops());
-        let pts = blas::dot(&p, &s);
+        exec.spmv(&p, &mut s, &mut counters);
+        counters.record_spmv(exec.spmv_flops());
+        let mut red = [exec.dot(&p, &s)];
+        exec.allreduce(&mut red);
+        let pts = red[0];
         counters.record_dots(1, nw);
         counters.record_collective(1);
         if !(pts > 0.0) || !pts.is_finite() {
             // Zero curvature at machine-precision residuals means we are
             // done, not broken; judge by the criterion before failing.
-            let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+            let v = criterion_value(
+                exec,
+                opts.criterion,
+                &x,
+                &r,
+                rtu,
+                &mut scratch,
+                &mut counters,
+            );
             let outcome = stop.resolve_breakdown(
                 iterations,
                 v,
@@ -59,9 +85,11 @@ pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
         blas::axpy(alpha, &p, &mut x);
         blas::axpy(-alpha, &s, &mut r);
         counters.blas1_flops += 4 * nw;
-        problem.m.apply(&r, &mut u);
-        counters.record_precond(problem.m.flops_per_apply());
-        let rtu_new = blas::dot(&r, &u);
+        exec.precond(&r, &mut u, &mut counters);
+        counters.record_precond(exec.m_flops());
+        let mut red = [exec.dot(&r, &u)];
+        exec.allreduce(&mut red);
+        let rtu_new = red[0];
         counters.record_dots(1, nw);
         counters.record_collective(1);
         if !rtu_new.is_finite() {
@@ -75,7 +103,15 @@ pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
         iterations += 1;
         counters.iterations += 1;
         counters.outer_iterations += 1;
-        let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+        let v = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch,
+            &mut counters,
+        );
         verdict = stop.check(iterations, v);
     }
 
@@ -89,7 +125,14 @@ fn finish(
     stop: StopState,
     counters: Counters,
 ) -> SolveResult {
-    SolveResult { x, outcome, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 #[cfg(test)]
@@ -97,8 +140,8 @@ mod tests {
     use super::*;
     use crate::options::StoppingCriterion;
     use spcg_precond::{Identity, Jacobi};
-    use spcg_sparse::generators::poisson::{poisson_1d, poisson_2d};
     use spcg_sparse::generators::paper_rhs;
+    use spcg_sparse::generators::poisson::{poisson_1d, poisson_2d};
 
     #[test]
     fn solves_small_poisson_exactly() {
@@ -124,7 +167,11 @@ mod tests {
         let problem = Problem::new(&a, &m, &b);
         let res = pcg(&problem, &SolveOptions::default().with_tol(1e-12));
         assert!(res.converged());
-        assert!(res.iterations <= 24, "CG finite termination violated: {}", res.iterations);
+        assert!(
+            res.iterations <= 24,
+            "CG finite termination violated: {}",
+            res.iterations
+        );
     }
 
     #[test]
@@ -206,7 +253,10 @@ mod tests {
         let m = Identity::new(a.nrows());
         let b = paper_rhs(&a);
         let problem = Problem::new(&a, &m, &b);
-        let res = pcg(&problem, &SolveOptions::default().with_tol(1e-14).with_max_iters(3));
+        let res = pcg(
+            &problem,
+            &SolveOptions::default().with_tol(1e-14).with_max_iters(3),
+        );
         assert_eq!(res.outcome, Outcome::MaxIterations);
         assert_eq!(res.iterations, 3);
     }

@@ -16,15 +16,20 @@
 //! three-term foundation as a stability liability. Both dot products of an
 //! iteration reduce in a single collective.
 
+use crate::engine::{Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_dist::Counters;
-use spcg_sparse::blas;
 
 /// Solves `A x = b` with three-term-recurrence PCG (zero initial guess).
 pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    let n = problem.n();
-    let nw = n as u64;
+    pcg3_g(&mut SerialExec::new(problem), opts)
+}
+
+/// PCG3 over any execution substrate (see [`crate::engine`]).
+pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
+    let n = exec.nl();
+    let nw = exec.n_global();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
@@ -32,10 +37,10 @@ pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
     let mut x_prev = vec![0.0; n];
     let mut x = vec![0.0; n];
     let mut r_prev = vec![0.0; n];
-    let mut r = problem.b.to_vec();
+    let mut r = exec.b_local().to_vec();
     let mut u = vec![0.0; n];
-    problem.m.apply(&r, &mut u);
-    counters.record_precond(problem.m.flops_per_apply());
+    exec.precond(&r, &mut u, &mut counters);
+    counters.record_precond(exec.m_flops());
     let mut au = vec![0.0; n];
     let mut next = vec![0.0; n];
 
@@ -43,22 +48,39 @@ pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
     let mut gamma_prev = 0.0f64;
     let mut rho_prev = 1.0f64;
 
-    let mu0 = blas::dot(&r, &u);
+    let mut red = [exec.dot(&r, &u)];
+    exec.allreduce(&mut red);
+    let mu0 = red[0];
     counters.record_dots(1, nw);
     counters.record_collective(1);
-    let v0 = criterion_value(problem, opts.criterion, &x, &r, mu0, &mut scratch, &mut counters);
+    let v0 = criterion_value(
+        exec,
+        opts.criterion,
+        &x,
+        &r,
+        mu0,
+        &mut scratch,
+        &mut counters,
+    );
     let mut verdict = stop.check(0, v0);
 
     let mut iterations = 0usize;
     while verdict == Verdict::Continue && iterations < opts.max_iters {
-        problem.a.spmv(&u, &mut au);
-        counters.record_spmv(problem.a.spmv_flops());
-        let mu = blas::dot(&r, &u);
-        let nu = blas::dot(&u, &au);
+        exec.spmv(&u, &mut au, &mut counters);
+        counters.record_spmv(exec.spmv_flops());
+        let mut red = [exec.dot(&r, &u), exec.dot(&u, &au)];
+        exec.allreduce(&mut red);
+        let (mu, nu) = (red[0], red[1]);
         counters.record_dots(2, nw);
         counters.record_collective(2); // both dots fused in one reduction
         if !(nu > 0.0) || !mu.is_finite() || !nu.is_finite() {
-            return finish(x, Outcome::Breakdown(format!("uᵀAu = {nu}, rᵀu = {mu}")), iterations, stop, counters);
+            return finish(
+                x,
+                Outcome::Breakdown(format!("uᵀAu = {nu}, rᵀu = {mu}")),
+                iterations,
+                stop,
+                counters,
+            );
         }
         let gamma = mu / nu;
         let rho = if iterations == 0 {
@@ -66,7 +88,13 @@ pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
         } else {
             let denom = 1.0 - (gamma / gamma_prev) * (mu / mu_prev) * (1.0 / rho_prev);
             if denom == 0.0 || !denom.is_finite() {
-                return finish(x, Outcome::Breakdown(format!("rho denominator {denom}")), iterations, stop, counters);
+                return finish(
+                    x,
+                    Outcome::Breakdown(format!("rho denominator {denom}")),
+                    iterations,
+                    stop,
+                    counters,
+                );
             }
             1.0 / denom
         };
@@ -85,8 +113,8 @@ pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
         std::mem::swap(&mut r, &mut next);
         counters.blas1_flops += 10 * nw;
 
-        problem.m.apply(&r, &mut u);
-        counters.record_precond(problem.m.flops_per_apply());
+        exec.precond(&r, &mut u, &mut counters);
+        counters.record_precond(exec.m_flops());
 
         mu_prev = mu;
         gamma_prev = gamma;
@@ -95,10 +123,20 @@ pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
         counters.iterations += 1;
         counters.outer_iterations += 1;
 
-        let rtu = blas::dot(&r, &u); // for the M-norm criterion
+        let mut red = [exec.dot(&r, &u)]; // for the M-norm criterion
+        exec.allreduce(&mut red);
+        let rtu = red[0];
         counters.record_dots(1, nw);
         counters.piggyback_words(1);
-        let v = criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch, &mut counters);
+        let v = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch,
+            &mut counters,
+        );
         verdict = stop.check(iterations, v);
     }
 
@@ -112,7 +150,14 @@ fn finish(
     stop: StopState,
     counters: Counters,
 ) -> SolveResult {
-    SolveResult { x, outcome, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 #[cfg(test)]
@@ -170,8 +215,8 @@ mod tests {
         let m = Identity::new(30);
         let b = paper_rhs(&a);
         let problem = Problem::new(&a, &m, &b);
-        let opts = SolveOptions::default()
-            .with_criterion(crate::options::StoppingCriterion::PrecondMNorm);
+        let opts =
+            SolveOptions::default().with_criterion(crate::options::StoppingCriterion::PrecondMNorm);
         let res = pcg3(&problem, &opts);
         assert!(res.converged());
         let it = res.counters.iterations;

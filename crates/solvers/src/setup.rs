@@ -27,13 +27,18 @@ pub fn warmup(problem: &Problem<'_>, iters: usize) -> SpectrumEstimate {
 pub fn chebyshev_basis(problem: &Problem<'_>, warmup_iters: usize, margin: f64) -> BasisType {
     let est = warmup(problem, warmup_iters);
     let (lo, hi) = est.chebyshev_interval(margin);
-    BasisType::Chebyshev { lambda_min: lo, lambda_max: hi }
+    BasisType::Chebyshev {
+        lambda_min: lo,
+        lambda_max: hi,
+    }
 }
 
 /// Newton basis with `s` Leja-ordered Ritz shifts.
 pub fn newton_basis(problem: &Problem<'_>, warmup_iters: usize, s: usize) -> BasisType {
     let est = warmup(problem, warmup_iters);
-    BasisType::Newton { shifts: newton_shifts(&est.ritz, s) }
+    BasisType::Newton {
+        shifts: newton_shifts(&est.ritz, s),
+    }
 }
 
 #[cfg(test)]
@@ -50,7 +55,10 @@ mod tests {
         let b = paper_rhs(&a);
         let p = Problem::new(&a, &m, &b);
         match chebyshev_basis(&p, DEFAULT_WARMUP_ITERS, DEFAULT_MARGIN) {
-            BasisType::Chebyshev { lambda_min, lambda_max } => {
+            BasisType::Chebyshev {
+                lambda_min,
+                lambda_max,
+            } => {
                 assert!(lambda_min > 0.0);
                 assert!(lambda_max > lambda_min);
                 // Jacobi-preconditioned Poisson spectrum sits in (0, 2).

@@ -21,10 +21,11 @@
 //! but computes the Gram blocks directly instead of via the moment vector —
 //! the small numerical edge §3.2 notes.
 
+use crate::engine::{allreduce_gram, Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::{apply_b_to_columns, b_small};
-use spcg_basis::{BasisType, Mpk};
+use spcg_basis::BasisType;
 use spcg_dist::Counters;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
 use spcg_sparse::{DenseMat, MultiVector};
@@ -40,9 +41,19 @@ pub fn spcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
+    spcg_g(&mut SerialExec::new(problem), s, basis, opts)
+}
+
+/// sPCG over any execution substrate (see [`crate::engine`]).
+pub(crate) fn spcg_g<E: Exec>(
+    exec: &mut E,
+    s: usize,
+    basis: &BasisType,
+    opts: &SolveOptions,
+) -> SolveResult {
     assert!(s >= 1, "spcg: s must be at least 1");
-    let n = problem.n();
-    let nw = n as u64;
+    let n = exec.nl();
+    let nw = exec.n_global();
     let sw = s as u64;
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
@@ -52,9 +63,8 @@ pub fn spcg(
     let b_cob = b_small(&params, s + 1); // (s+1) × s
 
     let mut x = vec![0.0; n];
-    let mut r = problem.b.to_vec(); // x0 = 0
+    let mut r = exec.b_local().to_vec(); // x0 = 0
 
-    let mpk = Mpk::new(problem.a, problem.m);
     let mut s_mat = MultiVector::zeros(n, s + 1);
     let mut u_mat = MultiVector::zeros(n, s);
     let mut au_mat = MultiVector::zeros(n, s);
@@ -68,14 +78,14 @@ pub fn spcg(
     let mut iterations = 0usize;
     let final_verdict;
     loop {
-        // --- s-step basis (local communication only) ---
-        mpk.run(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
+        // --- s-step basis (neighbour communication only) ---
+        exec.mpk(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
 
         // --- the single global reduction: [UᵀS ; PᵀS] ---
-        let g1 = u_mat.gram(&s_mat); // s × (s+1)
-        counters.record_dots((sw * (sw + 1)) as u64, nw);
+        let mut g1 = u_mat.gram(&s_mat); // s × (s+1)
+        counters.record_dots(sw * (sw + 1), nw);
         let mut words = sw * (sw + 1);
-        let g2 = if w_prev.is_some() {
+        let mut g2 = if w_prev.is_some() {
             let g = p_mat.gram(&s_mat); // s × (s+1)
             counters.record_dots(sw * (sw + 1), nw);
             words += sw * (sw + 1);
@@ -84,12 +94,24 @@ pub fn spcg(
             None
         };
         counters.record_collective(words);
+        match g2.as_mut() {
+            Some(g2) => allreduce_gram(exec, &mut [&mut g1, g2], &mut []),
+            None => allreduce_gram(exec, &mut [&mut g1], &mut []),
+        }
+        let (g1, g2) = (g1, g2);
 
         // --- convergence check every s steps ---
         // rᵀu is the (0,0) Gram entry (m-vector head) — free for the M-norm.
         let rtu = g1[(0, 0)];
-        let value =
-            criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch_vec, &mut counters);
+        let value = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch_vec,
+            &mut counters,
+        );
         let verdict = stop.check(iterations, value);
         if verdict != Verdict::Continue {
             final_verdict = StopState::outcome(verdict);
@@ -137,7 +159,10 @@ pub fn spcg(
         };
 
         // --- AU = S·B (local, ≤ (5s−2)n FLOPs, free for monomial) ---
-        counters.blas2_flops += apply_b_to_columns(&s_mat, &params, &mut au_mat);
+        // The kernel reports FLOPs for its (local) row count; every term is
+        // an exact multiple of it, so rescale to the global charge.
+        let local_flops = apply_b_to_columns(&s_mat, &params, &mut au_mat);
+        counters.blas2_flops += local_flops / n as u64 * nw;
 
         // --- blocked updates ---
         match b_k {
@@ -159,18 +184,25 @@ pub fn spcg(
         // residual has shrunk far enough, re-anchor it to b − A·x so the
         // recursion's accumulated drift cannot cap the attainable accuracy.
         if let Some(factor) = opts.residual_replacement {
-            let rr = spcg_sparse::blas::norm2_sq(&r);
+            // The ‖r‖² partials piggyback on existing traffic (only the dot
+            // is charged), matching the serial instrumentation.
+            let mut red = [exec.dot(&r, &r)];
+            exec.allreduce(&mut red);
+            let rr = red[0];
             counters.record_dots(1, nw);
             let anchor = *rr_anchor.get_or_insert(rr);
             if rr <= factor * factor * anchor {
                 scratch_vec.resize(n, 0.0);
-                problem.a.spmv(&x, &mut scratch_vec);
-                counters.record_spmv(problem.a.spmv_flops());
+                exec.spmv(&x, &mut scratch_vec, &mut counters);
+                counters.record_spmv(exec.spmv_flops());
+                let b = exec.b_local();
                 for i in 0..n {
-                    r[i] = problem.b[i] - scratch_vec[i];
+                    r[i] = b[i] - scratch_vec[i];
                 }
                 counters.blas1_flops += nw;
-                rr_anchor = Some(spcg_sparse::blas::norm2_sq(&r));
+                let mut red = [exec.dot(&r, &r)];
+                exec.allreduce(&mut red);
+                rr_anchor = Some(red[0]);
             }
         }
 
@@ -180,7 +212,14 @@ pub fn spcg(
         counters.outer_iterations += 1;
     }
 
-    SolveResult { x, outcome: final_verdict, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome: final_verdict,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 #[cfg(test)]
@@ -196,7 +235,10 @@ mod tests {
     fn chebyshev_basis(problem: &Problem<'_>) -> BasisType {
         let est = estimate_spectrum(problem.a, problem.m, problem.b, 20);
         let (lo, hi) = est.chebyshev_interval(0.1);
-        BasisType::Chebyshev { lambda_min: lo, lambda_max: hi }
+        BasisType::Chebyshev {
+            lambda_min: lo,
+            lambda_max: hi,
+        }
     }
 
     #[test]
@@ -309,7 +351,11 @@ mod tests {
         let problem = Problem::new(&a, &m, &b);
         let opts = SolveOptions::default().with_max_iters(4000);
         let r_pcg = pcg(&problem, &opts);
-        assert!(r_pcg.converged(), "baseline PCG should converge: {:?}", r_pcg.outcome);
+        assert!(
+            r_pcg.converged(),
+            "baseline PCG should converge: {:?}",
+            r_pcg.outcome
+        );
         let r_mono = spcg(&problem, 10, &BasisType::Monomial, &opts);
         assert!(
             !r_mono.converged() || r_mono.iterations > 2 * r_pcg.iterations,
@@ -320,7 +366,11 @@ mod tests {
         // And the Chebyshev basis repairs it.
         let basis = chebyshev_basis(&problem);
         let r_cheb = spcg(&problem, 10, &basis, &opts);
-        assert!(r_cheb.converged(), "chebyshev basis should fix it: {:?}", r_cheb.outcome);
+        assert!(
+            r_cheb.converged(),
+            "chebyshev basis should fix it: {:?}",
+            r_cheb.outcome
+        );
     }
 
     #[test]
@@ -341,7 +391,10 @@ mod tests {
         let problem = Problem::new(&a, &m, &b);
         let opts = SolveOptions::default().with_tol(1e-15).with_max_iters(20);
         let res = spcg(&problem, 5, &BasisType::Monomial, &opts);
-        assert!(matches!(res.outcome, Outcome::MaxIterations | Outcome::Stagnated));
+        assert!(matches!(
+            res.outcome,
+            Outcome::MaxIterations | Outcome::Stagnated
+        ));
         assert!(res.iterations <= 20);
     }
 
@@ -383,7 +436,12 @@ mod residual_replacement_tests {
             .with_criterion(StoppingCriterion::PrecondMNorm)
             .with_tol(1e-8);
         let plain = spcg(&problem, 5, &basis, &base);
-        let rr = spcg(&problem, 5, &basis, &base.clone().with_residual_replacement(1e-3));
+        let rr = spcg(
+            &problem,
+            5,
+            &basis,
+            &base.clone().with_residual_replacement(1e-3),
+        );
         assert!(plain.converged() && rr.converged());
         // Replacement costs at least one extra SpMV per replacement event.
         assert!(rr.counters.spmv_count > plain.counters.spmv_count);
@@ -405,9 +463,17 @@ mod residual_replacement_tests {
             .with_tol(1e-10)
             .with_max_iters(2000);
         let plain = spcg(&problem, 8, &basis, &opts);
-        let rr = spcg(&problem, 8, &basis, &opts.clone().with_residual_replacement(1e-2));
+        let rr = spcg(
+            &problem,
+            8,
+            &basis,
+            &opts.clone().with_residual_replacement(1e-2),
+        );
         let tp = plain.true_relative_residual(&a, &b);
         let tr = rr.true_relative_residual(&a, &b);
-        assert!(tr <= tp * 10.0, "replacement degraded accuracy: {tr:.2e} vs {tp:.2e}");
+        assert!(
+            tr <= tp * 10.0,
+            "replacement degraded accuracy: {tr:.2e} vs {tp:.2e}"
+        );
     }
 }

@@ -17,10 +17,10 @@
 //! Table 1 row sPCG_mon), so performance modeling reflects the published
 //! method.
 
+use crate::engine::{allreduce_gram, Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::poly::BasisParams;
-use spcg_basis::Mpk;
 use spcg_dist::Counters;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
 use spcg_sparse::{DenseMat, MultiVector};
@@ -30,9 +30,14 @@ use spcg_sparse::{DenseMat, MultiVector};
 /// # Panics
 /// Panics if `s < 1`.
 pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveResult {
+    spcg_mon_g(&mut SerialExec::new(problem), s, opts)
+}
+
+/// sPCG_mon over any execution substrate (see [`crate::engine`]).
+pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -> SolveResult {
     assert!(s >= 1, "spcg_mon: s must be at least 1");
-    let n = problem.n();
-    let nw = n as u64;
+    let n = exec.nl();
+    let nw = exec.n_global();
     let sw = s as u64;
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
@@ -41,9 +46,8 @@ pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveRe
     let params = BasisParams::monomial(s);
 
     let mut x = vec![0.0; n];
-    let mut r = problem.b.to_vec();
+    let mut r = exec.b_local().to_vec();
 
-    let mpk = Mpk::new(problem.a, problem.m);
     let mut s_mat = MultiVector::zeros(n, s + 1);
     let mut u_mat = MultiVector::zeros(n, s);
     let mut p_mat = MultiVector::zeros(n, s);
@@ -55,7 +59,7 @@ pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveRe
     let final_verdict;
     loop {
         // --- monomial s-step basis: S = [r, (AM⁻¹)r, …, (AM⁻¹)^s r] ---
-        mpk.run(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
+        exec.mpk(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
 
         // --- moments μ_l = rᵀ(M⁻¹A)^l u, l = 0 … 2s−1 (eq. 13) ---
         // μ_l = (S col i)ᵀ(U col l−i) for any split; take i = min(l, s).
@@ -63,18 +67,29 @@ pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveRe
         for (l, slot) in moments.iter_mut().enumerate() {
             let i = l.min(s);
             let j = l - i;
-            *slot = spcg_sparse::blas::dot(s_mat.col(i), u_mat.col(j));
+            *slot = exec.dot(s_mat.col(i), u_mat.col(j));
         }
         // The cross-term Gram (original: moment recurrence — see module
         // docs; charged as the moment vector only).
-        let g2 = w_prev.as_ref().map(|_| p_mat.gram(&s_mat));
+        let mut g2 = w_prev.as_ref().map(|_| p_mat.gram(&s_mat));
         counters.record_dots(2 * sw, nw);
         counters.record_collective(2 * sw);
+        match g2.as_mut() {
+            Some(g2) => allreduce_gram(exec, &mut [g2], &mut moments),
+            None => exec.allreduce(&mut moments),
+        }
 
         // --- convergence check every s steps ---
         let rtu = moments[0];
-        let value =
-            criterion_value(problem, opts.criterion, &x, &r, rtu, &mut scratch_vec, &mut counters);
+        let value = criterion_value(
+            exec,
+            opts.criterion,
+            &x,
+            &r,
+            rtu,
+            &mut scratch_vec,
+            &mut counters,
+        );
         let verdict = stop.check(iterations, value);
         if verdict != Verdict::Continue {
             final_verdict = StopState::outcome(verdict);
@@ -150,7 +165,14 @@ pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveRe
         counters.outer_iterations += 1;
     }
 
-    SolveResult { x, outcome: final_verdict, iterations, history: stop.history, counters }
+    SolveResult {
+        x,
+        outcome: final_verdict,
+        iterations,
+        history: stop.history,
+        counters,
+        collectives_per_rank: None,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +197,12 @@ mod tests {
             let res = spcg_mon(&problem, s, &SolveOptions::default());
             assert!(res.converged(), "s={s}: {:?}", res.outcome);
             let cap = ((r_pcg.iterations + s) / s) * s + 2 * s;
-            assert!(res.iterations <= cap, "s={s}: {} vs PCG {}", res.iterations, r_pcg.iterations);
+            assert!(
+                res.iterations <= cap,
+                "s={s}: {} vs PCG {}",
+                res.iterations,
+                r_pcg.iterations
+            );
         }
     }
 
@@ -223,6 +250,10 @@ mod tests {
         let opts = SolveOptions::default().with_max_iters(3000);
         assert!(pcg(&problem, &opts).converged());
         let res = spcg_mon(&problem, 10, &opts);
-        assert!(!res.converged(), "monomial s=10 should fail here, got {:?}", res.outcome);
+        assert!(
+            !res.converged(),
+            "monomial s=10 should fail here, got {:?}",
+            res.outcome
+        );
     }
 }

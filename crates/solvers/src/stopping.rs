@@ -1,8 +1,8 @@
 //! Convergence / divergence / stagnation tracking shared by all solvers.
 
-use crate::options::{Outcome, Problem, SolveOptions, StoppingCriterion};
+use crate::engine::Exec;
+use crate::options::{Outcome, SolveOptions, StoppingCriterion};
 use spcg_dist::Counters;
-use spcg_sparse::blas;
 
 /// Verdict of one convergence check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +107,12 @@ impl StopState {
 /// * true residual — one extra SpMV, one dot, one piggybacked word;
 /// * recursive 2-norm — one dot, one piggybacked word;
 /// * M-norm — free (`rtu = rᵀM⁻¹r` is already reduced by every solver).
-pub fn criterion_value(
-    problem: &Problem<'_>,
+///
+/// `x` and `r` are the local blocks of the execution substrate; the dots
+/// combine local partials through the substrate's allreduce (serially the
+/// identity, so serial values are unchanged bitwise).
+pub(crate) fn criterion_value<E: Exec>(
+    exec: &mut E,
     criterion: StoppingCriterion,
     x: &[f64],
     r: &[f64],
@@ -116,26 +120,32 @@ pub fn criterion_value(
     scratch: &mut Vec<f64>,
     counters: &mut Counters,
 ) -> f64 {
-    let n = problem.n();
+    let nl = exec.nl();
+    let nw = exec.n_global();
     match criterion {
         StoppingCriterion::TrueResidual2Norm => {
-            scratch.resize(n, 0.0);
-            problem.a.spmv(x, scratch);
-            counters.record_spmv(problem.a.spmv_flops());
+            scratch.resize(nl, 0.0);
+            exec.spmv(x, scratch, counters);
+            counters.record_spmv(exec.spmv_flops());
             let mut acc = 0.0;
-            for i in 0..n {
-                let d = problem.b[i] - scratch[i];
+            let b = exec.b_local();
+            for i in 0..nl {
+                let d = b[i] - scratch[i];
                 acc += d * d;
             }
-            counters.record_dots(1, n as u64);
-            counters.blas1_flops += n as u64;
+            counters.record_dots(1, nw);
+            counters.blas1_flops += nw;
             counters.piggyback_words(1);
-            acc.sqrt()
+            let mut red = [acc];
+            exec.allreduce(&mut red);
+            red[0].sqrt()
         }
         StoppingCriterion::RecursiveResidual2Norm => {
-            counters.record_dots(1, n as u64);
+            counters.record_dots(1, nw);
             counters.piggyback_words(1);
-            blas::norm2(r)
+            let mut red = [exec.dot(r, r)];
+            exec.allreduce(&mut red);
+            red[0].sqrt()
         }
         StoppingCriterion::PrecondMNorm => {
             // rtu can dip (tiny) negative in finite precision near
@@ -150,7 +160,12 @@ mod tests {
     use super::*;
 
     fn opts() -> SolveOptions {
-        SolveOptions { tol: 1e-3, divergence_factor: 1e4, stall_checks: 3, ..Default::default() }
+        SolveOptions {
+            tol: 1e-3,
+            divergence_factor: 1e4,
+            stall_checks: 3,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -97,7 +97,10 @@ pub fn zero(x: &mut [f64]) {
 #[inline]
 pub fn lincomb3(a: f64, x: &[f64], b: f64, y: &[f64], c: f64, z: &[f64], out: &mut [f64]) {
     let n = out.len();
-    assert!(x.len() == n && y.len() == n && z.len() == n, "lincomb3: length mismatch");
+    assert!(
+        x.len() == n && y.len() == n && z.len() == n,
+        "lincomb3: length mismatch"
+    );
     for i in 0..n {
         out[i] = a * x[i] + b * y[i] + c * z[i];
     }

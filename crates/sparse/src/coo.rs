@@ -20,7 +20,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `nrows × ncols` COO matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with storage reserved for `cap` entries.
@@ -54,7 +60,10 @@ impl CooMatrix {
     /// # Panics
     /// Panics if `(i, j)` is out of bounds.
     pub fn push(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.nrows && j < self.ncols, "CooMatrix::push: index ({i},{j}) out of bounds");
+        assert!(
+            i < self.nrows && j < self.ncols,
+            "CooMatrix::push: index ({i},{j}) out of bounds"
+        );
         self.rows.push(i);
         self.cols.push(j);
         self.vals.push(v);
@@ -100,7 +109,12 @@ impl CooMatrix {
         for r in 0..self.nrows {
             let (lo, hi) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(col_idx[lo..hi].iter().copied().zip(values[lo..hi].iter().copied()));
+            scratch.extend(
+                col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(values[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

@@ -36,21 +36,41 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "CSR: row_ptr length must be nrows+1");
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "CSR: row_ptr length must be nrows+1"
+        );
         assert_eq!(row_ptr[0], 0, "CSR: row_ptr must start at 0");
         assert_eq!(col_idx.len(), values.len(), "CSR: col/val length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "CSR: row_ptr end mismatch");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "CSR: row_ptr end mismatch"
+        );
         for r in 0..nrows {
-            assert!(row_ptr[r] <= row_ptr[r + 1], "CSR: row_ptr must be monotone");
+            assert!(
+                row_ptr[r] <= row_ptr[r + 1],
+                "CSR: row_ptr must be monotone"
+            );
             let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in row.windows(2) {
-                assert!(w[0] < w[1], "CSR: columns must be strictly increasing in row {r}");
+                assert!(
+                    w[0] < w[1],
+                    "CSR: columns must be strictly increasing in row {r}"
+                );
             }
             if let Some(&last) = row.last() {
                 assert!(last < ncols, "CSR: column index out of bounds in row {r}");
             }
         }
-        CsrMatrix { nrows, ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -149,7 +169,10 @@ impl CsrMatrix {
     /// writing into `y[row_begin..row_end]`. This is the per-rank kernel of
     /// the block-row-distributed executor in `spcg-dist`.
     pub fn spmv_rows(&self, row_begin: usize, row_end: usize, x: &[f64], y: &mut [f64]) {
-        assert!(row_begin <= row_end && row_end <= self.nrows, "spmv_rows: bad range");
+        assert!(
+            row_begin <= row_end && row_end <= self.nrows,
+            "spmv_rows: bad range"
+        );
         assert_eq!(x.len(), self.ncols, "spmv_rows: x length mismatch");
         for r in row_begin..row_end {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);

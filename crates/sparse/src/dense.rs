@@ -34,7 +34,11 @@ impl fmt::Debug for DenseMat {
 impl DenseMat {
     /// The `nrows × ncols` zero matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMat { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMat {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// The `n × n` identity.
@@ -130,7 +134,9 @@ impl DenseMat {
     /// Matrix-vector product `self · x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
-        (0..self.nrows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        (0..self.nrows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Transposed matrix-vector product `selfᵀ · x`.

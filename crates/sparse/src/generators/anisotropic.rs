@@ -34,7 +34,10 @@ pub fn anisotropic_2d(m: usize, eps: f64) -> CsrMatrix {
 /// 3D anisotropic diffusion `-(εx u_xx + εy u_yy + u_zz)` on an `m³` grid
 /// (7-point stencil).
 pub fn anisotropic_3d(m: usize, eps_x: f64, eps_y: f64) -> CsrMatrix {
-    assert!(eps_x > 0.0 && eps_y > 0.0, "anisotropic_3d: eps must be positive");
+    assert!(
+        eps_x > 0.0 && eps_y > 0.0,
+        "anisotropic_3d: eps must be positive"
+    );
     let n = m * m * m;
     let idx = |i: usize, j: usize, k: usize| (i * m + j) * m + k;
     let mut coo = CooMatrix::with_capacity(n, n, 7 * n);

@@ -112,7 +112,7 @@ mod tests {
         a.spmv(&x, &mut y);
         assert!(y.iter().all(|&v| v >= 0.0));
         // The fully interior node (1,1) in a 4x4 grid has row sum 0.
-        assert_eq!(y[1 * 4 + 1], 0.0);
+        assert_eq!(y[4 + 1], 0.0);
     }
 
     #[test]

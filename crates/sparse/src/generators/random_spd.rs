@@ -12,8 +12,7 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng64;
 
 /// Shape of the prescribed spectrum on `[λ_max/κ, λ_max]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +36,7 @@ pub enum SpectrumShape {
 
 impl SpectrumShape {
     /// Materializes the eigenvalue list (ascending, λ_max = `scale`).
-    pub fn eigenvalues(&self, n: usize, scale: f64, rng: &mut StdRng) -> Vec<f64> {
+    pub fn eigenvalues(&self, n: usize, scale: f64, rng: &mut Rng64) -> Vec<f64> {
         assert!(n > 0, "SpectrumShape: n must be positive");
         let mut ev = match self {
             SpectrumShape::Uniform { kappa } => {
@@ -68,9 +67,13 @@ impl SpectrumShape {
                 let lo = scale / kappa;
                 let mut v: Vec<f64> = (0..n)
                     .map(|i| {
-                        let t = if n == 1 { 1.0 } else { i as f64 / (n - 1) as f64 };
+                        let t = if n == 1 {
+                            1.0
+                        } else {
+                            i as f64 / (n - 1) as f64
+                        };
                         let base = lo * (scale / lo).powf(t);
-                        base * (1.0 + jitter * (rng.gen::<f64>() - 0.5))
+                        base * (1.0 + jitter * (rng.next_f64() - 0.5))
                     })
                     .collect();
                 v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -90,7 +93,7 @@ impl SpectrumShape {
                         } else {
                             lo * (scale / lo).powf(c as f64 / (clusters - 1) as f64)
                         };
-                        center * (1.0 + 1e-4 * (rng.gen::<f64>() - 0.5))
+                        center * (1.0 + 1e-4 * (rng.next_f64() - 0.5))
                     })
                     .collect()
             }
@@ -101,7 +104,11 @@ impl SpectrumShape {
                 let bulk_lo = scale / bulk_kappa;
                 let mut v: Vec<f64> = (0..n - 1)
                     .map(|i| {
-                        let t = if n <= 2 { 1.0 } else { i as f64 / (n - 2) as f64 };
+                        let t = if n <= 2 {
+                            1.0
+                        } else {
+                            i as f64 / (n - 2) as f64
+                        };
                         bulk_lo * (scale / bulk_lo).powf(t)
                     })
                     .collect();
@@ -116,7 +123,10 @@ impl SpectrumShape {
             }
         };
         ev.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(ev[0] > 0.0, "SpectrumShape: spectrum must be positive for SPD");
+        assert!(
+            ev[0] > 0.0,
+            "SpectrumShape: spectrum must be positive for SPD"
+        );
         ev
     }
 }
@@ -230,7 +240,7 @@ pub fn spd_with_spectrum(
     rounds: usize,
     seed: u64,
 ) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut ev = shape.eigenvalues(n, scale, &mut rng);
     if n == 1 {
         return CsrMatrix::from_diagonal(&ev);
@@ -243,7 +253,7 @@ pub fn spd_with_spectrum(
     // diagonal entry a mix of wildly different eigenvalues, restoring
     // realistic preconditioned difficulty.
     for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.below_inclusive(i);
         ev.swap(i, j);
     }
     let mut band = SymBand::diag(&ev, (2 * rounds).max(1));
@@ -258,7 +268,7 @@ pub fn spd_with_spectrum(
         let parity = sweep % 2;
         let mut p = parity;
         while p + 1 < n {
-            let theta: f64 = rng.gen_range(0.2..1.4);
+            let theta: f64 = rng.range_f64(0.2, 1.4);
             band.rotate_pair(p, theta.cos(), theta.sin());
             p += 2;
         }
@@ -284,7 +294,7 @@ mod tests {
         let d: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
         let e: Vec<f64> = (0..n - 1).map(|i| a.get(i, i + 1)).collect();
         let ev = tridiag::eigenvalues(&d, &e);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         let want = shape.eigenvalues(n, 1.0, &mut rng);
         for (g, w) in ev.iter().zip(&want) {
             assert!((g - w).abs() < 1e-10, "eigenvalue drift: {g} vs {w}");
@@ -296,7 +306,7 @@ mod tests {
         let n = 100;
         let shape = SpectrumShape::Geometric { kappa: 1e4 };
         let a = spd_with_spectrum(n, &shape, 2.0, 5, 7);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let ev = shape.eigenvalues(n, 2.0, &mut rng);
         let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
         let sum: f64 = ev.iter().sum();
@@ -326,7 +336,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let s = SpectrumShape::LogUniform { kappa: 100.0, jitter: 0.3 };
+        let s = SpectrumShape::LogUniform {
+            kappa: 100.0,
+            jitter: 0.3,
+        };
         let a = spd_with_spectrum(30, &s, 1.0, 2, 9);
         let b = spd_with_spectrum(30, &s, 1.0, 2, 9);
         assert_eq!(a.values(), b.values());
@@ -335,11 +348,14 @@ mod tests {
 
     #[test]
     fn shapes_have_exact_extremes() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng64::seed_from_u64(0);
         for shape in [
             SpectrumShape::Uniform { kappa: 50.0 },
             SpectrumShape::Geometric { kappa: 50.0 },
-            SpectrumShape::LogUniform { kappa: 50.0, jitter: 0.2 },
+            SpectrumShape::LogUniform {
+                kappa: 50.0,
+                jitter: 0.2,
+            },
         ] {
             let ev = shape.eigenvalues(40, 3.0, &mut rng);
             assert!((ev[0] - 3.0 / 50.0).abs() < 1e-12);
@@ -349,16 +365,19 @@ mod tests {
 
     #[test]
     fn outlier_shape_has_detached_smallest() {
-        let mut rng = StdRng::seed_from_u64(0);
-        let ev =
-            SpectrumShape::Outlier { kappa: 1e6, bulk_kappa: 10.0 }.eigenvalues(50, 1.0, &mut rng);
+        let mut rng = Rng64::seed_from_u64(0);
+        let ev = SpectrumShape::Outlier {
+            kappa: 1e6,
+            bulk_kappa: 10.0,
+        }
+        .eigenvalues(50, 1.0, &mut rng);
         assert!((ev[0] - 1e-6).abs() < 1e-18);
         assert!(ev[1] >= 0.1 - 1e-12);
     }
 
     #[test]
     fn custom_spectrum_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng64::seed_from_u64(0);
         let ev = SpectrumShape::Custom(vec![3.0, 1.0, 2.0]).eigenvalues(3, 1.0, &mut rng);
         assert_eq!(ev, vec![1.0, 2.0, 3.0]);
     }

@@ -120,7 +120,10 @@ pub fn suite_matrices() -> Vec<SuiteEntry> {
             let kappa = kappa_for_iters(iters);
             let shape = if hard_for_all {
                 // Detached outlier: PCG resolves it; s-step bases cannot.
-                SpectrumShape::Outlier { kappa: (kappa * 1e4).max(1e9), bulk_kappa: kappa }
+                SpectrumShape::Outlier {
+                    kappa: (kappa * 1e4).max(1e9),
+                    bulk_kappa: kappa,
+                }
             } else if iters <= 30 {
                 // Very easy matrices: small geometric spectrum.
                 SpectrumShape::Geometric { kappa }
@@ -131,7 +134,15 @@ pub fn suite_matrices() -> Vec<SuiteEntry> {
             // matched to the original's nnz/row.
             let nnz_per_row = (paper_nnz_m * 1e6 / paper_n as f64).round() as usize;
             let rounds = (nnz_per_row / 4).clamp(1, 6);
-            SuiteEntry { name, paper_n, paper_pcg_iters: iters, n, shape, rounds, seed: 1000 + i as u64 }
+            SuiteEntry {
+                name,
+                paper_n,
+                paper_pcg_iters: iters,
+                n,
+                shape,
+                rounds,
+                seed: 1000 + i as u64,
+            }
         })
         .collect()
 }

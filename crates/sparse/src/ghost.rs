@@ -1,0 +1,247 @@
+//! Depth-s ghost zones for the distributed matrix powers kernel.
+//!
+//! A rank owning the contiguous row block `[lo, hi)` can compute `s` levels
+//! of the MPK recurrence from a **single** neighbour exchange if it first
+//! fetches every vector entry within graph distance `s` of its block (the
+//! "PA1" scheme of Demmel et al.): level `j` of the recurrence is then
+//! valid on `reach(s − j)` and the final level exactly on the owned rows.
+//!
+//! [`GhostZone`] precomputes the reachability sets by breadth-first search
+//! over the column structure of `A`, orders the extended index set so each
+//! reach set is a *prefix* (owned rows first, then ghosts grouped by BFS
+//! distance), and builds a remapped local CSR operator over that extended
+//! index space. Entry order within each row is preserved, so row sums are
+//! bitwise identical to the global SpMV's.
+
+use crate::csr::CsrMatrix;
+
+/// The depth-s reachability structure of one rank's row block.
+#[derive(Debug, Clone)]
+pub struct GhostZone {
+    lo: usize,
+    hi: usize,
+    depth: usize,
+    /// Extended index set in global row numbers: `[lo, hi)` in order, then
+    /// ghosts grouped by BFS distance (each group sorted ascending).
+    ext: Vec<usize>,
+    /// `prefix[d]` = |reach(d)| for `d = 0 ..= depth`; `prefix[0]` is the
+    /// owned count and `prefix[depth] == ext.len()`.
+    prefix: Vec<usize>,
+    /// Rows `0 .. prefix[depth-1]` of `A` restricted to the extended index
+    /// space, stored raw: the renumbered columns are not ascending (ghosts
+    /// are ordered by BFS distance), so this cannot be a [`CsrMatrix`].
+    /// Entry order within each row is the original ascending-global order,
+    /// which keeps row-sum rounding identical to the global SpMV.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl GhostZone {
+    /// Builds the depth-`depth` ghost zone of rows `[lo, hi)` of `a`.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`, the range is invalid, or `a` is not square.
+    pub fn new(a: &CsrMatrix, lo: usize, hi: usize, depth: usize) -> Self {
+        assert!(depth >= 1, "GhostZone: depth must be at least 1");
+        assert!(lo <= hi && hi <= a.nrows(), "GhostZone: invalid row range");
+        assert_eq!(a.nrows(), a.ncols(), "GhostZone: matrix must be square");
+        let n = a.nrows();
+
+        // pos[g] = position of global index g in `ext`, or usize::MAX.
+        let mut pos = vec![usize::MAX; n];
+        let mut ext: Vec<usize> = (lo..hi).collect();
+        for (p, &g) in ext.iter().enumerate() {
+            pos[g] = p;
+        }
+        let mut prefix = vec![ext.len()];
+
+        // BFS level by level: frontier = indices first reached at level d.
+        let mut frontier_begin = 0usize;
+        for _ in 0..depth {
+            let frontier_end = ext.len();
+            let mut next: Vec<usize> = Vec::new();
+            for p in frontier_begin..frontier_end {
+                let (cols, _) = a.row(ext[p]);
+                for &c in cols {
+                    if pos[c] == usize::MAX {
+                        pos[c] = usize::MAX - 1; // mark, number after sorting
+                        next.push(c);
+                    }
+                }
+            }
+            next.sort_unstable();
+            for &g in &next {
+                pos[g] = ext.len();
+                ext.push(g);
+            }
+            frontier_begin = frontier_end;
+            prefix.push(ext.len());
+        }
+
+        // Remapped rows 0 .. prefix[depth-1] in original entry order.
+        let nrows_local = prefix[depth - 1];
+        let mut row_ptr = Vec::with_capacity(nrows_local + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for p in 0..nrows_local {
+            let (cols, vals) = a.row(ext[p]);
+            for (&c, &v) in cols.iter().zip(vals) {
+                debug_assert!(pos[c] < ext.len(), "ghost closure violated");
+                col_idx.push(pos[c]);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        GhostZone {
+            lo,
+            hi,
+            depth,
+            ext,
+            prefix,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Owned row range `[lo, hi)`.
+    pub fn range(&self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of owned rows.
+    pub fn n_owned(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// BFS depth of the plan.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Size of the full extended index set (`|reach(depth)|`).
+    pub fn ext_len(&self) -> usize {
+        self.ext.len()
+    }
+
+    /// `|reach(d)|` — the valid prefix length of MPK level `depth − d`.
+    ///
+    /// # Panics
+    /// Panics if `d > depth`.
+    pub fn reach_len(&self, d: usize) -> usize {
+        self.prefix[d]
+    }
+
+    /// Global indices of the ghost entries (everything past the owned
+    /// prefix), in extended order — exactly what one exchange must fetch.
+    pub fn ghost_indices(&self) -> &[usize] {
+        &self.ext[self.n_owned()..]
+    }
+
+    /// All extended indices (owned, then ghosts by BFS distance).
+    pub fn ext_indices(&self) -> &[usize] {
+        &self.ext
+    }
+
+    /// Applies the remapped operator to rows `0 .. nrows` of the extended
+    /// index space: `y[p] = Σ A[ext[p], ext[q]] · x_ext[q]`, with the same
+    /// per-row accumulation order as [`CsrMatrix::spmv`].
+    ///
+    /// # Panics
+    /// Panics if `nrows > reach_len(depth-1)` or buffers are too short.
+    pub fn spmv_prefix(&self, nrows: usize, x_ext: &[f64], y: &mut [f64]) {
+        assert!(
+            nrows <= self.prefix[self.depth - 1],
+            "spmv_prefix: row prefix too long"
+        );
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_prefix: x_ext too short"
+        );
+        assert!(y.len() >= nrows, "spmv_prefix: y too short");
+        for r in 0..nrows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x_ext[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Gathers `global[ext[i]]` for the ghost entries into a buffer laid
+    /// out as `[owned values, ghost values]` (a test/serial convenience;
+    /// the ranked engine gathers ghosts from the exchange board instead).
+    pub fn extend_from_global(&self, global: &[f64]) -> Vec<f64> {
+        self.ext.iter().map(|&g| global[g]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::poisson::{poisson_1d, poisson_2d};
+
+    #[test]
+    fn depth1_matches_partition_halo() {
+        let a = poisson_1d(12);
+        let gz = GhostZone::new(&a, 4, 8, 1);
+        assert_eq!(gz.n_owned(), 4);
+        assert_eq!(gz.ghost_indices(), &[3, 8]);
+        assert_eq!(gz.reach_len(0), 4);
+        assert_eq!(gz.reach_len(1), 6);
+    }
+
+    #[test]
+    fn reach_sets_grow_by_one_layer_on_tridiagonal() {
+        let a = poisson_1d(20);
+        let gz = GhostZone::new(&a, 8, 12, 3);
+        // Each depth adds one row on each side.
+        assert_eq!(gz.ghost_indices(), &[7, 12, 6, 13, 5, 14]);
+        assert_eq!(gz.reach_len(1), 6);
+        assert_eq!(gz.reach_len(2), 8);
+        assert_eq!(gz.reach_len(3), 10);
+    }
+
+    #[test]
+    fn local_spmv_matches_global_on_computable_rows() {
+        let a = poisson_2d(8);
+        let gz = GhostZone::new(&a, 16, 40, 3);
+        let x: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let x_ext = gz.extend_from_global(&x);
+        let mut y_local = vec![0.0; gz.reach_len(2)];
+        gz.spmv_prefix(gz.reach_len(2), &x_ext, &mut y_local);
+        let mut y_global = vec![0.0; 64];
+        a.spmv(&x, &mut y_global);
+        for p in 0..gz.reach_len(2) {
+            let g = gz.ext_indices()[p];
+            // Bitwise: entry order inside each row is preserved.
+            assert_eq!(y_local[p], y_global[g], "row {g}");
+        }
+    }
+
+    #[test]
+    fn boundary_block_has_one_sided_ghosts() {
+        let a = poisson_1d(10);
+        let gz = GhostZone::new(&a, 0, 3, 2);
+        assert_eq!(gz.ghost_indices(), &[3, 4]);
+    }
+
+    #[test]
+    fn full_matrix_block_has_no_ghosts() {
+        let a = poisson_2d(5);
+        let gz = GhostZone::new(&a, 0, 25, 4);
+        assert!(gz.ghost_indices().is_empty());
+        assert_eq!(gz.ext_len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be at least 1")]
+    fn rejects_zero_depth() {
+        let a = poisson_1d(4);
+        GhostZone::new(&a, 0, 2, 0);
+    }
+}

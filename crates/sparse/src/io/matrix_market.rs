@@ -24,7 +24,9 @@ impl fmt::Display for MmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MmError::Io(e) => write!(f, "matrix market io error: {e}"),
-            MmError::Parse { line, msg } => write!(f, "matrix market parse error (line {line}): {msg}"),
+            MmError::Parse { line, msg } => {
+                write!(f, "matrix market parse error (line {line}): {msg}")
+            }
         }
     }
 }
@@ -38,7 +40,10 @@ impl From<std::io::Error> for MmError {
 }
 
 fn parse_err(line: usize, msg: impl Into<String>) -> MmError {
-    MmError::Parse { line, msg: msg.into() }
+    MmError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Reads a Matrix Market file from disk.
@@ -57,7 +62,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<CsrMatrix, MmError> {
         return Err(parse_err(1, "missing %%MatrixMarket header"));
     }
     if fields[1] != "matrix" || fields[2] != "coordinate" {
-        return Err(parse_err(1, format!("unsupported object/format: {} {}", fields[1], fields[2])));
+        return Err(parse_err(
+            1,
+            format!("unsupported object/format: {} {}", fields[1], fields[2]),
+        ));
     }
     let pattern = match fields[3] {
         "real" | "integer" => false,
@@ -83,7 +91,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<CsrMatrix, MmError> {
     let (size_lineno, size_text) = size_line.ok_or_else(|| parse_err(0, "missing size line"))?;
     let dims: Vec<usize> = size_text
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| parse_err(size_lineno, "bad size entry")))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| parse_err(size_lineno, "bad size entry"))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(parse_err(size_lineno, "size line must have 3 entries"));
@@ -129,7 +140,10 @@ pub fn read_matrix_market_str(text: &str) -> Result<CsrMatrix, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo.to_csr())
 }
@@ -140,7 +154,11 @@ pub fn write_matrix_market(a: &CsrMatrix, path: impl AsRef<Path>) -> std::io::Re
     let symmetric = a.is_symmetric(0.0);
     let mut out = String::new();
     out.push_str("%%MatrixMarket matrix coordinate real ");
-    out.push_str(if symmetric { "symmetric\n" } else { "general\n" });
+    out.push_str(if symmetric {
+        "symmetric\n"
+    } else {
+        "general\n"
+    });
     out.push_str("% written by spcg-sparse\n");
     let mut entries: Vec<(usize, usize, f64)> = Vec::new();
     for r in 0..a.nrows() {
@@ -199,7 +217,10 @@ mod tests {
     #[test]
     fn rejects_wrong_count() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
-        assert!(matches!(read_matrix_market_str(text), Err(MmError::Parse { .. })));
+        assert!(matches!(
+            read_matrix_market_str(text),
+            Err(MmError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -28,15 +28,18 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod generators;
+pub mod ghost;
 pub mod io;
 pub mod multivector;
 pub mod partition;
+pub mod rng;
 pub mod smallsolve;
 pub mod tridiag;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMat;
+pub use ghost::GhostZone;
 pub use multivector::MultiVector;
 
 /// Workspace-wide floating point scalar. The paper's experiments are all in

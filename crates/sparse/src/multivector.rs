@@ -26,7 +26,11 @@ pub struct MultiVector {
 impl MultiVector {
     /// The `n × k` zero multivector.
     pub fn zeros(n: usize, k: usize) -> Self {
-        MultiVector { n, k, data: vec![0.0; n * k] }
+        MultiVector {
+            n,
+            k,
+            data: vec![0.0; n * k],
+        }
     }
 
     /// Builds from `k` column vectors.
@@ -74,7 +78,10 @@ impl MultiVector {
     /// kernel which writes column `j+1` from column `j`.
     pub fn col_pair_mut(&mut self, read: usize, write: usize) -> (&[f64], &mut [f64]) {
         assert_ne!(read, write, "col_pair_mut: indices must differ");
-        assert!(read < self.k && write < self.k, "col_pair_mut: index out of bounds");
+        assert!(
+            read < self.k && write < self.k,
+            "col_pair_mut: index out of bounds"
+        );
         let n = self.n;
         if read < write {
             let (a, b) = self.data.split_at_mut(write * n);
@@ -137,7 +144,11 @@ impl MultiVector {
 
     /// `out ← out + a · self · coeffs`.
     pub fn gemv_acc(&self, a: f64, coeffs: &[f64], out: &mut [f64]) {
-        assert_eq!(coeffs.len(), self.k, "gemv_acc: coefficient length mismatch");
+        assert_eq!(
+            coeffs.len(),
+            self.k,
+            "gemv_acc: coefficient length mismatch"
+        );
         assert_eq!(out.len(), self.n, "gemv_acc: output length mismatch");
         let mut row = 0;
         while row < self.n {
@@ -171,7 +182,11 @@ impl MultiVector {
 
     /// `out ← out + self · b`.
     pub fn gemm_small_acc(&self, b: &DenseMat, out: &mut MultiVector) {
-        assert_eq!(b.nrows(), self.k, "gemm_small_acc: inner dimension mismatch");
+        assert_eq!(
+            b.nrows(),
+            self.k,
+            "gemm_small_acc: inner dimension mismatch"
+        );
         assert_eq!(out.n, self.n, "gemm_small_acc: output rows mismatch");
         assert_eq!(out.k, b.ncols(), "gemm_small_acc: output cols mismatch");
         let n = self.n;
@@ -217,7 +232,11 @@ impl MultiVector {
     /// data copied). Used to form `R^(k)` from `S^(k)`.
     pub fn head_columns(&self, k: usize) -> MultiVector {
         assert!(k <= self.k, "head_columns: too many columns requested");
-        MultiVector { n: self.n, k, data: self.data[..self.n * k].to_vec() }
+        MultiVector {
+            n: self.n,
+            k,
+            data: self.data[..self.n * k].to_vec(),
+        }
     }
 
     /// Maximum absolute entry across all columns.

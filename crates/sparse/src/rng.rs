@@ -1,0 +1,127 @@
+//! Small deterministic PRNG for the generators and tests.
+//!
+//! The workspace builds in hermetic environments with no registry access, so
+//! instead of depending on the `rand` crate the generators use this
+//! self-contained generator: SplitMix64 seeding feeding xoshiro256++, the
+//! same construction `rand`'s `SmallRng` family uses. Quality is far beyond
+//! what spectrum-pinned matrix generation needs, and streams are fully
+//! determined by the seed, so every generated matrix is reproducible.
+
+/// Deterministic 64-bit PRNG (xoshiro256++ seeded via SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state; the
+        // constants are the reference ones from Steele/Lea/Vigna.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            s: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "range_f64: empty range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in the *inclusive* range `[0, bound]` via unbiased
+    /// rejection sampling.
+    pub fn below_inclusive(&mut self, bound: usize) -> usize {
+        let m = bound as u64 + 1;
+        if m == 0 {
+            return self.next_u64() as usize;
+        }
+        // Rejection zone keeps the draw exactly uniform.
+        let zone = u64::MAX - (u64::MAX - m + 1) % m;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return (v % m) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of 10k uniform draws is 0.5 within a few standard errors.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.range_f64(0.2, 1.4);
+            assert!((0.2..1.4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_inclusive_covers_range() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below_inclusive(4);
+            assert!(v <= 4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -22,7 +22,11 @@
 pub fn eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
     let n = d.len();
     assert!(n > 0, "tridiag::eigenvalues: empty matrix");
-    assert_eq!(e.len(), n.saturating_sub(1), "tridiag::eigenvalues: off-diagonal length");
+    assert_eq!(
+        e.len(),
+        n.saturating_sub(1),
+        "tridiag::eigenvalues: off-diagonal length"
+    );
     let mut d = d.to_vec();
     // Pad the off-diagonal with a trailing zero, Numerical-Recipes style.
     let mut e: Vec<f64> = e.iter().copied().chain(std::iter::once(0.0)).collect();
@@ -79,7 +83,10 @@ pub fn eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
             e[m] = 0.0;
         }
     }
-    d.sort_by(|a, b| a.partial_cmp(b).expect("tridiag eigenvalues must be finite"));
+    d.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("tridiag eigenvalues must be finite")
+    });
     d
 }
 

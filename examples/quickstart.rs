@@ -1,11 +1,12 @@
 //! Quickstart: solve a 2D Poisson system with sPCG and compare the
-//! communication footprint against standard PCG.
+//! communication footprint against standard PCG — then run the same solve
+//! on the rank-parallel engine.
 //!
 //! Run: `cargo run --release --example quickstart`
 
 use spcg::basis::BasisType;
 use spcg::precond::Jacobi;
-use spcg::solvers::{pcg, spcg as spcg_solve, Problem, SolveOptions};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions};
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
 
 fn main() {
@@ -13,12 +14,12 @@ fn main() {
     let a = poisson_2d(200);
     let b = paper_rhs(&a);
     let m = Jacobi::new(&a);
-    let problem = Problem::new(&a, &m, &b);
+    let problem = Problem::try_new(&a, &m, &b).expect("dimensions match");
     println!("system: n = {}, nnz = {}", a.nrows(), a.nnz());
 
     // 2. Baseline: standard PCG.
-    let opts = SolveOptions::default().with_tol(1e-9);
-    let r_pcg = pcg(&problem, &opts);
+    let opts = SolveOptions::builder().tol(1e-9).build();
+    let r_pcg = solve(&Method::Pcg, &problem, &opts, Engine::Serial);
     println!(
         "PCG : {:?} in {} iterations, {} global reductions",
         r_pcg.outcome, r_pcg.iterations, r_pcg.counters.global_collectives
@@ -28,10 +29,15 @@ fn main() {
     //    (the paper's setup), s = 10: same convergence, ~20x fewer
     //    synchronizations.
     let basis = spcg::solvers::chebyshev_basis(&problem, 20, 0.05);
-    if let BasisType::Chebyshev { lambda_min, lambda_max } = &basis {
+    if let BasisType::Chebyshev {
+        lambda_min,
+        lambda_max,
+    } = &basis
+    {
         println!("estimated spectrum of M⁻¹A: [{lambda_min:.4}, {lambda_max:.4}]");
     }
-    let r_spcg = spcg_solve(&problem, 10, &basis, &opts);
+    let method = Method::SPcg { s: 10, basis };
+    let r_spcg = solve(&method, &problem, &opts, Engine::Serial);
     println!(
         "sPCG: {:?} in {} iterations, {} global reductions",
         r_spcg.outcome, r_spcg.iterations, r_spcg.counters.global_collectives
@@ -42,4 +48,16 @@ fn main() {
         r_spcg.true_relative_residual(&a, &b)
     );
     assert!(r_pcg.converged() && r_spcg.converged());
+
+    // 4. The same solve on 4 real communicating ranks: block-row partition,
+    //    one depth-s ghost-zone exchange per s-block, real collectives.
+    let r_ranked = solve(&method, &problem, &opts, Engine::Ranked { ranks: 4 });
+    println!(
+        "sPCG on 4 ranks: {:?} in {} iterations, {} collectives/rank, {} halo exchanges",
+        r_ranked.outcome,
+        r_ranked.iterations,
+        r_ranked.collectives_per_rank.unwrap_or(0),
+        r_ranked.counters.halo_exchanges
+    );
+    assert!(r_ranked.converged());
 }

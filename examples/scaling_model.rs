@@ -7,7 +7,7 @@
 use spcg::perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
 use spcg::perf::MachineParams;
 use spcg::precond::Jacobi;
-use spcg::solvers::{solve, Method, Problem, SolveOptions, StoppingCriterion};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, StoppingCriterion};
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_3d};
 
 fn main() {
@@ -27,12 +27,26 @@ fn main() {
 
     let methods = [
         ("PCG".to_string(), Method::Pcg),
-        ("sPCG(s=10)".to_string(), Method::SPcg { s: 10, basis: basis.clone() }),
-        ("CA-PCG(s=10)".to_string(), Method::CaPcg { s: 10, basis: basis.clone() }),
+        (
+            "sPCG(s=10)".to_string(),
+            Method::SPcg {
+                s: 10,
+                basis: basis.clone(),
+            },
+        ),
+        (
+            "CA-PCG(s=10)".to_string(),
+            Method::CaPcg {
+                s: 10,
+                basis: basis.clone(),
+            },
+        ),
         ("CA-PCG3(s=10)".to_string(), Method::CaPcg3 { s: 10, basis }),
     ];
-    let pcg_result = solve(&methods[0].1, &problem, &opts);
-    let base = strong_scaling(&pcg_result.counters, &machine, &[1], 128, halo)[0].time.total();
+    let pcg_result = solve(&methods[0].1, &problem, &opts, Engine::Serial);
+    let base = strong_scaling(&pcg_result.counters, &machine, &[1], 128, halo)[0]
+        .time
+        .total();
     println!("3D Poisson {grid}^3, modeled speedup over PCG on 1 node ({base:.3}s):\n");
     print!("{:14}", "method");
     for n in nodes {
@@ -40,7 +54,7 @@ fn main() {
     }
     println!();
     for (name, method) in &methods {
-        let res = solve(method, &problem, &opts);
+        let res = solve(method, &problem, &opts, Engine::Serial);
         assert!(res.converged(), "{name}: {:?}", res.outcome);
         print!("{name:14}");
         for p in strong_scaling(&res.counters, &machine, &nodes, 128, halo) {

@@ -7,7 +7,7 @@
 
 use spcg::basis::BasisType;
 use spcg::precond::Jacobi;
-use spcg::solvers::{solve, Method, Problem, SolveOptions, SolveResult};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, SolveResult};
 use spcg::sparse::generators::paper_rhs;
 use spcg::sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
 
@@ -22,27 +22,47 @@ fn cell(r: &SolveResult) -> String {
 fn main() {
     // Log-uniform spectrum with condition number 3e4: hard enough that the
     // basis choice decides survival.
-    let a = spd_with_spectrum(4000, &SpectrumShape::LogUniform { kappa: 3e4, jitter: 0.1 }, 1.0, 4, 7);
+    let a = spd_with_spectrum(
+        4000,
+        &SpectrumShape::LogUniform {
+            kappa: 3e4,
+            jitter: 0.1,
+        },
+        1.0,
+        4,
+        7,
+    );
     let b = paper_rhs(&a);
     let m = Jacobi::new(&a);
     let problem = Problem::new(&a, &m, &b);
     let opts = SolveOptions::default().with_tol(1e-8);
 
-    let r_pcg = solve(&Method::Pcg, &problem, &opts);
+    let r_pcg = solve(&Method::Pcg, &problem, &opts, Engine::Serial);
     println!("PCG reference: {} iterations\n", r_pcg.iterations);
 
     let cheb = spcg::solvers::chebyshev_basis(&problem, 40, 0.1);
     let newton = spcg::solvers::newton_basis(&problem, 40, 10);
-    println!("{:10} {:>8} {:>8} {:>8}", "method", "monomial", "newton", "chebyshev");
+    println!(
+        "{:10} {:>8} {:>8} {:>8}",
+        "method", "monomial", "newton", "chebyshev"
+    );
     for (name, make) in [
-        ("sPCG", &(|basis: BasisType| Method::SPcg { s: 10, basis }) as &dyn Fn(BasisType) -> Method),
+        (
+            "sPCG",
+            &(|basis: BasisType| Method::SPcg { s: 10, basis }) as &dyn Fn(BasisType) -> Method,
+        ),
         ("CA-PCG", &|basis| Method::CaPcg { s: 10, basis }),
         ("CA-PCG3", &|basis| Method::CaPcg3 { s: 10, basis }),
     ] {
-        let rm = solve(&make(BasisType::Monomial), &problem, &opts);
-        let rn = solve(&make(newton.clone()), &problem, &opts);
-        let rc = solve(&make(cheb.clone()), &problem, &opts);
-        println!("{name:10} {:>8} {:>8} {:>8}", cell(&rm), cell(&rn), cell(&rc));
+        let rm = solve(&make(BasisType::Monomial), &problem, &opts, Engine::Serial);
+        let rn = solve(&make(newton.clone()), &problem, &opts, Engine::Serial);
+        let rc = solve(&make(cheb.clone()), &problem, &opts, Engine::Serial);
+        println!(
+            "{name:10} {:>8} {:>8} {:>8}",
+            cell(&rm),
+            cell(&rn),
+            cell(&rc)
+        );
     }
     println!("\n('-' = diverged, stagnated, or hit the iteration cap)");
 }

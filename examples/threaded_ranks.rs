@@ -1,42 +1,54 @@
-//! Real parallel execution: rank-parallel PCG and sPCG on OS threads with
-//! actual allreduce collectives and halo exchanges — the shared-memory
-//! stand-in for the paper's MPI runs, demonstrating the factor-2s
-//! reduction in synchronization frequency.
+//! Real parallel execution: PCG and sPCG on the rank-parallel engine — OS
+//! threads with actual allreduce collectives and ghost-zone halo exchanges,
+//! the shared-memory stand-in for the paper's MPI runs — demonstrating the
+//! factor-2s reduction in synchronization frequency and the one-exchange-
+//! per-s-block halo amortization.
 //!
 //! Run: `cargo run --release --example threaded_ranks`
 
 use spcg::precond::Jacobi;
-use spcg::solvers::{par_pcg, par_spcg, Problem};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, SolveResult};
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
+
+fn report(label: &str, r: &SolveResult) {
+    let collectives = r.collectives_per_rank.unwrap_or(0);
+    println!(
+        "{label}: {:?} in {} iterations, {} collectives/rank ({:.2}/iteration), \
+         {} halo exchanges ({:.2}/iteration)",
+        r.outcome,
+        r.iterations,
+        collectives,
+        collectives as f64 / r.iterations as f64,
+        r.counters.halo_exchanges,
+        r.counters.halo_exchanges as f64 / r.iterations as f64,
+    );
+}
 
 fn main() {
     let a = poisson_2d(160);
     let b = paper_rhs(&a);
-    let nranks = 8;
+    let ranks = 8;
     let s = 10;
 
     let m = Jacobi::new(&a);
     let problem = Problem::new(&a, &m, &b);
     let basis = spcg::solvers::chebyshev_basis(&problem, 20, 0.05);
+    let opts = SolveOptions::builder().tol(1e-9).max_iters(20_000).build();
+    let engine = Engine::Ranked { ranks };
 
-    println!("n = {}, {nranks} ranks (threads), block-row partition\n", a.nrows());
-    let r_pcg = par_pcg(&a, &b, nranks, 1e-9, 20_000);
     println!(
-        "par PCG : {:?} in {} iterations, {} collectives/rank ({:.2}/iteration)",
-        r_pcg.outcome,
-        r_pcg.iterations,
-        r_pcg.collectives_per_rank,
-        r_pcg.collectives_per_rank as f64 / r_pcg.iterations as f64
+        "n = {}, {ranks} ranks (threads), block-row partition\n",
+        a.nrows()
     );
-    let r_spcg = par_spcg(&a, &b, s, &basis, nranks, 1e-9, 20_000);
+    let r_pcg = solve(&Method::Pcg, &problem, &opts, engine);
+    report("PCG ", &r_pcg);
+    let r_spcg = solve(&Method::SPcg { s, basis }, &problem, &opts, engine);
+    report("sPCG", &r_spcg);
+
+    let rate = |r: &SolveResult| r.collectives_per_rank.unwrap_or(0) as f64 / r.iterations as f64;
     println!(
-        "par sPCG: {:?} in {} iterations, {} collectives/rank ({:.2}/iteration)",
-        r_spcg.outcome,
-        r_spcg.iterations,
-        r_spcg.collectives_per_rank,
-        r_spcg.collectives_per_rank as f64 / r_spcg.iterations as f64
+        "\nsynchronization frequency reduced {:.1}x (theory: 2s = {})",
+        rate(&r_pcg) / rate(&r_spcg),
+        2 * s
     );
-    let ratio = (r_pcg.collectives_per_rank as f64 / r_pcg.iterations as f64)
-        / (r_spcg.collectives_per_rank as f64 / r_spcg.iterations as f64);
-    println!("\nsynchronization frequency reduced {ratio:.1}x (theory: 2s = {})", 2 * s);
 }

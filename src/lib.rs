@@ -22,24 +22,28 @@
 //!
 //! ```
 //! use spcg::precond::Jacobi;
-//! use spcg::solvers::{pcg, spcg as spcg_solve, Problem, SolveOptions};
+//! use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions};
 //! use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
 //!
 //! let a = poisson_2d(32);
 //! let b = paper_rhs(&a);
 //! let m = Jacobi::new(&a);
-//! let problem = Problem::new(&a, &m, &b);
-//! let opts = SolveOptions::default().with_tol(1e-8);
+//! let problem = Problem::try_new(&a, &m, &b).unwrap();
+//! let opts = SolveOptions::builder().tol(1e-8).build();
 //!
 //! // Standard PCG: two global reductions per iteration.
-//! let reference = pcg(&problem, &opts);
+//! let reference = solve(&Method::Pcg, &problem, &opts, Engine::Serial);
 //! assert!(reference.converged());
 //!
-//! // sPCG with a Chebyshev basis: one reduction per s steps.
+//! // sPCG with a Chebyshev basis — one reduction per s steps — executed on
+//! // 4 real communicating ranks (threads): block-row partitions, one
+//! // depth-s ghost-zone exchange per s-block, real allreduce collectives.
 //! let basis = spcg::solvers::chebyshev_basis(&problem, 20, 0.05);
-//! let fast = spcg_solve(&problem, 5, &basis, &opts);
+//! let method = Method::SPcg { s: 5, basis };
+//! let fast = solve(&method, &problem, &opts, Engine::Ranked { ranks: 4 });
 //! assert!(fast.converged());
 //! assert!(fast.counters.global_collectives < reference.counters.global_collectives / 5);
+//! assert!(fast.collectives_per_rank.is_some());
 //! ```
 
 pub use spcg_basis as basis;

@@ -3,7 +3,7 @@
 
 use spcg::basis::BasisType;
 use spcg::precond::{BlockJacobi, ChebyshevPrecond, Identity, Jacobi, Preconditioner, Ssor};
-use spcg::solvers::{solve, Method, Problem, SolveOptions, StoppingCriterion};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, StoppingCriterion};
 use spcg::sparse::generators::anisotropic::anisotropic_2d;
 use spcg::sparse::generators::paper_rhs;
 use spcg::sparse::generators::poisson::{poisson_1d, poisson_2d, poisson_3d};
@@ -15,9 +15,15 @@ fn all_methods(problem: &Problem<'_>, s: usize) -> Vec<Method> {
     vec![
         Method::Pcg,
         Method::Pcg3,
-        Method::SPcg { s, basis: basis.clone() },
+        Method::SPcg {
+            s,
+            basis: basis.clone(),
+        },
         Method::SPcgMon { s },
-        Method::CaPcg { s, basis: basis.clone() },
+        Method::CaPcg {
+            s,
+            basis: basis.clone(),
+        },
         Method::CaPcg3 { s, basis },
     ]
 }
@@ -29,7 +35,10 @@ fn every_method_solves_every_easy_family() {
         ("poisson2d", poisson_2d(20)),
         ("poisson3d", poisson_3d(8)),
         ("anisotropic", anisotropic_2d(16, 0.3)),
-        ("random_spd", spd_with_spectrum(400, &SpectrumShape::Geometric { kappa: 200.0 }, 1.0, 3, 1)),
+        (
+            "random_spd",
+            spd_with_spectrum(400, &SpectrumShape::Geometric { kappa: 200.0 }, 1.0, 3, 1),
+        ),
     ];
     for (name, a) in problems {
         let b = paper_rhs(&a);
@@ -37,8 +46,13 @@ fn every_method_solves_every_easy_family() {
         let problem = Problem::new(&a, &m, &b);
         let opts = SolveOptions::default().with_tol(1e-7);
         for method in all_methods(&problem, 4) {
-            let res = solve(&method, &problem, &opts);
-            assert!(res.converged(), "{name}/{}: {:?}", method.name(), res.outcome);
+            let res = solve(&method, &problem, &opts, Engine::Serial);
+            assert!(
+                res.converged(),
+                "{name}/{}: {:?}",
+                method.name(),
+                res.outcome
+            );
             assert!(
                 res.true_relative_residual(&a, &b) < 1e-6,
                 "{name}/{}: residual {:.2e}",
@@ -76,9 +90,9 @@ fn solution_matches_across_methods() {
     let m = Jacobi::new(&a);
     let problem = Problem::new(&a, &m, &b);
     let opts = SolveOptions::default().with_tol(1e-9);
-    let reference = solve(&Method::Pcg, &problem, &opts);
+    let reference = solve(&Method::Pcg, &problem, &opts, Engine::Serial);
     for method in all_methods(&problem, 5) {
-        let res = solve(&method, &problem, &opts);
+        let res = solve(&method, &problem, &opts, Engine::Serial);
         assert!(res.converged(), "{}", method.name());
         let diff: f64 = res
             .x
@@ -87,7 +101,11 @@ fn solution_matches_across_methods() {
             .map(|(p, q)| (p - q) * (p - q))
             .sum::<f64>()
             .sqrt();
-        assert!(diff < 1e-6, "{}: solutions differ by {diff:.2e}", method.name());
+        assert!(
+            diff < 1e-6,
+            "{}: solutions differ by {diff:.2e}",
+            method.name()
+        );
     }
 }
 
@@ -100,10 +118,10 @@ fn s_step_methods_use_one_collective_per_s_steps() {
     let opts = SolveOptions::default()
         .with_criterion(StoppingCriterion::PrecondMNorm)
         .with_tol(1e-8);
-    let pcg = solve(&Method::Pcg, &problem, &opts);
+    let pcg = solve(&Method::Pcg, &problem, &opts, Engine::Serial);
     let s = 8;
     for method in all_methods(&problem, s).into_iter().skip(2) {
-        let res = solve(&method, &problem, &opts);
+        let res = solve(&method, &problem, &opts, Engine::Serial);
         if !res.converged() {
             continue; // monomial may legitimately fail
         }
@@ -133,6 +151,7 @@ fn matrix_market_roundtrip_preserves_solve() {
 }
 
 #[test]
+#[allow(deprecated)] // the shims must keep working until removal
 fn parallel_and_serial_agree_end_to_end() {
     let a = poisson_2d(20);
     let b = paper_rhs(&a);
@@ -155,7 +174,16 @@ fn parallel_and_serial_agree_end_to_end() {
 
 #[test]
 fn adaptive_spcg_end_to_end() {
-    let a = spd_with_spectrum(600, &SpectrumShape::LogUniform { kappa: 1e4, jitter: 0.1 }, 1.0, 3, 3);
+    let a = spd_with_spectrum(
+        600,
+        &SpectrumShape::LogUniform {
+            kappa: 1e4,
+            jitter: 0.1,
+        },
+        1.0,
+        3,
+        3,
+    );
     let b = paper_rhs(&a);
     let m = Jacobi::new(&a);
     let problem = Problem::new(&a, &m, &b);
@@ -163,7 +191,10 @@ fn adaptive_spcg_end_to_end() {
         &problem,
         10,
         &BasisType::Monomial,
-        &SolveOptions::default().with_tol(1e-6).with_max_iters(30_000).with_history(),
+        &SolveOptions::default()
+            .with_tol(1e-6)
+            .with_max_iters(30_000)
+            .with_history(),
     );
     // Monomial s=10 breaks; the adaptive schedule must fall back and the
     // final answer (if converged) must be genuine.

@@ -5,14 +5,14 @@ use spcg::dist::MachineTopology;
 use spcg::perf::table1::{verify_against_counters, Algorithm};
 use spcg::perf::{predict_time, MachineParams};
 use spcg::precond::Jacobi;
-use spcg::solvers::{solve, Method, Problem, SolveOptions, StoppingCriterion};
+use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, StoppingCriterion};
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
 
 fn run(method: &Method, problem: &Problem<'_>) -> spcg::solvers::SolveResult {
     let opts = SolveOptions::default()
         .with_criterion(StoppingCriterion::PrecondMNorm)
         .with_tol(1e-8);
-    solve(method, problem, &opts)
+    solve(method, problem, &opts, Engine::Serial)
 }
 
 #[test]
@@ -29,9 +29,30 @@ fn measured_counters_track_table1_formulas() {
     let cases = [
         (Algorithm::Pcg, Method::Pcg, false),
         (Algorithm::SPcgMon, Method::SPcgMon { s: s as usize }, false),
-        (Algorithm::SPcg, Method::SPcg { s: s as usize, basis: basis.clone() }, true),
-        (Algorithm::CaPcg, Method::CaPcg { s: s as usize, basis: basis.clone() }, true),
-        (Algorithm::CaPcg3, Method::CaPcg3 { s: s as usize, basis }, true),
+        (
+            Algorithm::SPcg,
+            Method::SPcg {
+                s: s as usize,
+                basis: basis.clone(),
+            },
+            true,
+        ),
+        (
+            Algorithm::CaPcg,
+            Method::CaPcg {
+                s: s as usize,
+                basis: basis.clone(),
+            },
+            true,
+        ),
+        (
+            Algorithm::CaPcg3,
+            Method::CaPcg3 {
+                s: s as usize,
+                basis,
+            },
+            true,
+        ),
     ];
     for (alg, method, arb) in cases {
         let res = run(&method, &problem);
@@ -68,8 +89,14 @@ fn model_speedup_ordering_matches_paper_at_scale() {
         predict_time(&res.counters, &machine, &topo, 64.0).total()
     };
     let t_pcg = t(&Method::Pcg);
-    let t_spcg = t(&Method::SPcg { s, basis: basis.clone() });
-    let t_capcg = t(&Method::CaPcg { s, basis: basis.clone() });
+    let t_spcg = t(&Method::SPcg {
+        s,
+        basis: basis.clone(),
+    });
+    let t_capcg = t(&Method::CaPcg {
+        s,
+        basis: basis.clone(),
+    });
     assert!(t_spcg < t_pcg, "sPCG {t_spcg} vs PCG {t_pcg}");
     assert!(t_spcg < t_capcg, "sPCG {t_spcg} vs CA-PCG {t_capcg}");
 }
@@ -82,7 +109,13 @@ fn allreduce_words_match_gram_sizes() {
     let problem = Problem::new(&a, &m, &b);
     let basis = spcg::solvers::chebyshev_basis(&problem, 20, 0.05);
     for s in [4usize, 7] {
-        let res = run(&Method::CaPcg { s, basis: basis.clone() }, &problem);
+        let res = run(
+            &Method::CaPcg {
+                s,
+                basis: basis.clone(),
+            },
+            &problem,
+        );
         assert!(res.converged());
         let rounds = res.counters.global_collectives;
         let dim = (2 * s + 1) as u64;

@@ -1,42 +1,52 @@
-//! Property-based tests (proptest) over the core data structures and
-//! numerical invariants.
+//! Randomized property tests over the core data structures and numerical
+//! invariants. Each test sweeps a deterministic family of random cases
+//! drawn from the workspace's own seeded PRNG ([`spcg::sparse::rng::Rng64`]),
+//! so failures are exactly reproducible from the printed case index.
 
-use proptest::prelude::*;
 use spcg::basis::poly::BasisParams;
 use spcg::basis::{cob, leja};
 use spcg::sparse::generators::random_spd::{spd_with_spectrum, SpectrumShape};
 use spcg::sparse::partition::BlockRowPartition;
+use spcg::sparse::rng::Rng64;
 use spcg::sparse::smallsolve::{Cholesky, Lu};
 use spcg::sparse::{blas, CooMatrix, DenseMat};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn coo_to_csr_preserves_entry_sums(
-        entries in prop::collection::vec((0usize..12, 0usize..12, -10.0f64..10.0), 0..60)
-    ) {
+#[test]
+fn coo_to_csr_preserves_entry_sums() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0001);
+    for case in 0..64 {
+        let nentries = rng.below_inclusive(59);
         let mut coo = CooMatrix::new(12, 12);
         let mut dense = vec![vec![0.0f64; 12]; 12];
-        for &(i, j, v) in &entries {
+        for _ in 0..nentries {
+            let i = rng.below_inclusive(11);
+            let j = rng.below_inclusive(11);
+            let v = rng.range_f64(-10.0, 10.0);
             coo.push(i, j, v);
             dense[i][j] += v;
         }
         let csr = coo.to_csr();
         for i in 0..12 {
             for j in 0..12 {
-                prop_assert!((csr.get(i, j) - dense[i][j]).abs() < 1e-12);
+                assert!(
+                    (csr.get(i, j) - dense[i][j]).abs() < 1e-12,
+                    "case {case}: mismatch at ({i},{j})"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn spmv_is_linear(
-        seed in 0u64..1000,
-        alpha in -3.0f64..3.0,
-    ) {
+#[test]
+fn spmv_is_linear() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0002);
+    for case in 0..32 {
+        let seed = rng.next_u64() % 1000;
+        let alpha = rng.range_f64(-3.0, 3.0);
         let a = spd_with_spectrum(40, &SpectrumShape::Uniform { kappa: 50.0 }, 1.0, 2, seed);
-        let x: Vec<f64> = (0..40).map(|i| ((i * 7 + seed as usize) % 11) as f64 - 5.0).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|i| ((i * 7 + seed as usize) % 11) as f64 - 5.0)
+            .collect();
         let y: Vec<f64> = (0..40).map(|i| ((i * 3) % 13) as f64 - 6.0).collect();
         let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + alpha * q).collect();
         let mut ax = vec![0.0; 40];
@@ -46,25 +56,47 @@ proptest! {
         a.spmv(&y, &mut ay);
         a.spmv(&combo, &mut ac);
         for i in 0..40 {
-            prop_assert!((ac[i] - (ax[i] + alpha * ay[i])).abs() < 1e-9);
+            assert!(
+                (ac[i] - (ax[i] + alpha * ay[i])).abs() < 1e-9,
+                "case {case} row {i}"
+            );
         }
     }
+}
 
-    #[test]
-    fn generated_spd_quadratic_form_positive(seed in 0u64..500) {
-        let a = spd_with_spectrum(30, &SpectrumShape::LogUniform { kappa: 1e3, jitter: 0.2 }, 1.0, 3, seed);
-        let x: Vec<f64> = (0..30).map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0).collect();
+#[test]
+fn generated_spd_quadratic_form_positive() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0003);
+    for case in 0..32 {
+        let seed = rng.next_u64() % 500;
+        let a = spd_with_spectrum(
+            30,
+            &SpectrumShape::LogUniform {
+                kappa: 1e3,
+                jitter: 0.2,
+            },
+            1.0,
+            3,
+            seed,
+        );
+        let x: Vec<f64> = (0..30)
+            .map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0)
+            .collect();
         if x.iter().any(|&v| v != 0.0) {
             let mut ax = vec![0.0; 30];
             a.spmv(&x, &mut ax);
             let q = blas::dot(&x, &ax);
-            prop_assert!(q > 0.0, "quadratic form {q}");
+            assert!(q > 0.0, "case {case}: quadratic form {q}");
         }
     }
+}
 
-    #[test]
-    fn cholesky_solves_generated_spd_gram(vals in prop::collection::vec(-2.0f64..2.0, 20)) {
+#[test]
+fn cholesky_solves_generated_spd_gram() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0004);
+    for case in 0..64 {
         // Build SPD as GᵀG + I from a random 4x5 G.
+        let vals: Vec<f64> = (0..20).map(|_| rng.range_f64(-2.0, 2.0)).collect();
         let g = DenseMat::from_row_major(4, 5, vals);
         let mut a = g.transpose().matmul(&g);
         for i in 0..5 {
@@ -75,12 +107,16 @@ proptest! {
         let x = ch.solve(&b);
         let ax = a.matvec(&x);
         for (p, q) in ax.iter().zip(&b) {
-            prop_assert!((p - q).abs() < 1e-9);
+            assert!((p - q).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn lu_matches_cholesky_on_spd(vals in prop::collection::vec(-2.0f64..2.0, 12)) {
+#[test]
+fn lu_matches_cholesky_on_spd() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0005);
+    for case in 0..64 {
+        let vals: Vec<f64> = (0..12).map(|_| rng.range_f64(-2.0, 2.0)).collect();
         let g = DenseMat::from_row_major(4, 3, vals);
         let mut a = g.transpose().matmul(&g);
         for i in 0..3 {
@@ -90,16 +126,18 @@ proptest! {
         let x1 = Cholesky::factor(&a).unwrap().solve(&b);
         let x2 = Lu::factor(&a).unwrap().solve(&b);
         for (p, q) in x1.iter().zip(&x2) {
-            prop_assert!((p - q).abs() < 1e-8);
+            assert!((p - q).abs() < 1e-8, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn basis_eval_satisfies_cob_recurrence(
-        lo in 0.05f64..0.5,
-        width in 0.5f64..3.0,
-        z in -1.0f64..4.0,
-    ) {
+#[test]
+fn basis_eval_satisfies_cob_recurrence() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0006);
+    for case in 0..64 {
+        let lo = rng.range_f64(0.05, 0.5);
+        let width = rng.range_f64(0.5, 3.0);
+        let z = rng.range_f64(-1.0, 4.0);
         let params = BasisParams::chebyshev(lo, lo + width, 6);
         let b = cob::b_small(&params, 6);
         let p = params.eval_all(z);
@@ -109,59 +147,96 @@ proptest! {
                 acc += p[l] * b[(l, j)];
             }
             let want = z * p[j];
-            prop_assert!((acc - want).abs() < 1e-9 * (1.0 + want.abs()), "z={z} col={j}");
+            assert!(
+                (acc - want).abs() < 1e-9 * (1.0 + want.abs()),
+                "case {case}: z={z} col={j}"
+            );
         }
     }
+}
 
-    #[test]
-    fn leja_order_is_permutation(vals in prop::collection::vec(0.01f64..100.0, 1..30)) {
+#[test]
+fn leja_order_is_permutation() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0007);
+    for case in 0..64 {
+        let len = 1 + rng.below_inclusive(28);
+        let vals: Vec<f64> = (0..len).map(|_| rng.range_f64(0.01, 100.0)).collect();
         let ordered = leja::leja_order(&vals);
         let mut a = vals.clone();
         let mut b = ordered.clone();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn partition_is_disjoint_cover(n in 1usize..500, parts in 1usize..32) {
+#[test]
+fn partition_is_disjoint_cover() {
+    let mut rng = Rng64::seed_from_u64(0x5eed_0008);
+    for case in 0..64 {
+        let n = 1 + rng.below_inclusive(498);
+        let parts = 1 + rng.below_inclusive(30);
         let p = BlockRowPartition::balanced(n, parts);
         let mut seen = vec![false; n];
         for q in 0..p.nparts() {
             let (lo, hi) = p.range(q);
             for r in lo..hi {
-                prop_assert!(!seen[r], "row {r} covered twice");
+                assert!(!seen[r], "case {case}: row {r} covered twice");
                 seen[r] = true;
             }
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s), "case {case}");
         for r in 0..n {
             let o = p.owner(r);
             let (lo, hi) = p.range(o);
-            prop_assert!(r >= lo && r < hi);
+            assert!(r >= lo && r < hi, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn pcg_solves_random_spd_to_tolerance(seed in 0u64..200) {
-        use spcg::precond::Jacobi;
-        use spcg::solvers::{pcg, Problem, SolveOptions};
-        use spcg::sparse::generators::paper_rhs;
-        let a = spd_with_spectrum(120, &SpectrumShape::Geometric { kappa: 500.0 }, 1.0, 3, seed);
+#[test]
+fn pcg_solves_random_spd_to_tolerance() {
+    use spcg::precond::Jacobi;
+    use spcg::solvers::{pcg, Problem, SolveOptions};
+    use spcg::sparse::generators::paper_rhs;
+    let mut rng = Rng64::seed_from_u64(0x5eed_0009);
+    for case in 0..16 {
+        let seed = rng.next_u64() % 200;
+        let a = spd_with_spectrum(
+            120,
+            &SpectrumShape::Geometric { kappa: 500.0 },
+            1.0,
+            3,
+            seed,
+        );
         let b = paper_rhs(&a);
         let m = Jacobi::new(&a);
         let problem = Problem::new(&a, &m, &b);
         let res = pcg(&problem, &SolveOptions::default().with_tol(1e-8));
-        prop_assert!(res.converged());
-        prop_assert!(res.true_relative_residual(&a, &b) < 1e-6);
+        assert!(res.converged(), "case {case} (seed {seed})");
+        assert!(
+            res.true_relative_residual(&a, &b) < 1e-6,
+            "case {case} (seed {seed})"
+        );
     }
+}
 
-    #[test]
-    fn spcg_agrees_with_pcg_on_easy_random_problems(seed in 0u64..50, s in 2usize..6) {
-        use spcg::precond::Jacobi;
-        use spcg::solvers::{pcg, spcg as run_spcg, Problem, SolveOptions};
-        use spcg::sparse::generators::paper_rhs;
-        let a = spd_with_spectrum(100, &SpectrumShape::Geometric { kappa: 100.0 }, 1.0, 2, seed);
+#[test]
+fn spcg_agrees_with_pcg_on_easy_random_problems() {
+    use spcg::precond::Jacobi;
+    use spcg::solvers::{pcg, spcg as run_spcg, Problem, SolveOptions};
+    use spcg::sparse::generators::paper_rhs;
+    let mut rng = Rng64::seed_from_u64(0x5eed_000a);
+    for case in 0..12 {
+        let seed = rng.next_u64() % 50;
+        let s = 2 + rng.below_inclusive(3);
+        let a = spd_with_spectrum(
+            100,
+            &SpectrumShape::Geometric { kappa: 100.0 },
+            1.0,
+            2,
+            seed,
+        );
         let b = paper_rhs(&a);
         let m = Jacobi::new(&a);
         let problem = Problem::new(&a, &m, &b);
@@ -169,8 +244,16 @@ proptest! {
         let basis = spcg::solvers::chebyshev_basis(&problem, 15, 0.1);
         let r1 = pcg(&problem, &opts);
         let r2 = run_spcg(&problem, s, &basis, &opts);
-        prop_assert!(r1.converged() && r2.converged());
+        assert!(
+            r1.converged() && r2.converged(),
+            "case {case} (seed {seed}, s {s})"
+        );
         // s-rounding plus the paper's "not significant" slack.
-        prop_assert!(r2.iterations <= ((r1.iterations + s) / s) * s + 2 * s);
+        assert!(
+            r2.iterations <= ((r1.iterations + s) / s) * s + 2 * s,
+            "case {case} (seed {seed}, s {s}): {} vs {}",
+            r2.iterations,
+            r1.iterations
+        );
     }
 }
