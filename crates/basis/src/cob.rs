@@ -82,6 +82,21 @@ pub fn apply_b_to_columns(
     params: &BasisParams,
     out: &mut spcg_sparse::MultiVector,
 ) -> u64 {
+    apply_b_to_columns_par(&spcg_sparse::ParKernels::serial(), v, params, out)
+}
+
+/// [`apply_b_to_columns`] with the column combinations row-partitioned over
+/// an intra-rank thread pool — bitwise identical to the serial version for
+/// every thread count (each row is updated by the same expression).
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn apply_b_to_columns_par(
+    pk: &spcg_sparse::ParKernels,
+    v: &spcg_sparse::MultiVector,
+    params: &BasisParams,
+    out: &mut spcg_sparse::MultiVector,
+) -> u64 {
     let k = out.k();
     assert_eq!(
         v.k(),
@@ -105,26 +120,20 @@ pub fn apply_b_to_columns(
             if gamma == 1.0 {
                 dst.copy_from_slice(src);
             } else {
-                for i in 0..n {
-                    dst[i] = gamma * src[i];
-                }
+                pk.for_each_chunk_mut(dst, spcg_sparse::blas::REDUCE_BLOCK, |_, lo, piece| {
+                    for (i, di) in piece.iter_mut().enumerate() {
+                        *di = gamma * src[lo + i];
+                    }
+                });
                 flops += n as u64;
             }
         }
         if theta != 0.0 {
-            let src = v.col(j);
-            let dst = out.col_mut(j);
-            for i in 0..n {
-                dst[i] += theta * src[i];
-            }
+            pk.axpy(theta, v.col(j), out.col_mut(j));
             flops += 2 * n as u64;
         }
         if mu != 0.0 {
-            let src = v.col(j - 1);
-            let dst = out.col_mut(j);
-            for i in 0..n {
-                dst[i] += mu * src[i];
-            }
+            pk.axpy(mu, v.col(j - 1), out.col_mut(j));
             flops += 2 * n as u64;
         }
     }

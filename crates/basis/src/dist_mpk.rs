@@ -22,7 +22,7 @@
 
 use crate::poly::BasisParams;
 use spcg_dist::Counters;
-use spcg_sparse::{CsrMatrix, GhostZone, MultiVector};
+use spcg_sparse::{CsrMatrix, GhostZone, MultiVector, ParKernels};
 
 /// Matrix powers kernel over one rank's depth-s ghost zone.
 pub struct DistMpk {
@@ -33,6 +33,8 @@ pub struct DistMpk {
     spmv_flops: u64,
     m_flops: u64,
     n_global: u64,
+    /// Intra-rank thread pool for the prefix SpMVs and elementwise passes.
+    pk: ParKernels,
     /// Scratch: extended columns of V and M⁻¹V.
     v_ext: Vec<Vec<f64>>,
     mv_ext: Vec<Vec<f64>>,
@@ -41,7 +43,8 @@ pub struct DistMpk {
 impl DistMpk {
     /// Builds the kernel for rows `[lo, hi)` of `a` at ghost depth `depth`,
     /// with the global pointwise weight vector `weights` (`M⁻¹ = diag(w)`)
-    /// charged at `m_flops` FLOPs per (global) application.
+    /// charged at `m_flops` FLOPs per (global) application. Serial
+    /// execution; see [`DistMpk::new_par`] for the threaded variant.
     ///
     /// # Panics
     /// Panics on dimension mismatches or `depth == 0`.
@@ -53,6 +56,25 @@ impl DistMpk {
         weights: &[f64],
         m_flops: u64,
     ) -> Self {
+        Self::new_par(a, lo, hi, depth, weights, m_flops, ParKernels::serial())
+    }
+
+    /// [`DistMpk::new`] with an intra-rank thread pool: the per-level
+    /// prefix SpMVs and elementwise recurrence passes are row-partitioned
+    /// over `pk`, bitwise identical to the serial kernel for every thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or `depth == 0`.
+    pub fn new_par(
+        a: &CsrMatrix,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        weights: &[f64],
+        m_flops: u64,
+        pk: ParKernels,
+    ) -> Self {
         assert_eq!(weights.len(), a.nrows(), "DistMpk: weight length mismatch");
         let gz = GhostZone::new(a, lo, hi, depth);
         let weights_ext = gz.extend_from_global(weights);
@@ -61,6 +83,7 @@ impl DistMpk {
             spmv_flops: a.spmv_flops(),
             m_flops,
             n_global: a.nrows() as u64,
+            pk,
             v_ext: Vec::new(),
             mv_ext: Vec::new(),
             gz,
@@ -133,9 +156,8 @@ impl DistMpk {
                     self.mv_ext[0].copy_from_slice(mw);
                 }
                 None => {
-                    for i in 0..ext_len {
-                        self.mv_ext[0][i] = self.weights_ext[i] * w_ext[i];
-                    }
+                    self.pk
+                        .pointwise_mul(&self.weights_ext, w_ext, &mut self.mv_ext[0]);
                     counters.record_precond(self.m_flops);
                 }
             }
@@ -148,33 +170,29 @@ impl DistMpk {
             let (lower, upper) = self.v_ext.split_at_mut(j + 1);
             // t is the storage of the new column v_{j+1}, built in place.
             let t = &mut upper[0];
-            self.gz.spmv_prefix(rows, &self.mv_ext[j], t);
+            self.gz.spmv_prefix_par(&self.pk, rows, &self.mv_ext[j], t);
             counters.record_spmv(self.spmv_flops);
+            // As in the serial kernel, `t += (−θ)·v` is bitwise equal to
+            // the historical `t −= θ·v` pass.
             let theta = params.theta[j];
             let inv_gamma = 1.0 / params.gamma[j];
             if theta != 0.0 {
-                let vj = &lower[j];
-                for i in 0..rows {
-                    t[i] -= theta * vj[i];
-                }
+                self.pk.axpy(-theta, &lower[j][..rows], &mut t[..rows]);
             }
             if j >= 1 && params.mu[j - 1] != 0.0 {
-                let mu = params.mu[j - 1];
-                let vjm1 = &lower[j - 1];
-                for i in 0..rows {
-                    t[i] -= mu * vjm1[i];
-                }
+                self.pk
+                    .axpy(-params.mu[j - 1], &lower[j - 1][..rows], &mut t[..rows]);
             }
             if inv_gamma != 1.0 {
-                for ti in t[..rows].iter_mut() {
-                    *ti *= inv_gamma;
-                }
+                self.pk.scale(inv_gamma, &mut t[..rows]);
             }
             counters.blas1_flops += params.extra_flops_for_column(j + 1, self.n_global);
             if j + 1 < mv_cols {
-                for i in 0..rows {
-                    self.mv_ext[j + 1][i] = self.weights_ext[i] * self.v_ext[j + 1][i];
-                }
+                self.pk.pointwise_mul(
+                    &self.weights_ext[..rows],
+                    &self.v_ext[j + 1][..rows],
+                    &mut self.mv_ext[j + 1][..rows],
+                );
                 counters.record_precond(self.m_flops);
             }
         }
@@ -304,6 +322,39 @@ mod tests {
         dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut c);
         for j in 0..s {
             assert_eq!(v.col(j), &v_ref.col(j)[lo..hi], "v col {j}");
+        }
+    }
+
+    #[test]
+    fn threaded_kernel_matches_serial_bitwise() {
+        let a = poisson_2d(24);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| ((i * 11 % 17) as f64) - 8.0).collect();
+        let s = 4;
+        let params = BasisParams::chebyshev(0.2, 7.5, s);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let (lo, hi) = (n / 3, 4 * n / 5);
+        let mut dk_ref = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+        let w_ext = dk_ref.ghost().extend_from_global(&w);
+        let mut v_ref = MultiVector::zeros(hi - lo, s + 1);
+        let mut mv_ref = MultiVector::zeros(hi - lo, s);
+        let mut c_ref = Counters::new();
+        dk_ref.run(&w_ext, None, &params, &mut v_ref, &mut mv_ref, &mut c_ref);
+        for t in [2usize, 4, 8] {
+            let pk = spcg_sparse::ParKernels::new(t);
+            let mut dk = DistMpk::new_par(&a, lo, hi, s, &weights, m.flops_per_apply(), pk);
+            let mut v = MultiVector::zeros(hi - lo, s + 1);
+            let mut mv = MultiVector::zeros(hi - lo, s);
+            let mut c = Counters::new();
+            dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut c);
+            for j in 0..=s {
+                assert_eq!(v.col(j), v_ref.col(j), "threads {t} v col {j}");
+            }
+            for j in 0..s {
+                assert_eq!(mv.col(j), mv_ref.col(j), "threads {t} mv col {j}");
+            }
+            assert_eq!(c, c_ref, "threads {t}: counters must not change");
         }
     }
 

@@ -20,23 +20,36 @@
 use crate::poly::BasisParams;
 use spcg_dist::Counters;
 use spcg_precond::Preconditioner;
-use spcg_sparse::{CsrMatrix, MultiVector};
+use spcg_sparse::{CsrMatrix, MultiVector, ParKernels};
 
 /// Matrix powers kernel over `A` and `M⁻¹`.
 pub struct Mpk<'a> {
     a: &'a CsrMatrix,
     m: &'a dyn Preconditioner,
+    pk: ParKernels,
 }
 
 impl<'a> Mpk<'a> {
-    /// Creates the kernel for a matrix/preconditioner pair.
+    /// Creates the kernel for a matrix/preconditioner pair (serial
+    /// execution).
     ///
     /// # Panics
     /// Panics if dimensions are inconsistent.
     pub fn new(a: &'a CsrMatrix, m: &'a dyn Preconditioner) -> Self {
+        Self::new_par(a, m, ParKernels::serial())
+    }
+
+    /// Creates the kernel with an intra-rank thread pool. The SpMV, the
+    /// preconditioner applications, and the elementwise recurrence passes
+    /// are row-partitioned over `pk`; results are bitwise identical to the
+    /// serial kernel for every thread count.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent.
+    pub fn new_par(a: &'a CsrMatrix, m: &'a dyn Preconditioner, pk: ParKernels) -> Self {
         assert_eq!(a.nrows(), a.ncols(), "Mpk: matrix must be square");
         assert_eq!(a.nrows(), m.dim(), "Mpk: preconditioner dimension mismatch");
-        Mpk { a, m }
+        Mpk { a, m, pk }
     }
 
     /// Fills `v` (`n × v_cols`) and `mv` (`n × mv_cols`) with the basis
@@ -86,7 +99,7 @@ impl<'a> Mpk<'a> {
                     mv.col_mut(0).copy_from_slice(mw);
                 }
                 None => {
-                    self.m.apply(v.col(0), mv.col_mut(0));
+                    self.m.apply_par(&self.pk, v.col(0), mv.col_mut(0));
                     counters.record_precond(self.m.flops_per_apply());
                 }
             }
@@ -95,33 +108,27 @@ impl<'a> Mpk<'a> {
         let mut t = vec![0.0; n];
         for j in 0..v_cols - 1 {
             // t = A · (M⁻¹ v_j).
-            self.a.spmv(mv.col(j), &mut t);
+            self.pk.spmv(self.a, mv.col(j), &mut t);
             counters.record_spmv(self.a.spmv_flops());
-            // v_{j+1} = (t − θ_j v_j − μ_{j-1} v_{j-1}) / γ_j.
+            // v_{j+1} = (t − θ_j v_j − μ_{j-1} v_{j-1}) / γ_j. The axpy
+            // form `t += (−θ)·v` is bitwise equal to `t −= θ·v` (IEEE
+            // negation is exact), so the threaded passes reproduce the
+            // historical serial recurrence exactly.
             let theta = params.theta[j];
             let inv_gamma = 1.0 / params.gamma[j];
             if theta != 0.0 {
-                let vj = v.col(j);
-                for i in 0..n {
-                    t[i] -= theta * vj[i];
-                }
+                self.pk.axpy(-theta, v.col(j), &mut t);
             }
             if j >= 1 && params.mu[j - 1] != 0.0 {
-                let mu = params.mu[j - 1];
-                let vjm1 = v.col(j - 1);
-                for i in 0..n {
-                    t[i] -= mu * vjm1[i];
-                }
+                self.pk.axpy(-params.mu[j - 1], v.col(j - 1), &mut t);
             }
             if inv_gamma != 1.0 {
-                for ti in t.iter_mut() {
-                    *ti *= inv_gamma;
-                }
+                self.pk.scale(inv_gamma, &mut t);
             }
             counters.blas1_flops += params.extra_flops_for_column(j + 1, n as u64);
             v.col_mut(j + 1).copy_from_slice(&t);
             if j + 1 < mv_cols {
-                self.m.apply(v.col(j + 1), mv.col_mut(j + 1));
+                self.m.apply_par(&self.pk, v.col(j + 1), mv.col_mut(j + 1));
                 counters.record_precond(self.m.flops_per_apply());
             }
         }
@@ -260,6 +267,34 @@ mod tests {
         let z = m.apply_alloc(v.col(2));
         for i in 0..5 {
             assert!((mv.col(2)[i] - z[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn threaded_kernel_matches_serial_bitwise() {
+        let a = spcg_sparse::generators::poisson::poisson_3d(12);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let s = 4;
+        let params = BasisParams::chebyshev(0.2, 11.5, s);
+        let mut v_ref = MultiVector::zeros(n, s + 1);
+        let mut mv_ref = MultiVector::zeros(n, s);
+        let mut c_ref = counters();
+        Mpk::new(&a, &m).run(&w, None, &params, &mut v_ref, &mut mv_ref, &mut c_ref);
+        for t in [1usize, 2, 4, 8] {
+            let pk = spcg_sparse::ParKernels::new(t);
+            let mut v = MultiVector::zeros(n, s + 1);
+            let mut mv = MultiVector::zeros(n, s);
+            let mut c = counters();
+            Mpk::new_par(&a, &m, pk).run(&w, None, &params, &mut v, &mut mv, &mut c);
+            for j in 0..=s {
+                assert_eq!(v.col(j), v_ref.col(j), "threads {t} v col {j}");
+            }
+            for j in 0..s {
+                assert_eq!(mv.col(j), mv_ref.col(j), "threads {t} mv col {j}");
+            }
+            assert_eq!(c, c_ref, "threads {t}: counters must not change");
         }
     }
 

@@ -17,7 +17,9 @@
 //! demonstrating one halo exchange per s-block, and is written to
 //! `fig1_ranks<R>.txt`.
 
-use spcg_bench::{paper, prepare_instance, ranks_arg, write_results, Precond, TextTable};
+use spcg_bench::{
+    paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond, TextTable,
+};
 use spcg_perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
 use spcg_perf::MachineParams;
 use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
@@ -26,17 +28,25 @@ use spcg_sparse::generators::poisson::poisson_3d;
 const NODES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 const RANKS_PER_NODE: usize = 128;
 
-fn run(method: &Method, inst: &spcg_bench::Instance, engine: Engine) -> SolveResult {
-    let opts = SolveOptions::builder()
+fn run(
+    method: &Method,
+    inst: &spcg_bench::Instance,
+    engine: Engine,
+    threads: Option<usize>,
+) -> SolveResult {
+    let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(100_000)
-        .criterion(StoppingCriterion::PrecondMNorm)
-        .build();
-    solve(method, &inst.problem(), &opts, engine)
+        .criterion(StoppingCriterion::PrecondMNorm);
+    if let Some(t) = threads {
+        builder = builder.threads(t);
+    }
+    solve(method, &inst.problem(), &builder.build(), engine)
 }
 
 fn main() {
     let ranks = ranks_arg();
+    let threads = threads_arg();
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -71,7 +81,7 @@ fn main() {
     // Run each solver once; iterations are topology-independent.
     let mut curves: Vec<(String, usize, SolveResult)> = Vec::new();
     eprintln!("[fig1] PCG");
-    curves.push(("PCG".into(), 1, run(&Method::Pcg, &inst, engine)));
+    curves.push(("PCG".into(), 1, run(&Method::Pcg, &inst, engine, threads)));
     for s in [5usize, 10, 15] {
         for (label, method) in [
             (
@@ -97,7 +107,7 @@ fn main() {
             ),
         ] {
             eprintln!("[fig1] {label}");
-            curves.push((label.clone(), s, run(&method, &inst, engine)));
+            curves.push((label.clone(), s, run(&method, &inst, engine, threads)));
         }
     }
 

@@ -1,0 +1,121 @@
+//! Kernel throughput sweep for the intra-rank parallel layer: SpMV, the
+//! fused tall-skinny Gram product, and the blocked s-step update, each at
+//! thread counts 1–8 on a 7-point 3D Poisson matrix. Emits
+//! `BENCH_kernels.json` (GFLOP/s per kernel per thread count, plus the
+//! speedup over one thread).
+//!
+//! Run: `cargo run --release -p spcg-bench --bin kernels`
+//!
+//! `SPCG_QUICK=1` shrinks the grid and repetition count for smoke runs;
+//! `SPCG_GRID=G` overrides the grid edge. Reported numbers are best-of-reps
+//! wall-clock — on machines with fewer cores than threads the sweep still
+//! validates correct (deterministic) execution, it just cannot show
+//! speedup.
+
+use spcg_bench::{quick_mode, write_results};
+use spcg_sparse::generators::poisson::poisson_3d;
+use spcg_sparse::{DenseMat, MultiVector, ParKernels};
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const S: usize = 10;
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn filled_multivector(n: usize, k: usize, seed: usize) -> MultiVector {
+    let cols: Vec<Vec<f64>> = (0..k)
+        .map(|j| {
+            (0..n)
+                .map(|i| (((i * 31 + (seed + j) * 17) % 41) as f64) / 41.0 - 0.5)
+                .collect()
+        })
+        .collect();
+    MultiVector::from_columns(&cols)
+}
+
+fn json_array(values: &[f64]) -> String {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn main() {
+    let quick = quick_mode();
+    let default_grid = if quick { 24 } else { 48 };
+    let grid: usize = std::env::var("SPCG_GRID")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_grid);
+    let reps = if quick { 2 } else { 5 };
+
+    eprintln!(
+        "[kernels] building 3D Poisson {grid}^3 ({} rows), s = {S}, reps = {reps}",
+        grid * grid * grid
+    );
+    let a = poisson_3d(grid);
+    let n = a.nrows();
+    let nnz = a.nnz();
+
+    let x: Vec<f64> = (0..n).map(|i| ((i % 37) as f64) / 37.0 - 0.5).collect();
+    let mut y = vec![0.0; n];
+    // CA-PCG Gram shape at s = 10: a (2s+1)-column block against itself.
+    let v_gram = filled_multivector(n, 2 * S + 1, 7);
+    let u_mat = filled_multivector(n, S, 3);
+    let b_small = DenseMat::from_fn(S, S, |i, j| (((i * 5 + j * 3) % 11) as f64) / 11.0 - 0.5);
+    let mut scratch = MultiVector::zeros(n, S);
+
+    // FLOPs per call: SpMV 2·nnz; Gram k² entries of 2n each; blocked
+    // update P ← U + P·B is 2·s²·n.
+    let k = 2 * S + 1;
+    let spmv_flops = 2.0 * nnz as f64;
+    let gram_flops = 2.0 * (k * k) as f64 * n as f64;
+    let update_flops = 2.0 * (S * S) as f64 * n as f64;
+
+    let mut spmv_gf = Vec::new();
+    let mut gram_gf = Vec::new();
+    let mut update_gf = Vec::new();
+    for &t in &THREADS {
+        let pk = ParKernels::new(t);
+        // Warm the cached row schedule so it is not timed.
+        pk.spmv(&a, &x, &mut y);
+        let ts = time_best(reps, || pk.spmv(&a, &x, &mut y));
+        let tg = time_best(reps, || {
+            let _ = pk.gram(&v_gram, &v_gram);
+        });
+        let mut p_mat = filled_multivector(n, S, 5);
+        let tu = time_best(reps, || {
+            p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
+        });
+        spmv_gf.push(spmv_flops / ts / 1e9);
+        gram_gf.push(gram_flops / tg / 1e9);
+        update_gf.push(update_flops / tu / 1e9);
+        eprintln!(
+            "[kernels] threads={t}: spmv {:.2} GF/s, gram {:.2} GF/s, update {:.2} GF/s",
+            spmv_gf.last().unwrap(),
+            gram_gf.last().unwrap(),
+            update_gf.last().unwrap()
+        );
+    }
+
+    let speedup = |gf: &[f64]| -> Vec<f64> { gf.iter().map(|g| g / gf[0]).collect() };
+    let threads_list: Vec<String> = THREADS.iter().map(|t| t.to_string()).collect();
+    let out = format!(
+        "{{\n  \"matrix\": \"poisson3d_{grid}\",\n  \"n\": {n},\n  \"nnz\": {nnz},\n  \"s\": {S},\n  \"gram_columns\": {k},\n  \"reps\": {reps},\n  \"threads\": [{}],\n  \"gflops\": {{\n    \"spmv\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {}\n  }},\n  \"speedup_vs_1_thread\": {{\n    \"spmv\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {}\n  }}\n}}\n",
+        threads_list.join(", "),
+        json_array(&spmv_gf),
+        json_array(&gram_gf),
+        json_array(&update_gf),
+        json_array(&speedup(&spmv_gf)),
+        json_array(&speedup(&gram_gf)),
+        json_array(&speedup(&update_gf)),
+    );
+    write_results("BENCH_kernels.json", &out);
+}

@@ -18,7 +18,9 @@
 //! across the R communicating ranks, and output goes to
 //! `table3_ranks<R>.txt`.
 
-use spcg_bench::{paper, prepare_instance, ranks_arg, write_results, Precond, TextTable};
+use spcg_bench::{
+    paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond, TextTable,
+};
 use spcg_dist::{Counters, MachineTopology};
 use spcg_perf::{predict_time, MachineParams};
 use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
@@ -39,13 +41,16 @@ fn run(
     inst: &spcg_bench::Instance,
     crit: StoppingCriterion,
     engine: Engine,
+    threads: Option<usize>,
 ) -> SolveResult {
-    let opts = SolveOptions::builder()
+    let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(paper::MAX_ITERS)
-        .criterion(crit)
-        .build();
-    solve(method, &inst.problem(), &opts, engine)
+        .criterion(crit);
+    if let Some(t) = threads {
+        builder = builder.threads(t);
+    }
+    solve(method, &inst.problem(), &builder.build(), engine)
 }
 
 /// Prices the stand-in's measured counters at the *original* SuiteSparse
@@ -76,6 +81,7 @@ fn speedup_cell(pcg_time: f64, res: &SolveResult, time: f64) -> String {
 fn main() {
     let s = paper::S;
     let ranks = ranks_arg();
+    let threads = threads_arg();
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -115,7 +121,7 @@ fn main() {
             // Banded stand-ins: per-rank halo ≈ the band width each side.
             let halo = (4 * entry.rounds) as f64;
             let size_factor = entry.paper_n as f64 / entry.n as f64;
-            let pcg = run(&Method::Pcg, &inst, crit, engine);
+            let pcg = run(&Method::Pcg, &inst, crit, engine, threads);
             let pcg_time = predict_time(
                 &scale_to_paper_size(&pcg.counters, size_factor),
                 &machine,
@@ -139,7 +145,7 @@ fn main() {
                     basis: basis.clone(),
                 },
             ] {
-                let res = run(&method, &inst, crit, engine);
+                let res = run(&method, &inst, crit, engine, threads);
                 let time = predict_time(
                     &scale_to_paper_size(&res.counters, size_factor),
                     &machine,

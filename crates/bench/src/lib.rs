@@ -146,6 +146,22 @@ pub fn ranks_arg() -> Option<usize> {
     }
 }
 
+/// Parses a `--threads T` command-line flag: intra-rank worker threads for
+/// the parallel kernel layer (`SolveOptions::threads`). `None` means "use
+/// the default", which honours the `SPCG_THREADS` environment variable. A
+/// `--threads` with a missing, unparsable, or zero value aborts.
+pub fn threads_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--threads")?;
+    match args.get(i + 1).and_then(|v| v.parse().ok()) {
+        Some(0) | None => {
+            eprintln!("error: --threads requires a positive integer, e.g. --threads 4");
+            std::process::exit(2);
+        }
+        some => some,
+    }
+}
+
 /// Writes experiment output under `results/` (relative to the workspace
 /// root) and echoes it to stdout.
 pub fn write_results(file_name: &str, content: &str) {

@@ -14,7 +14,8 @@
 //! like Trilinos/Ifpack2 the lower bound defaults to `λ_hi / ratio`.
 
 use crate::traits::{DistForm, Preconditioner, SpmvPolyApply};
-use spcg_sparse::CsrMatrix;
+use spcg_sparse::blas::REDUCE_BLOCK;
+use spcg_sparse::{CsrMatrix, ParKernels};
 use std::sync::Arc;
 
 /// Chebyshev polynomial preconditioner of a given degree.
@@ -111,6 +112,56 @@ impl Preconditioner for ChebyshevPrecond {
             "ChebyshevPrecond::apply: output length mismatch"
         );
         self.apply_with_spmv(r, z, &mut |x, y| self.a.spmv(x, y));
+    }
+
+    fn apply_par(&self, pk: &ParKernels, r: &[f64], z: &mut [f64]) {
+        let n = self.a.nrows();
+        assert_eq!(r.len(), n, "ChebyshevPrecond::apply: input length mismatch");
+        assert_eq!(
+            z.len(),
+            n,
+            "ChebyshevPrecond::apply: output length mismatch"
+        );
+        let theta = 0.5 * (self.lambda_hi + self.lambda_lo);
+        let delta = 0.5 * (self.lambda_hi - self.lambda_lo);
+        let sigma1 = theta / delta;
+        // Same recurrence as `apply_with_spmv`, with the SpMV and the
+        // elementwise passes row-partitioned. Every entry is updated by the
+        // same expression as the serial fused loop, so the split into two
+        // chunked passes stays bitwise identical.
+        let mut d = vec![0.0; n];
+        pk.for_each_chunk_mut(&mut d, REDUCE_BLOCK, |_, lo, piece| {
+            for (i, di) in piece.iter_mut().enumerate() {
+                *di = r[lo + i] / theta;
+            }
+        });
+        z.copy_from_slice(&d);
+        let mut rho_prev = 1.0 / sigma1;
+        let mut ax = vec![0.0; n];
+        for _ in 0..self.degree {
+            let rho = 1.0 / (2.0 * sigma1 - rho_prev);
+            pk.spmv(&self.a, z, &mut ax);
+            let c1 = rho * rho_prev;
+            let c2 = 2.0 * rho / delta;
+            {
+                let (rr, aa) = (&r[..n], &ax[..n]);
+                pk.for_each_chunk_mut(&mut d, REDUCE_BLOCK, |_, lo, piece| {
+                    for (i, di) in piece.iter_mut().enumerate() {
+                        let g = lo + i;
+                        *di = c1 * *di + c2 * (rr[g] - aa[g]);
+                    }
+                });
+            }
+            {
+                let dd = &d[..n];
+                pk.for_each_chunk_mut(z, REDUCE_BLOCK, |_, lo, piece| {
+                    for (i, zi) in piece.iter_mut().enumerate() {
+                        *zi += dd[lo + i];
+                    }
+                });
+            }
+            rho_prev = rho;
+        }
     }
 
     fn dim(&self) -> usize {
@@ -211,6 +262,22 @@ mod tests {
             e[i] = 1.0;
             let q = p.apply_alloc(&e);
             assert!(q[i] > 0.0, "q(λ)≤0 at λ={}", ev[i]);
+        }
+    }
+
+    #[test]
+    fn apply_par_matches_apply_bitwise() {
+        let a = Arc::new(spcg_sparse::generators::poisson::poisson_3d(12));
+        let n = a.nrows();
+        let p = ChebyshevPrecond::from_matrix(Arc::clone(&a), 3, 30.0);
+        let r: Vec<f64> = (0..n).map(|i| ((i * 13 % 19) as f64) - 9.0).collect();
+        let mut z_ref = vec![0.0; n];
+        p.apply(&r, &mut z_ref);
+        for t in [1usize, 2, 4, 8] {
+            let pk = ParKernels::new(t);
+            let mut z = vec![1.0; n];
+            p.apply_par(&pk, &r, &mut z);
+            assert_eq!(z, z_ref, "threads {t}");
         }
     }
 

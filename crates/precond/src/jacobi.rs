@@ -4,7 +4,7 @@
 //! Table 3 (columns 6–9) and Figure 1.
 
 use crate::traits::{DistForm, Preconditioner};
-use spcg_sparse::CsrMatrix;
+use spcg_sparse::{CsrMatrix, ParKernels};
 
 /// `M⁻¹ = diag(A)⁻¹`.
 #[derive(Debug, Clone)]
@@ -57,6 +57,20 @@ impl Preconditioner for Jacobi {
         }
     }
 
+    fn apply_par(&self, pk: &ParKernels, r: &[f64], z: &mut [f64]) {
+        assert_eq!(
+            r.len(),
+            self.inv_diag.len(),
+            "Jacobi::apply: input length mismatch"
+        );
+        assert_eq!(
+            z.len(),
+            self.inv_diag.len(),
+            "Jacobi::apply: output length mismatch"
+        );
+        pk.pointwise_mul(&self.inv_diag, r, z);
+    }
+
     fn dim(&self) -> usize {
         self.inv_diag.len()
     }
@@ -100,6 +114,22 @@ mod tests {
         let z = p.apply_alloc(&ax);
         for (zi, xi) in z.iter().zip(&x) {
             assert!((zi - xi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn apply_par_matches_apply_bitwise() {
+        let a = spcg_sparse::generators::poisson::poisson_3d(14);
+        let n = a.nrows();
+        let p = Jacobi::new(&a);
+        let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut z_ref = vec![0.0; n];
+        p.apply(&r, &mut z_ref);
+        for t in [1usize, 2, 4, 8] {
+            let pk = ParKernels::new(t);
+            let mut z = vec![1.0; n];
+            p.apply_par(&pk, &r, &mut z);
+            assert_eq!(z, z_ref, "threads {t}");
         }
     }
 

@@ -62,6 +62,8 @@ pub trait SpmvPolyApply: Send + Sync {
     fn spmvs_per_apply(&self) -> usize;
 }
 
+use spcg_sparse::ParKernels;
+
 /// A fixed symmetric-positive-definite linear operator `M⁻¹` applied as
 /// `z = M⁻¹ r`.
 ///
@@ -86,6 +88,17 @@ pub trait Preconditioner: Send + Sync {
 
     /// Human-readable name for reports.
     fn name(&self) -> String;
+
+    /// Applies `z ← M⁻¹ r` with the intra-rank thread pool `pk` available
+    /// for row-parallel work. Implementations must stay **bitwise
+    /// identical** to [`Preconditioner::apply`] for every thread count —
+    /// the solvers' determinism guarantee extends through the
+    /// preconditioner. The default ignores the pool and applies serially
+    /// (always correct); structured operators override it.
+    fn apply_par(&self, pk: &ParKernels, r: &[f64], z: &mut [f64]) {
+        let _ = pk;
+        self.apply(r, z);
+    }
 
     /// Applies in place via an internal scratch buffer allocation. Solvers
     /// prefer [`Preconditioner::apply`]; this is a convenience for setup

@@ -1,59 +1,74 @@
 //! Operations over a pair of multivectors viewed as one concatenated block
 //! `[L | R]` — how CA-PCG handles `Y = [Q, R̂]` / `Z = [P, U]` and CA-PCG3
 //! handles `[R^(k-1), W^(k)]` without materializing the concatenation.
+//!
+//! The Gram product is computed by the **fused** tall-skinny kernel
+//! [`ParKernels::gram_cols`]: one pass over the rows fills all
+//! `(kz1+kz2) × (ky1+ky2)` entries with register-blocked column tiles,
+//! instead of four separate column-pair sweeps. The per-pair reduction
+//! shape (blocked pairwise summation) is independent of how the columns
+//! are grouped, so the fused product is bitwise identical to the four
+//! sub-block Gram matrices it replaces.
 
-use spcg_sparse::{DenseMat, MultiVector};
+use spcg_sparse::{DenseMat, MultiVector, ParKernels};
 
 /// Gram product `[zl|zr]ᵀ·[yl|yr]` of shape
-/// `(zl.k+zr.k) × (yl.k+yr.k)`.
+/// `(kz1+kz2) × (ky1+ky2)`, computed in one fused pass.
 pub fn gram_concat(
+    pk: &ParKernels,
     zl: &MultiVector,
     zr: &MultiVector,
     yl: &MultiVector,
     yr: &MultiVector,
 ) -> DenseMat {
-    let (kz1, kz2) = (zl.k(), zr.k());
-    let (ky1, ky2) = (yl.k(), yr.k());
-    let mut g = DenseMat::zeros(kz1 + kz2, ky1 + ky2);
-    let blocks = [
-        (0, 0, zl.gram(yl)),
-        (0, ky1, zl.gram(yr)),
-        (kz1, 0, zr.gram(yl)),
-        (kz1, ky1, zr.gram(yr)),
-    ];
-    for (ro, co, blk) in blocks {
-        for i in 0..blk.nrows() {
-            for j in 0..blk.ncols() {
-                g[(ro + i, co + j)] = blk[(i, j)];
-            }
-        }
-    }
-    g
+    let n = zl.n();
+    let zcols: Vec<&[f64]> = (0..zl.k())
+        .map(|i| zl.col(i))
+        .chain((0..zr.k()).map(|i| zr.col(i)))
+        .collect();
+    let ycols: Vec<&[f64]> = (0..yl.k())
+        .map(|j| yl.col(j))
+        .chain((0..yr.k()).map(|j| yr.col(j)))
+        .collect();
+    pk.gram_cols(n, &zcols, &ycols)
 }
 
 /// `out ← [l|r]·coef` (BLAS2 over the concatenation).
 ///
 /// # Panics
 /// Panics if `coef.len() != l.k() + r.k()`.
-pub fn gemv_concat(l: &MultiVector, r: &MultiVector, coef: &[f64], out: &mut [f64]) {
+pub fn gemv_concat(
+    pk: &ParKernels,
+    l: &MultiVector,
+    r: &MultiVector,
+    coef: &[f64],
+    out: &mut [f64],
+) {
     assert_eq!(
         coef.len(),
         l.k() + r.k(),
         "gemv_concat: coefficient length mismatch"
     );
-    l.gemv(&coef[..l.k()], out);
-    r.gemv_acc(1.0, &coef[l.k()..], out);
+    pk.gemv(l, &coef[..l.k()], out);
+    pk.gemv_acc(r, 1.0, &coef[l.k()..], out);
 }
 
 /// `out ← out + a·[l|r]·coef`.
-pub fn gemv_concat_acc(l: &MultiVector, r: &MultiVector, a: f64, coef: &[f64], out: &mut [f64]) {
+pub fn gemv_concat_acc(
+    pk: &ParKernels,
+    l: &MultiVector,
+    r: &MultiVector,
+    a: f64,
+    coef: &[f64],
+    out: &mut [f64],
+) {
     assert_eq!(
         coef.len(),
         l.k() + r.k(),
         "gemv_concat_acc: coefficient length mismatch"
     );
-    l.gemv_acc(a, &coef[..l.k()], out);
-    r.gemv_acc(a, &coef[l.k()..], out);
+    pk.gemv_acc(l, a, &coef[..l.k()], out);
+    pk.gemv_acc(r, a, &coef[l.k()..], out);
 }
 
 #[cfg(test)]
@@ -66,10 +81,11 @@ mod tests {
 
     #[test]
     fn gram_concat_matches_materialized() {
+        let pk = ParKernels::serial();
         let l = mv(&[&[1.0, 2.0], &[0.0, 1.0]]);
         let r = mv(&[&[3.0, -1.0]]);
         let full = mv(&[&[1.0, 2.0], &[0.0, 1.0], &[3.0, -1.0]]);
-        let g = gram_concat(&l, &r, &l, &r);
+        let g = gram_concat(&pk, &l, &r, &l, &r);
         let want = full.gram(&full);
         for i in 0..3 {
             for j in 0..3 {
@@ -79,14 +95,40 @@ mod tests {
     }
 
     #[test]
+    fn gram_concat_is_bitwise_identical_across_thread_counts() {
+        // Long columns so the reduction spans many blocks, odd-count tail
+        // included; the fused tiled kernel must agree with the serial
+        // sub-block Gram products bit for bit.
+        let n = 5 * 1024 + 3;
+        let col = |seed: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| (((i * 31 + seed * 17) % 41) as f64) - 20.0)
+                .collect()
+        };
+        let l = MultiVector::from_columns(&[col(0), col(1), col(2)]);
+        let r = MultiVector::from_columns(&[col(3), col(4)]);
+        let serial = gram_concat(&ParKernels::serial(), &l, &r, &l, &r);
+        for t in [2usize, 4, 8] {
+            let pk = ParKernels::new(t);
+            let g = gram_concat(&pk, &l, &r, &l, &r);
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(g[(i, j)], serial[(i, j)], "threads {t} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn gemv_concat_matches_materialized() {
+        let pk = ParKernels::serial();
         let l = mv(&[&[1.0, 0.0], &[0.0, 1.0]]);
         let r = mv(&[&[1.0, 1.0]]);
         let coef = [2.0, 3.0, 4.0];
         let mut out = vec![0.0; 2];
-        gemv_concat(&l, &r, &coef, &mut out);
+        gemv_concat(&pk, &l, &r, &coef, &mut out);
         assert_eq!(out, vec![6.0, 7.0]);
-        gemv_concat_acc(&l, &r, -1.0, &coef, &mut out);
+        gemv_concat_acc(&pk, &l, &r, -1.0, &coef, &mut out);
         assert_eq!(out, vec![0.0, 0.0]);
     }
 }

@@ -32,7 +32,7 @@ pub fn capcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    capcg_g(&mut SerialExec::new(problem), s, basis, opts)
+    capcg_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
 }
 
 /// CA-PCG over any execution substrate (see [`crate::engine`]).
@@ -47,6 +47,7 @@ pub(crate) fn capcg_g<E: Exec>(
     let nw = exec.n_global();
     let sw = s as u64;
     let dim = 2 * s + 1;
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -76,7 +77,7 @@ pub(crate) fn capcg_g<E: Exec>(
         exec.mpk(&r, Some(&u), &params, &mut r_mat, &mut u_mat, &mut counters);
 
         // --- single global reduction: G = ZᵀY, (2s+1)² words ---
-        let mut g = gram_concat(&p_mat, &u_mat, &q_mat, &r_mat);
+        let mut g = gram_concat(&pk, &p_mat, &u_mat, &q_mat, &r_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
         allreduce_gram(exec, &mut [&mut g], &mut []);
@@ -117,8 +118,8 @@ pub(crate) fn capcg_g<E: Exec>(
             if !(denom > 0.0) || !denom.is_finite() || !(rho > 0.0) || !rho.is_finite() {
                 // Recover the mid-block iterate, then judge: breakdown at a
                 // converged residual is convergence.
-                gemv_concat_acc(&p_mat, &u_mat, 1.0, &x_c, &mut x);
-                gemv_concat(&q_mat, &r_mat, &r_c, &mut r);
+                gemv_concat_acc(&pk, &p_mat, &u_mat, 1.0, &x_c, &mut x);
+                gemv_concat(&pk, &q_mat, &r_mat, &r_c, &mut r);
                 let v = criterion_value(
                     exec,
                     opts.criterion,
@@ -150,11 +151,11 @@ pub(crate) fn capcg_g<E: Exec>(
         counters.small_flops += 8 * (dim * dim) as u64 * sw;
 
         // --- recover the full vectors (BLAS2, lines 14–16) ---
-        gemv_concat(&q_mat, &r_mat, &p_c, &mut q);
-        gemv_concat(&q_mat, &r_mat, &r_c, &mut r);
-        gemv_concat(&p_mat, &u_mat, &p_c, &mut p);
-        gemv_concat(&p_mat, &u_mat, &r_c, &mut u);
-        gemv_concat_acc(&p_mat, &u_mat, 1.0, &x_c, &mut x);
+        gemv_concat(&pk, &q_mat, &r_mat, &p_c, &mut q);
+        gemv_concat(&pk, &q_mat, &r_mat, &r_c, &mut r);
+        gemv_concat(&pk, &p_mat, &u_mat, &p_c, &mut p);
+        gemv_concat(&pk, &p_mat, &u_mat, &r_c, &mut u);
+        gemv_concat_acc(&pk, &p_mat, &u_mat, 1.0, &x_c, &mut x);
         counters.blas2_flops += 5 * 2 * dim as u64 * nw;
 
         iterations += s;

@@ -41,7 +41,7 @@ pub fn capcg3(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    capcg3_g(&mut SerialExec::new(problem), s, basis, opts)
+    capcg3_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
 }
 
 /// CA-PCG3 over any execution substrate (see [`crate::engine`]).
@@ -56,6 +56,7 @@ pub(crate) fn capcg3_g<E: Exec>(
     let nw = exec.n_global();
     let sw = s as u64;
     let dim = 2 * s + 1;
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -103,7 +104,7 @@ pub(crate) fn capcg3_g<E: Exec>(
         u.copy_from_slice(v_mat.col(0));
 
         // --- single global reduction: G = [U_old|V]ᵀ[R_old|W] ---
-        let mut g_mat = gram_concat(&u_old, &v_mat, &r_old, &w_mat);
+        let mut g_mat = gram_concat(&pk, &u_old, &v_mat, &r_old, &w_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
         allreduce_gram(exec, &mut [&mut g_mat], &mut []);
@@ -188,24 +189,19 @@ pub(crate) fn capcg3_g<E: Exec>(
             };
 
             // w = A·u, v = M⁻¹A·u via GEMV with the stored blocks (eq. 10).
-            gemv_concat(&r_old, &w_mat, &d_c, &mut w_vec);
-            gemv_concat(&u_old, &v_mat, &d_c, &mut v_vec);
+            gemv_concat(&pk, &r_old, &w_mat, &d_c, &mut w_vec);
+            gemv_concat(&pk, &u_old, &v_mat, &d_c, &mut v_vec);
             counters.blas2_flops += 2 * 2 * dim as u64 * nw;
 
-            // Three-term BLAS1 updates (lines 17–19).
-            for i in 0..n {
-                next[i] = rho * (x[i] + gamma * u[i]) + (1.0 - rho) * x_prev[i];
-            }
+            // Three-term BLAS1 updates (lines 17–19); `+(−γ)` is bitwise
+            // `−γ·` in the r and u combinations.
+            pk.three_term(rho, gamma, &x, &u, &x_prev, &mut next);
             std::mem::swap(&mut x_prev, &mut x);
             std::mem::swap(&mut x, &mut next);
-            for i in 0..n {
-                next[i] = rho * (r[i] - gamma * w_vec[i]) + (1.0 - rho) * r_prev[i];
-            }
+            pk.three_term(rho, -gamma, &r, &w_vec, &r_prev, &mut next);
             std::mem::swap(&mut r_prev, &mut r);
             std::mem::swap(&mut r, &mut next);
-            for i in 0..n {
-                next[i] = rho * (u[i] - gamma * v_vec[i]) + (1.0 - rho) * u_prev[i];
-            }
+            pk.three_term(rho, -gamma, &u, &v_vec, &u_prev, &mut next);
             std::mem::swap(&mut u_prev, &mut u);
             std::mem::swap(&mut u, &mut next);
             counters.blas1_flops += 15 * nw;

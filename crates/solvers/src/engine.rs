@@ -35,7 +35,7 @@ use spcg_dist::executor::run_ranks;
 use spcg_dist::{Counters, ThreadComm, VectorBoard};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::{blas, CsrMatrix, DenseMat, GhostZone, MultiVector};
+use spcg_sparse::{CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels};
 
 /// Where a [`solve`](crate::solve) call executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,10 @@ pub(crate) trait Exec {
     fn dot(&self, a: &[f64], b: &[f64]) -> f64;
     /// Sums `buf` across ranks (in rank order); serially a no-op.
     fn allreduce(&mut self, buf: &mut [f64]);
+    /// The intra-rank thread pool ([`SolveOptions::threads`] workers per
+    /// rank). Solver bodies route their row-local BLAS1/BLAS3 work through
+    /// it; every kernel is bitwise deterministic in the thread count.
+    fn kernels(&self) -> &ParKernels;
 }
 
 /// Packs Gram matrices (and loose scalars) into one buffer, allreduces it,
@@ -121,21 +125,25 @@ pub(crate) fn allreduce_gram<E: Exec>(exec: &mut E, mats: &mut [&mut DenseMat], 
     }
 }
 
-/// Serial execution: the whole problem is one "rank".
+/// Serial execution: the whole problem is one "rank" (optionally with an
+/// intra-process thread pool under it).
 pub(crate) struct SerialExec<'a> {
     a: &'a CsrMatrix,
     m: &'a dyn Preconditioner,
     b: &'a [f64],
     mpk: Mpk<'a>,
+    pk: ParKernels,
 }
 
 impl<'a> SerialExec<'a> {
-    pub(crate) fn new(problem: &Problem<'a>) -> Self {
+    pub(crate) fn new(problem: &Problem<'a>, threads: usize) -> Self {
+        let pk = ParKernels::new(threads);
         SerialExec {
             a: problem.a,
             m: problem.m,
             b: problem.b,
-            mpk: Mpk::new(problem.a, problem.m),
+            mpk: Mpk::new_par(problem.a, problem.m, pk.clone()),
+            pk,
         }
     }
 }
@@ -157,10 +165,10 @@ impl Exec for SerialExec<'_> {
         self.b
     }
     fn spmv(&mut self, x: &[f64], y: &mut [f64], _counters: &mut Counters) {
-        self.a.spmv(x, y);
+        self.pk.spmv(self.a, x, y);
     }
     fn precond(&mut self, r: &[f64], z: &mut [f64], _counters: &mut Counters) {
-        self.m.apply(r, z);
+        self.m.apply_par(&self.pk, r, z);
     }
     fn mpk(
         &mut self,
@@ -174,9 +182,12 @@ impl Exec for SerialExec<'_> {
         self.mpk.run(w, known_mw, params, v, mv, counters);
     }
     fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
-        blas::dot(a, b)
+        self.pk.dot(a, b)
     }
     fn allreduce(&mut self, _buf: &mut [f64]) {}
+    fn kernels(&self) -> &ParKernels {
+        &self.pk
+    }
 }
 
 /// Publishes this rank's `chunk` and gathers the extended vector
@@ -219,6 +230,9 @@ pub(crate) struct RankExec<'a> {
     /// Partition boundaries align with the block-operator boundaries, so a
     /// `DistForm::RankLocal` preconditioner can apply locally.
     rank_local_ok: bool,
+    /// Per-rank thread pool: `SolveOptions::threads` workers under each of
+    /// the `ranks` comm ranks (T·R workers in total).
+    pk: ParKernels,
     ext_buf: Vec<f64>,
     ext_buf2: Vec<f64>,
     ghost_buf: Vec<f64>,
@@ -226,6 +240,7 @@ pub(crate) struct RankExec<'a> {
 }
 
 impl<'a> RankExec<'a> {
+    #[allow(clippy::too_many_arguments)] // internal constructor, one call site
     pub(crate) fn new(
         problem: &Problem<'a>,
         comm: ThreadComm,
@@ -234,16 +249,19 @@ impl<'a> RankExec<'a> {
         board: VectorBoard,
         board2: VectorBoard,
         mpk_depth: Option<usize>,
+        threads: usize,
     ) -> Self {
+        let pk = ParKernels::new(threads);
         let gz1 = GhostZone::new(problem.a, lo, hi, 1);
         let dist_mpk = match (mpk_depth, problem.m.dist_form()) {
-            (Some(depth), DistForm::Pointwise(w)) => Some(DistMpk::new(
+            (Some(depth), DistForm::Pointwise(w)) => Some(DistMpk::new_par(
                 problem.a,
                 lo,
                 hi,
                 depth,
                 w,
                 problem.m.flops_per_apply(),
+                pk.clone(),
             )),
             _ => None,
         };
@@ -265,6 +283,7 @@ impl<'a> RankExec<'a> {
             gz1,
             dist_mpk,
             rank_local_ok,
+            pk,
             ext_buf: Vec::new(),
             ext_buf2: Vec::new(),
             ghost_buf: Vec::new(),
@@ -281,7 +300,7 @@ impl<'a> RankExec<'a> {
         self.comm.barrier();
         counters.record_halo_exchange((r_full.len() - (self.hi - self.lo)) as u64);
         self.full_buf.resize(r_full.len(), 0.0);
-        self.m.apply(&r_full, &mut self.full_buf);
+        self.m.apply_par(&self.pk, &r_full, &mut self.full_buf);
         z.copy_from_slice(&self.full_buf[self.lo..self.hi]);
     }
 }
@@ -308,13 +327,14 @@ impl Exec for RankExec<'_> {
             comm,
             board,
             gz1,
+            pk,
             ext_buf,
             ghost_buf,
             ..
         } = self;
         gather_ext(board, comm, x, gz1.ghost_indices(), ext_buf, ghost_buf);
         counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
-        gz1.spmv_prefix(gz1.n_owned(), ext_buf, y);
+        gz1.spmv_prefix_par(pk, gz1.n_owned(), ext_buf, y);
     }
 
     fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
@@ -323,10 +343,9 @@ impl Exec for RankExec<'_> {
         let m: &dyn Preconditioner = self.m;
         match m.dist_form() {
             DistForm::Pointwise(w) => {
-                let lo = self.lo;
-                for (i, (zi, ri)) in z.iter_mut().zip(r).enumerate() {
-                    *zi = ri * w[lo + i];
-                }
+                // `w[i]·r[i]` vs the historical `r[i]·w[i]`: IEEE
+                // multiplication commutes bitwise.
+                self.pk.pointwise_mul(&w[self.lo..self.hi], r, z);
             }
             DistForm::RankLocal { op, .. } if self.rank_local_ok => {
                 op.apply_rows(self.lo, self.hi, r, z);
@@ -336,6 +355,7 @@ impl Exec for RankExec<'_> {
                     comm,
                     board,
                     gz1,
+                    pk,
                     ext_buf,
                     ghost_buf,
                     ..
@@ -343,7 +363,7 @@ impl Exec for RankExec<'_> {
                 op.apply_with_spmv(r, z, &mut |xv, yv| {
                     gather_ext(board, comm, xv, gz1.ghost_indices(), ext_buf, ghost_buf);
                     counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
-                    gz1.spmv_prefix(gz1.n_owned(), ext_buf, yv);
+                    gz1.spmv_prefix_par(pk, gz1.n_owned(), ext_buf, yv);
                 });
             }
             // Coupled operators — and block operators whose boundaries cut
@@ -425,7 +445,7 @@ impl Exec for RankExec<'_> {
             counters.record_halo_exchange(words);
             let mut v_full = MultiVector::zeros(n, v.k());
             let mut mv_full = MultiVector::zeros(n, mv.k());
-            Mpk::new(self.a, self.m).run(
+            Mpk::new_par(self.a, self.m, self.pk.clone()).run(
                 &w_full,
                 mw_full.as_deref(),
                 params,
@@ -445,11 +465,15 @@ impl Exec for RankExec<'_> {
     }
 
     fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
-        blas::dot(a, b)
+        self.pk.dot(a, b)
     }
 
     fn allreduce(&mut self, buf: &mut [f64]) {
         self.comm.allreduce_sum(buf);
+    }
+
+    fn kernels(&self) -> &ParKernels {
+        &self.pk
     }
 }
 
@@ -489,6 +513,7 @@ pub(crate) fn run_ranked(
             board.handle(),
             board2.handle(),
             mpk_depth,
+            opts.threads,
         );
         dispatch(method, &mut exec, opts)
     });

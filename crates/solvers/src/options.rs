@@ -144,6 +144,23 @@ pub struct SolveOptions {
     /// replacement, recompute `r = b − A·x` explicitly (one extra SpMV).
     /// `None` disables replacement (the paper's configuration).
     pub residual_replacement: Option<f64>,
+    /// Intra-rank worker threads for the parallel kernel layer
+    /// (`spcg_sparse::ParKernels`). Under [`crate::Engine::Ranked`] each
+    /// rank gets its own pool of this width (`T·R` workers total). Results
+    /// are bitwise identical for any thread count; `1` (the default) runs
+    /// every kernel inline. The default honours the `SPCG_THREADS`
+    /// environment variable so test suites can sweep thread counts without
+    /// code changes.
+    pub threads: usize,
+}
+
+/// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
+fn default_threads() -> usize {
+    std::env::var("SPCG_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(1)
 }
 
 impl Default for SolveOptions {
@@ -156,6 +173,7 @@ impl Default for SolveOptions {
             stall_checks: 4000,
             keep_history: false,
             residual_replacement: None,
+            threads: default_threads(),
         }
     }
 }
@@ -205,6 +223,13 @@ impl SolveOptions {
             "replacement factor must be in (0, 1)"
         );
         self.residual_replacement = Some(factor);
+        self
+    }
+
+    /// Builder-style intra-rank thread count (see the field docs).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        self.threads = threads;
         self
     }
 }
@@ -269,6 +294,13 @@ impl SolveOptionsBuilder {
             "replacement factor must be in (0, 1)"
         );
         self.opts.residual_replacement = Some(factor);
+        self
+    }
+
+    /// Intra-rank thread count (see [`SolveOptions::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        self.opts.threads = threads;
         self
     }
 
@@ -424,6 +456,22 @@ mod tests {
         assert_eq!(o.stall_checks, 7);
         assert_eq!(o.divergence_factor, 1e6);
         assert_eq!(o.residual_replacement, Some(0.25));
+    }
+
+    #[test]
+    fn threads_option_defaults_and_builds() {
+        // Default is 1 unless SPCG_THREADS overrides it (not set in tests
+        // unless the CI thread-sweep job exports it).
+        let dflt = SolveOptions::default().threads;
+        assert!(dflt >= 1);
+        assert_eq!(SolveOptions::builder().threads(4).build().threads, 4);
+        assert_eq!(SolveOptions::default().with_threads(2).threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be positive")]
+    fn zero_threads_rejected() {
+        let _ = SolveOptions::builder().threads(0);
     }
 
     #[test]

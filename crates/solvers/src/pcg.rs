@@ -9,17 +9,17 @@ use crate::engine::{Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_dist::Counters;
-use spcg_sparse::blas;
 
 /// Solves `A x = b` with standard PCG (zero initial guess).
 pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    pcg_g(&mut SerialExec::new(problem), opts)
+    pcg_g(&mut SerialExec::new(problem, opts.threads), opts)
 }
 
 /// PCG over any execution substrate (see [`crate::engine`]).
 pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
     let n = exec.nl();
     let nw = exec.n_global();
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
@@ -82,8 +82,8 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
             return finish(x, outcome, iterations, stop, counters);
         }
         let alpha = rtu / pts;
-        blas::axpy(alpha, &p, &mut x);
-        blas::axpy(-alpha, &s, &mut r);
+        pk.axpy(alpha, &p, &mut x);
+        pk.axpy(-alpha, &s, &mut r);
         counters.blas1_flops += 4 * nw;
         exec.precond(&r, &mut u, &mut counters);
         counters.record_precond(exec.m_flops());
@@ -97,7 +97,7 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
         }
         let beta = rtu_new / rtu;
         rtu = rtu_new;
-        blas::xpby(&u, beta, &mut p);
+        pk.xpby(&u, beta, &mut p);
         counters.blas1_flops += 2 * nw;
 
         iterations += 1;

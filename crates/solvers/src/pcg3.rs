@@ -23,13 +23,14 @@ use spcg_dist::Counters;
 
 /// Solves `A x = b` with three-term-recurrence PCG (zero initial guess).
 pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    pcg3_g(&mut SerialExec::new(problem), opts)
+    pcg3_g(&mut SerialExec::new(problem, opts.threads), opts)
 }
 
 /// PCG3 over any execution substrate (see [`crate::engine`]).
 pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
     let n = exec.nl();
     let nw = exec.n_global();
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
@@ -100,15 +101,11 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
         };
 
         // x_{i+1} = ρ(x + γu) + (1−ρ)x_prev
-        for i in 0..n {
-            next[i] = rho * (x[i] + gamma * u[i]) + (1.0 - rho) * x_prev[i];
-        }
+        pk.three_term(rho, gamma, &x, &u, &x_prev, &mut next);
         std::mem::swap(&mut x_prev, &mut x);
         std::mem::swap(&mut x, &mut next);
-        // r_{i+1} = ρ(r − γ·Au) + (1−ρ)r_prev
-        for i in 0..n {
-            next[i] = rho * (r[i] - gamma * au[i]) + (1.0 - rho) * r_prev[i];
-        }
+        // r_{i+1} = ρ(r − γ·Au) + (1−ρ)r_prev; `+(−γ)` is bitwise `−γ·`.
+        pk.three_term(rho, -gamma, &r, &au, &r_prev, &mut next);
         std::mem::swap(&mut r_prev, &mut r);
         std::mem::swap(&mut r, &mut next);
         counters.blas1_flops += 10 * nw;

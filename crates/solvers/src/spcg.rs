@@ -24,7 +24,7 @@
 use crate::engine::{allreduce_gram, Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
-use spcg_basis::cob::{apply_b_to_columns, b_small};
+use spcg_basis::cob::{apply_b_to_columns_par, b_small};
 use spcg_basis::BasisType;
 use spcg_dist::Counters;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
@@ -41,7 +41,7 @@ pub fn spcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    spcg_g(&mut SerialExec::new(problem), s, basis, opts)
+    spcg_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
 }
 
 /// sPCG over any execution substrate (see [`crate::engine`]).
@@ -55,6 +55,7 @@ pub(crate) fn spcg_g<E: Exec>(
     let n = exec.nl();
     let nw = exec.n_global();
     let sw = s as u64;
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -82,11 +83,11 @@ pub(crate) fn spcg_g<E: Exec>(
         exec.mpk(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
 
         // --- the single global reduction: [UᵀS ; PᵀS] ---
-        let mut g1 = u_mat.gram(&s_mat); // s × (s+1)
+        let mut g1 = pk.gram(&u_mat, &s_mat); // s × (s+1)
         counters.record_dots(sw * (sw + 1), nw);
         let mut words = sw * (sw + 1);
         let mut g2 = if w_prev.is_some() {
-            let g = p_mat.gram(&s_mat); // s × (s+1)
+            let g = pk.gram(&p_mat, &s_mat); // s × (s+1)
             counters.record_dots(sw * (sw + 1), nw);
             words += sw * (sw + 1);
             Some(g)
@@ -161,14 +162,14 @@ pub(crate) fn spcg_g<E: Exec>(
         // --- AU = S·B (local, ≤ (5s−2)n FLOPs, free for monomial) ---
         // The kernel reports FLOPs for its (local) row count; every term is
         // an exact multiple of it, so rescale to the global charge.
-        let local_flops = apply_b_to_columns(&s_mat, &params, &mut au_mat);
+        let local_flops = apply_b_to_columns_par(&pk, &s_mat, &params, &mut au_mat);
         counters.blas2_flops += local_flops / n as u64 * nw;
 
         // --- blocked updates ---
         match b_k {
             Some(b_k) => {
-                p_mat.blocked_update(&u_mat, &b_k, &mut scratch);
-                ap_mat.blocked_update(&au_mat, &b_k, &mut scratch);
+                p_mat.blocked_update_par(&pk, &u_mat, &b_k, &mut scratch);
+                ap_mat.blocked_update_par(&pk, &au_mat, &b_k, &mut scratch);
                 counters.blas3_flops += 4 * sw * sw * nw;
             }
             None => {
@@ -176,8 +177,8 @@ pub(crate) fn spcg_g<E: Exec>(
                 ap_mat.copy_from(&au_mat);
             }
         }
-        p_mat.gemv_acc(1.0, &a_vec, &mut x);
-        ap_mat.gemv_acc(-1.0, &a_vec, &mut r);
+        pk.gemv_acc(&p_mat, 1.0, &a_vec, &mut x);
+        pk.gemv_acc(&ap_mat, -1.0, &a_vec, &mut r);
         counters.blas2_flops += 4 * sw * nw;
 
         // Residual replacement (Carson & Demmel): once the recursive
@@ -195,10 +196,7 @@ pub(crate) fn spcg_g<E: Exec>(
                 scratch_vec.resize(n, 0.0);
                 exec.spmv(&x, &mut scratch_vec, &mut counters);
                 counters.record_spmv(exec.spmv_flops());
-                let b = exec.b_local();
-                for i in 0..n {
-                    r[i] = b[i] - scratch_vec[i];
-                }
+                pk.sub(exec.b_local(), &scratch_vec, &mut r);
                 counters.blas1_flops += nw;
                 let mut red = [exec.dot(&r, &r)];
                 exec.allreduce(&mut red);

@@ -30,7 +30,7 @@ use spcg_sparse::{DenseMat, MultiVector};
 /// # Panics
 /// Panics if `s < 1`.
 pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveResult {
-    spcg_mon_g(&mut SerialExec::new(problem), s, opts)
+    spcg_mon_g(&mut SerialExec::new(problem, opts.threads), s, opts)
 }
 
 /// sPCG_mon over any execution substrate (see [`crate::engine`]).
@@ -39,6 +39,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
     let n = exec.nl();
     let nw = exec.n_global();
     let sw = s as u64;
+    let pk = exec.kernels().clone();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -71,7 +72,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         }
         // The cross-term Gram (original: moment recurrence — see module
         // docs; charged as the moment vector only).
-        let mut g2 = w_prev.as_ref().map(|_| p_mat.gram(&s_mat));
+        let mut g2 = w_prev.as_ref().map(|_| pk.gram(&p_mat, &s_mat));
         counters.record_dots(2 * sw, nw);
         counters.record_collective(2 * sw);
         match g2.as_mut() {
@@ -146,8 +147,8 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         // --- blocked updates (BLAS3 + BLAS2, same as sPCG) ---
         match b_k {
             Some(b_k) => {
-                p_mat.blocked_update(&u_mat, &b_k, &mut scratch);
-                ap_mat.blocked_update(&au_mat, &b_k, &mut scratch);
+                p_mat.blocked_update_par(&pk, &u_mat, &b_k, &mut scratch);
+                ap_mat.blocked_update_par(&pk, &au_mat, &b_k, &mut scratch);
                 counters.blas3_flops += 4 * sw * sw * nw;
             }
             None => {
@@ -155,8 +156,8 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
                 ap_mat.copy_from(&au_mat);
             }
         }
-        p_mat.gemv_acc(1.0, &a_vec, &mut x);
-        ap_mat.gemv_acc(-1.0, &a_vec, &mut r);
+        pk.gemv_acc(&p_mat, 1.0, &a_vec, &mut x);
+        pk.gemv_acc(&ap_mat, -1.0, &a_vec, &mut r);
         counters.blas2_flops += 4 * sw * nw;
 
         w_prev = Some(w);

@@ -130,7 +130,9 @@ impl CooMatrix {
             }
             out_ptr[r + 1] = out_cols.len();
         }
-        CsrMatrix::from_raw(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+        // The compaction above guarantees the CSR invariants (sorted,
+        // deduplicated, in-bounds), so skip release-mode re-validation.
+        CsrMatrix::from_raw_unchecked(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
     }
 }
 

@@ -8,6 +8,39 @@
 //! estimation.
 
 use crate::coo::CooMatrix;
+use std::sync::{Arc, Mutex};
+
+/// Validates the CSR invariants, panicking on the first violation.
+fn validate_raw(nrows: usize, ncols: usize, row_ptr: &[usize], col_idx: &[usize], values: &[f64]) {
+    assert_eq!(
+        row_ptr.len(),
+        nrows + 1,
+        "CSR: row_ptr length must be nrows+1"
+    );
+    assert_eq!(row_ptr[0], 0, "CSR: row_ptr must start at 0");
+    assert_eq!(col_idx.len(), values.len(), "CSR: col/val length mismatch");
+    assert_eq!(
+        *row_ptr.last().unwrap(),
+        col_idx.len(),
+        "CSR: row_ptr end mismatch"
+    );
+    for r in 0..nrows {
+        assert!(
+            row_ptr[r] <= row_ptr[r + 1],
+            "CSR: row_ptr must be monotone"
+        );
+        let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+        for w in row.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "CSR: columns must be strictly increasing in row {r}"
+            );
+        }
+        if let Some(&last) = row.last() {
+            assert!(last < ncols, "CSR: column index out of bounds in row {r}");
+        }
+    }
+}
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -15,16 +48,50 @@ use crate::coo::CooMatrix;
 /// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, monotone non-decreasing;
 /// * `col_idx.len() == values.len() == row_ptr[nrows]`;
 /// * column indices within each row are strictly increasing and `< ncols`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f64>,
+    /// Lazily computed nnz-balanced row partition for the threaded SpMV,
+    /// keyed by chunk count (see [`CsrMatrix::row_schedule`]).
+    schedule: Mutex<Option<(usize, Arc<Vec<usize>>)>>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        // The schedule cache is derived data; the clone recomputes on demand.
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+            schedule: Mutex::new(None),
+        }
+    }
 }
 
 impl CsrMatrix {
+    fn assemble(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+            schedule: Mutex::new(None),
+        }
+    }
+
     /// Builds a CSR matrix from raw arrays, validating the invariants.
     ///
     /// # Panics
@@ -36,64 +103,40 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(
-            row_ptr.len(),
-            nrows + 1,
-            "CSR: row_ptr length must be nrows+1"
-        );
-        assert_eq!(row_ptr[0], 0, "CSR: row_ptr must start at 0");
-        assert_eq!(col_idx.len(), values.len(), "CSR: col/val length mismatch");
-        assert_eq!(
-            *row_ptr.last().unwrap(),
-            col_idx.len(),
-            "CSR: row_ptr end mismatch"
-        );
-        for r in 0..nrows {
-            assert!(
-                row_ptr[r] <= row_ptr[r + 1],
-                "CSR: row_ptr must be monotone"
-            );
-            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-            for w in row.windows(2) {
-                assert!(
-                    w[0] < w[1],
-                    "CSR: columns must be strictly increasing in row {r}"
-                );
-            }
-            if let Some(&last) = row.last() {
-                assert!(last < ncols, "CSR: column index out of bounds in row {r}");
-            }
+        validate_raw(nrows, ncols, &row_ptr, &col_idx, &values);
+        Self::assemble(nrows, ncols, row_ptr, col_idx, values)
+    }
+
+    /// Builds a CSR matrix from raw arrays that are already known to satisfy
+    /// the invariants, validating only under `debug_assertions`.
+    ///
+    /// Use on hot construction paths (COO compaction, ghost-zone and
+    /// partition extraction) where the arrays come out of an algorithm that
+    /// guarantees them; keep [`CsrMatrix::from_raw`] for I/O paths. Broken
+    /// invariants in release builds lead to index panics or wrong products,
+    /// never to memory unsafety (all access is bounds-checked).
+    pub fn from_raw_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        if cfg!(debug_assertions) {
+            validate_raw(nrows, ncols, &row_ptr, &col_idx, &values);
         }
-        CsrMatrix {
-            nrows,
-            ncols,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        Self::assemble(nrows, ncols, row_ptr, col_idx, values)
     }
 
     /// The `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n).collect(),
-            values: vec![1.0; n],
-        }
+        Self::assemble(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// A diagonal matrix with the given diagonal entries.
     pub fn from_diagonal(diag: &[f64]) -> Self {
         let n = diag.len();
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n).collect(),
-            values: diag.to_vec(),
-        }
+        Self::assemble(n, n, (0..=n).collect(), (0..n).collect(), diag.to_vec())
     }
 
     /// Number of rows.
@@ -298,6 +341,45 @@ impl CsrMatrix {
     pub fn spmv_flops(&self) -> u64 {
         2 * self.nnz() as u64
     }
+
+    /// An nnz-balanced partition of the rows into `nchunks` contiguous
+    /// chunks: returns boundaries `b` of length `nchunks + 1` with
+    /// `b[0] == 0`, `b[nchunks] == nrows`, and chunk `c` owning rows
+    /// `b[c]..b[c+1]`. Cut points sit where the nonzero prefix count crosses
+    /// `c·nnz/nchunks`, so every chunk carries roughly equal SpMV work even
+    /// on matrices with skewed row lengths.
+    ///
+    /// The schedule is cached on the matrix (per chunk count), so repeated
+    /// threaded SpMVs pay the binary searches once.
+    pub fn row_schedule(&self, nchunks: usize) -> Arc<Vec<usize>> {
+        let nchunks = nchunks.max(1);
+        let mut cache = self.schedule.lock().unwrap();
+        if let Some((c, bounds)) = cache.as_ref() {
+            if *c == nchunks {
+                return Arc::clone(bounds);
+            }
+        }
+        let bounds = Arc::new(nnz_balanced_bounds(&self.row_ptr, self.nrows, nchunks));
+        *cache = Some((nchunks, Arc::clone(&bounds)));
+        bounds
+    }
+}
+
+/// Computes nnz-balanced chunk boundaries over `row_ptr[..=nrows]`; shared by
+/// the cached matrix schedule and the ghost-zone prefix SpMV (whose active
+/// row prefix changes per MPK level, so it cannot cache).
+pub(crate) fn nnz_balanced_bounds(row_ptr: &[usize], nrows: usize, nchunks: usize) -> Vec<usize> {
+    let nnz = row_ptr[nrows];
+    let mut bounds = Vec::with_capacity(nchunks + 1);
+    bounds.push(0);
+    for c in 1..nchunks {
+        // Smallest row whose prefix reaches the target; clamped monotone.
+        let target = nnz * c / nchunks;
+        let cut = row_ptr[..=nrows].partition_point(|&p| p < target);
+        bounds.push(cut.min(nrows).max(*bounds.last().unwrap()));
+    }
+    bounds.push(nrows);
+    bounds
 }
 
 #[cfg(test)]
@@ -408,6 +490,61 @@ mod tests {
     #[should_panic(expected = "columns must be strictly increasing")]
     fn from_raw_rejects_unsorted() {
         CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_raw_unchecked_builds_valid_matrix() {
+        let a = CsrMatrix::from_raw_unchecked(2, 2, vec![0, 1, 2], vec![0, 1], vec![2.0, 3.0]);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 1), 3.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "columns must be strictly increasing")]
+    fn from_raw_unchecked_still_validates_in_debug() {
+        CsrMatrix::from_raw_unchecked(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_schedule_covers_rows_and_balances_nnz() {
+        let a = crate::generators::poisson::poisson_2d(20);
+        for nchunks in [1usize, 2, 3, 7, 8] {
+            let b = a.row_schedule(nchunks);
+            assert_eq!(b.len(), nchunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), a.nrows());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            let fair = a.nnz() / nchunks;
+            for c in 0..nchunks {
+                let work = a.row_ptr()[b[c + 1]] - a.row_ptr()[b[c]];
+                // Each cut lands within one row of the exact nnz target.
+                assert!(
+                    work <= fair + 10,
+                    "chunk {c}/{nchunks}: {work} nnz vs fair {fair}"
+                );
+            }
+        }
+        // The second request for the same chunk count hits the cache.
+        let b1 = a.row_schedule(4);
+        let b2 = a.row_schedule(4);
+        assert!(Arc::ptr_eq(&b1, &b2));
+    }
+
+    #[test]
+    fn row_schedule_handles_empty_and_skewed_matrices() {
+        let empty = CsrMatrix::from_raw(3, 3, vec![0, 0, 0, 0], vec![], vec![]);
+        let b = empty.row_schedule(4);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 3);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+
+        // One dense row among empty ones: all cuts collapse around it.
+        let dense_row = CsrMatrix::from_raw(3, 3, vec![0, 0, 3, 3], vec![0, 1, 2], vec![1.0; 3]);
+        let b = dense_row.row_schedule(3);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), 3);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

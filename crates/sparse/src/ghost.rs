@@ -162,14 +162,58 @@ impl GhostZone {
             "spmv_prefix: x_ext too short"
         );
         assert!(y.len() >= nrows, "spmv_prefix: y too short");
-        for r in 0..nrows {
+        self.spmv_prefix_rows(0, nrows, x_ext, y);
+    }
+
+    /// Rows `[row_begin, row_end)` of [`GhostZone::spmv_prefix`], writing
+    /// `y_block[r - row_begin]` — the per-chunk kernel of the threaded
+    /// prefix SpMV.
+    fn spmv_prefix_rows(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x_ext: &[f64],
+        y_block: &mut [f64],
+    ) {
+        for r in row_begin..row_end {
             let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
             let mut acc = 0.0;
             for k in lo..hi {
                 acc += self.values[k] * x_ext[self.col_idx[k]];
             }
-            y[r] = acc;
+            y_block[r - row_begin] = acc;
         }
+    }
+
+    /// Threaded [`GhostZone::spmv_prefix`]: the active row prefix is split
+    /// into nnz-balanced chunks on the fly (the prefix length changes per
+    /// MPK level, so unlike [`CsrMatrix::row_schedule`] there is nothing to
+    /// cache). Row-partitioned, hence bitwise equal to the serial prefix
+    /// SpMV for any thread count.
+    pub fn spmv_prefix_par(
+        &self,
+        pk: &crate::par::ParKernels,
+        nrows: usize,
+        x_ext: &[f64],
+        y: &mut [f64],
+    ) {
+        if pk.threads() == 1 {
+            self.spmv_prefix(nrows, x_ext, y);
+            return;
+        }
+        assert!(
+            nrows <= self.prefix[self.depth - 1],
+            "spmv_prefix: row prefix too long"
+        );
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_prefix: x_ext too short"
+        );
+        assert!(y.len() >= nrows, "spmv_prefix: y too short");
+        let bounds = crate::csr::nnz_balanced_bounds(&self.row_ptr, nrows, pk.threads());
+        pk.for_each_range_mut(&mut y[..nrows], &bounds, |c, piece| {
+            self.spmv_prefix_rows(bounds[c], bounds[c + 1], x_ext, piece);
+        });
     }
 
     /// Gathers `global[ext[i]]` for the ghost entries into a buffer laid
@@ -220,6 +264,27 @@ mod tests {
             let g = gz.ext_indices()[p];
             // Bitwise: entry order inside each row is preserved.
             assert_eq!(y_local[p], y_global[g], "row {g}");
+        }
+    }
+
+    #[test]
+    fn spmv_prefix_par_is_bitwise_identical_across_thread_counts() {
+        use crate::par::ParKernels;
+        let a = crate::generators::poisson::poisson_3d(14);
+        let n = a.nrows();
+        let gz = GhostZone::new(&a, n / 4, 3 * n / 4, 3);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 11 % 17) as f64) - 8.0).collect();
+        let x_ext = gz.extend_from_global(&x);
+        for d in [1usize, 2] {
+            let rows = gz.reach_len(d);
+            let mut serial = vec![0.0; rows];
+            gz.spmv_prefix(rows, &x_ext, &mut serial);
+            for t in [1usize, 2, 4, 8] {
+                let pk = ParKernels::new(t);
+                let mut y = vec![1.0; rows];
+                gz.spmv_prefix_par(&pk, rows, &x_ext, &mut y);
+                assert_eq!(y, serial, "depth {d}, threads {t}");
+            }
         }
     }
 

@@ -31,6 +31,7 @@ pub mod generators;
 pub mod ghost;
 pub mod io;
 pub mod multivector;
+pub mod par;
 pub mod partition;
 pub mod rng;
 pub mod smallsolve;
@@ -41,6 +42,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMat;
 pub use ghost::GhostZone;
 pub use multivector::MultiVector;
+pub use par::{ParKernels, ThreadPool};
 
 /// Workspace-wide floating point scalar. The paper's experiments are all in
 /// IEEE double precision; the numerical-stability phenomena reproduced here

@@ -9,10 +9,15 @@
 
 use crate::blas;
 use crate::dense::DenseMat;
+use crate::par::ParKernels;
 
 /// Row-block size for the blocked kernels. 1024 doubles = 8 KiB per column
 /// slice, so a handful of columns fit in L1 alongside the output block.
 const ROW_BLOCK: usize = 1024;
+
+// The parallel kernel layer reuses these row blocks as its reduction blocks;
+// the fixed pairwise shape only lines up if the two sizes agree.
+const _: () = assert!(ROW_BLOCK == blas::REDUCE_BLOCK);
 
 /// A dense `n × k` matrix stored column-major, viewed as `k` vectors of
 /// length `n`.
@@ -108,24 +113,14 @@ impl MultiVector {
     ///
     /// This is the local part of the single global reduction of the s-step
     /// methods: each rank computes the Gram block of its rows and the blocks
-    /// are summed across ranks.
+    /// are summed across ranks. Per entry the accumulation is the fixed-
+    /// shape blocked pairwise reduction of [`crate::blas`], so the threaded
+    /// Gram of [`ParKernels`] reproduces this serial result bitwise.
     pub fn gram(&self, other: &MultiVector) -> DenseMat {
         assert_eq!(self.n, other.n, "gram: row mismatch");
-        let (ka, kb) = (self.k, other.k);
-        let mut out = DenseMat::zeros(ka, kb);
-        let mut row = 0;
-        while row < self.n {
-            let hi = (row + ROW_BLOCK).min(self.n);
-            for i in 0..ka {
-                let a = &self.col(i)[row..hi];
-                for j in 0..kb {
-                    let b = &other.col(j)[row..hi];
-                    out[(i, j)] += blas::dot(a, b);
-                }
-            }
-            row = hi;
-        }
-        out
+        let acols: Vec<&[f64]> = (0..self.k).map(|i| self.col(i)).collect();
+        let bcols: Vec<&[f64]> = (0..other.k).map(|j| other.col(j)).collect();
+        crate::par::gram_cols_impl(None, self.n, &acols, &bcols)
     }
 
     /// Gram product against a single vector: `selfᵀ · x` (length `k`).
@@ -153,18 +148,26 @@ impl MultiVector {
         let mut row = 0;
         while row < self.n {
             let hi = (row + ROW_BLOCK).min(self.n);
-            for j in 0..self.k {
-                let c = a * coeffs[j];
-                if c == 0.0 {
-                    continue;
-                }
-                let col = &self.col(j)[row..hi];
-                let o = &mut out[row..hi];
-                for (oi, &ci) in o.iter_mut().zip(col) {
-                    *oi += c * ci;
-                }
-            }
+            self.gemv_acc_block(a, coeffs, row, &mut out[row..hi]);
             row = hi;
+        }
+    }
+
+    /// One row block of [`MultiVector::gemv_acc`]: accumulates rows
+    /// `row..row + out_block.len()` into `out_block`. The parallel layer
+    /// dispatches these blocks across threads; the arithmetic per row is
+    /// identical either way.
+    pub(crate) fn gemv_acc_block(&self, a: f64, coeffs: &[f64], row: usize, out_block: &mut [f64]) {
+        let hi = row + out_block.len();
+        for j in 0..self.k {
+            let c = a * coeffs[j];
+            if c == 0.0 {
+                continue;
+            }
+            let col = &self.col(j)[row..hi];
+            for (oi, &ci) in out_block.iter_mut().zip(col) {
+                *oi += c * ci;
+            }
         }
     }
 
@@ -226,6 +229,39 @@ impl MultiVector {
         self.gemm_small_acc(b, scratch);
         std::mem::swap(&mut self.data, &mut scratch.data);
         std::mem::swap(&mut self.k, &mut scratch.k);
+    }
+
+    /// Threaded [`MultiVector::blocked_update`]: same arithmetic, with the
+    /// BLAS3 accumulation row-partitioned over the kernel layer. Bitwise
+    /// equal to the serial update for any thread count.
+    pub fn blocked_update_par(
+        &mut self,
+        pk: &ParKernels,
+        u: &MultiVector,
+        b: &DenseMat,
+        scratch: &mut MultiVector,
+    ) {
+        assert_eq!(u.n, self.n, "blocked_update: row mismatch");
+        assert_eq!(u.k, b.ncols(), "blocked_update: u/b mismatch");
+        assert_eq!(b.nrows(), self.k, "blocked_update: self/b mismatch");
+        assert_eq!(scratch.n, self.n, "blocked_update: scratch rows mismatch");
+        assert_eq!(scratch.k, u.k, "blocked_update: scratch cols mismatch");
+        scratch.copy_from(u);
+        pk.gemm_small_acc(self, b, scratch);
+        std::mem::swap(&mut self.data, &mut scratch.data);
+        std::mem::swap(&mut self.k, &mut scratch.k);
+    }
+
+    /// Raw column-major storage (parallel kernel layer only).
+    #[inline]
+    pub(crate) fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw column-major storage, mutable (parallel kernel layer only).
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 
     /// A view of the first `k` columns (cheap clone of the header, shared

@@ -1,0 +1,112 @@
+//! Determinism sweep for the intra-rank parallel kernel layer.
+//!
+//! Every reduction in the threaded kernels uses the fixed-shape blocked
+//! pairwise summation of `spcg_sparse::par`, so the floating-point result
+//! depends only on the block layout — never on the thread count. These
+//! tests pin that contract at the solver level: each of the six methods
+//! must produce a **bitwise identical** `SolveResult` for any number of
+//! intra-rank threads, alone and composed with `Engine::Ranked`.
+
+use spcg::precond::Jacobi;
+use spcg::solvers::{chebyshev_basis, solve, Engine, Method, Problem, SolveOptions};
+use spcg::sparse::generators::paper_rhs;
+use spcg::sparse::generators::poisson::poisson_3d;
+
+const S: usize = 4;
+
+fn all_methods(problem: &Problem<'_>) -> Vec<Method> {
+    let basis = chebyshev_basis(problem, 20, 0.05);
+    vec![
+        Method::Pcg,
+        Method::Pcg3,
+        Method::SPcg {
+            s: S,
+            basis: basis.clone(),
+        },
+        Method::SPcgMon { s: S },
+        Method::CaPcg {
+            s: S,
+            basis: basis.clone(),
+        },
+        Method::CaPcg3 { s: S, basis },
+    ]
+}
+
+fn assert_bitwise_equal(
+    a: &spcg::solvers::SolveResult,
+    b: &spcg::solvers::SolveResult,
+    what: &str,
+) {
+    assert_eq!(a.outcome, b.outcome, "{what}: outcome");
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(a.x, b.x, "{what}: iterate not bitwise equal");
+    // Parallelization must not change what work is charged.
+    assert_eq!(a.counters, b.counters, "{what}: counters");
+}
+
+/// Serial engine, threads ∈ {1, 2, 4, 8}: bitwise identical solves.
+///
+/// n = 14³ = 2744 spans multiple reduction blocks (`REDUCE_BLOCK` = 1024),
+/// so the threaded partial sums genuinely exercise the pairwise combine.
+#[test]
+fn all_methods_bitwise_identical_across_thread_counts() {
+    let a = poisson_3d(14);
+    let b = paper_rhs(&a);
+    let m = Jacobi::new(&a);
+    let problem = Problem::new(&a, &m, &b);
+    let opts = SolveOptions::default();
+    for method in all_methods(&problem) {
+        let base = solve(
+            &method,
+            &problem,
+            &opts.clone().with_threads(1),
+            Engine::Serial,
+        );
+        assert!(
+            base.converged(),
+            "{} threads=1: {:?}",
+            method.name(),
+            base.outcome
+        );
+        for t in [2usize, 4, 8] {
+            let res = solve(
+                &method,
+                &problem,
+                &opts.clone().with_threads(t),
+                Engine::Serial,
+            );
+            assert_bitwise_equal(&base, &res, &format!("{} threads={t}", method.name()));
+        }
+    }
+}
+
+/// Threads compose with rank parallelism: for each rank count, every
+/// thread count reproduces the single-threaded ranked run bit for bit.
+#[test]
+fn threads_compose_with_ranked_engine() {
+    let a = poisson_3d(12);
+    let b = paper_rhs(&a);
+    let m = Jacobi::new(&a);
+    let problem = Problem::new(&a, &m, &b);
+    let opts = SolveOptions::default();
+    for method in all_methods(&problem) {
+        for ranks in [2usize, 4] {
+            let engine = Engine::Ranked { ranks };
+            let base = solve(&method, &problem, &opts.clone().with_threads(1), engine);
+            assert!(
+                base.converged(),
+                "{} ranks={ranks} threads=1: {:?}",
+                method.name(),
+                base.outcome
+            );
+            for t in [2usize, 4] {
+                let res = solve(&method, &problem, &opts.clone().with_threads(t), engine);
+                assert_bitwise_equal(
+                    &base,
+                    &res,
+                    &format!("{} ranks={ranks} threads={t}", method.name()),
+                );
+            }
+        }
+    }
+}
