@@ -24,6 +24,11 @@ use crate::poly::BasisParams;
 use spcg_dist::Counters;
 use spcg_sparse::{CsrMatrix, GhostZone, MultiVector, ParKernels};
 
+/// Exchange-completion callback for [`DistMpk::run_overlapped`]: fills the
+/// ghost segment of the seed (and of `M⁻¹·seed` when present) once the
+/// interior rows are done.
+pub type CompleteGhosts<'a> = dyn FnMut(&mut [f64], Option<&mut [f64]>) + 'a;
+
 /// Matrix powers kernel over one rank's depth-s ghost zone.
 pub struct DistMpk {
     gz: GhostZone,
@@ -174,6 +179,175 @@ impl DistMpk {
             counters.record_spmv(self.spmv_flops);
             // As in the serial kernel, `t += (−θ)·v` is bitwise equal to
             // the historical `t −= θ·v` pass.
+            let theta = params.theta[j];
+            let inv_gamma = 1.0 / params.gamma[j];
+            if theta != 0.0 {
+                self.pk.axpy(-theta, &lower[j][..rows], &mut t[..rows]);
+            }
+            if j >= 1 && params.mu[j - 1] != 0.0 {
+                self.pk
+                    .axpy(-params.mu[j - 1], &lower[j - 1][..rows], &mut t[..rows]);
+            }
+            if inv_gamma != 1.0 {
+                self.pk.scale(inv_gamma, &mut t[..rows]);
+            }
+            counters.blas1_flops += params.extra_flops_for_column(j + 1, self.n_global);
+            if j + 1 < mv_cols {
+                self.pk.pointwise_mul(
+                    &self.weights_ext[..rows],
+                    &self.v_ext[j + 1][..rows],
+                    &mut self.mv_ext[j + 1][..rows],
+                );
+                counters.record_precond(self.m_flops);
+            }
+        }
+
+        for j in 0..v_cols {
+            v.col_mut(j).copy_from_slice(&self.v_ext[j][..nl]);
+        }
+        for j in 0..mv_cols {
+            mv.col_mut(j).copy_from_slice(&self.mv_ext[j][..nl]);
+        }
+    }
+
+    /// [`DistMpk::run`] with communication–computation overlap: the caller
+    /// posts its owned chunk(s) to the exchange *before* this call and
+    /// passes `complete`, which must finish the exchange by filling the
+    /// ghost segments (`ext_len − n_owned` entries past the owned prefix)
+    /// of the seed — and of `M⁻¹·seed` when `known_mw` is given. The
+    /// kernel seeds the owned prefixes from the local slices, runs the
+    /// **interior** rows of the first basis product on owned data alone,
+    /// then invokes `complete` exactly once and finishes the frontier rows
+    /// and the remaining levels with the same split schedule.
+    ///
+    /// Interior and frontier row lists partition every level's row prefix
+    /// and reuse the per-row accumulation of the prefix SpMV, and the
+    /// basis corrections are untouched — the outputs and every counter
+    /// charge are **bitwise identical** to [`DistMpk::run`] on the fully
+    /// gathered seed, for any thread count.
+    ///
+    /// # Panics
+    /// Panics on dimension or parameter-degree mismatches (the contract of
+    /// [`DistMpk::run`], with `w`/`known_mw` of owned length `n_owned()`).
+    #[allow(clippy::too_many_arguments)] // mirrors `run` plus the completion hook
+    pub fn run_overlapped(
+        &mut self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+        complete: &mut CompleteGhosts<'_>,
+    ) {
+        let nl = self.gz.n_owned();
+        let ext_len = self.gz.ext_len();
+        let v_cols = v.k();
+        let mv_cols = mv.k();
+        let s_levels = v_cols - 1;
+        assert!(v_cols >= 1, "DistMpk::run: need at least one V column");
+        assert!(
+            mv_cols + 1 >= v_cols && mv_cols <= v_cols,
+            "DistMpk::run: need v_cols-1 <= mv_cols <= v_cols (got {v_cols}, {mv_cols})"
+        );
+        assert!(
+            s_levels <= self.gz.depth(),
+            "DistMpk::run: {s_levels} levels exceed ghost depth {}",
+            self.gz.depth()
+        );
+        assert_eq!(v.n(), nl, "DistMpk::run: v row mismatch");
+        assert_eq!(mv.n(), nl, "DistMpk::run: mv row mismatch");
+        assert_eq!(w.len(), nl, "DistMpk::run: seed length mismatch");
+        assert!(
+            params.degree() + 1 >= v_cols,
+            "DistMpk::run: basis degree {} too small for {v_cols} columns",
+            params.degree()
+        );
+
+        self.v_ext.resize(v_cols, Vec::new());
+        self.mv_ext.resize(mv_cols.max(1), Vec::new());
+        for c in self.v_ext.iter_mut().chain(self.mv_ext.iter_mut()) {
+            c.resize(ext_len, 0.0);
+        }
+
+        // Owned prefixes of the seed columns; ghost segments arrive at the
+        // completion below. Splitting the elementwise M⁻¹ application at
+        // `nl` changes no per-element product, so it stays bitwise equal to
+        // the full-length pass of the blocking kernel.
+        self.v_ext[0][..nl].copy_from_slice(w);
+        if mv_cols > 0 {
+            match known_mw {
+                Some(mw) => {
+                    assert_eq!(mw.len(), nl, "DistMpk::run: known_mw length mismatch");
+                    self.mv_ext[0][..nl].copy_from_slice(mw);
+                }
+                None => {
+                    let (head, _) = self.mv_ext[0].split_at_mut(nl);
+                    self.pk.pointwise_mul(&self.weights_ext[..nl], w, head);
+                }
+            }
+        }
+
+        // Interior rows of the first basis product: every operand column
+        // is owned, so this runs entirely inside the exchange's overlap
+        // window. (With zero levels there is no product to overlap; the
+        // completion below still runs exactly once.)
+        if s_levels > 0 {
+            let (_, upper) = self.v_ext.split_at_mut(1);
+            self.gz.spmv_rows_list_par(
+                &self.pk,
+                self.gz.interior_rows(),
+                &self.mv_ext[0],
+                &mut upper[0],
+            );
+        }
+
+        // Receive completion: the caller copies the exchanged ghost words
+        // into the seed columns' ghost segments.
+        {
+            let (_, v_ghost) = self.v_ext[0].split_at_mut(nl);
+            let mv_ghost = match known_mw {
+                Some(_) => {
+                    let (_, g) = self.mv_ext[0].split_at_mut(nl);
+                    Some(g)
+                }
+                None => None,
+            };
+            complete(v_ghost, mv_ghost);
+        }
+        if mv_cols > 0 && known_mw.is_none() {
+            let (_, tail) = self.mv_ext[0].split_at_mut(nl);
+            self.pk
+                .pointwise_mul(&self.weights_ext[nl..], &self.v_ext[0][nl..], tail);
+            counters.record_precond(self.m_flops);
+        }
+
+        for j in 0..s_levels {
+            let rows = self.gz.reach_len(s_levels - j - 1);
+            let (lower, upper) = self.v_ext.split_at_mut(j + 1);
+            let t = &mut upper[0];
+            if j == 0 {
+                // Interior rows already hold their results; only the
+                // frontier rows (which read ghost operands) remain.
+                self.gz.spmv_rows_list_par(
+                    &self.pk,
+                    self.gz.frontier_rows(rows),
+                    &self.mv_ext[j],
+                    t,
+                );
+            } else {
+                // Levels past the first have no exchange to hide, but run
+                // the same split schedule for a uniform execution shape.
+                self.gz
+                    .spmv_rows_list_par(&self.pk, self.gz.interior_rows(), &self.mv_ext[j], t);
+                self.gz.spmv_rows_list_par(
+                    &self.pk,
+                    self.gz.frontier_rows(rows),
+                    &self.mv_ext[j],
+                    t,
+                );
+            }
+            counters.record_spmv(self.spmv_flops);
             let theta = params.theta[j];
             let inv_gamma = 1.0 / params.gamma[j];
             if theta != 0.0 {
@@ -356,6 +530,118 @@ mod tests {
             }
             assert_eq!(c, c_ref, "threads {t}: counters must not change");
         }
+    }
+
+    /// The overlapped kernel (interior SpMV before the ghost segments
+    /// exist, frontier after) must be bitwise equal to the blocking kernel
+    /// in outputs *and* counter charges, for any thread count.
+    #[test]
+    fn run_overlapped_matches_run_bitwise() {
+        let a = poisson_2d(13);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let s = 4;
+        let params = BasisParams::chebyshev(0.2, 7.5, s);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let part = BlockRowPartition::balanced(n, 3);
+        for p in 0..3 {
+            let (lo, hi) = part.range(p);
+            let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+            let w_ext = dk.ghost().extend_from_global(&w);
+            let mut v_ref = MultiVector::zeros(hi - lo, s + 1);
+            let mut mv_ref = MultiVector::zeros(hi - lo, s);
+            let mut c_ref = Counters::new();
+            dk.run(&w_ext, None, &params, &mut v_ref, &mut mv_ref, &mut c_ref);
+
+            for t in [1usize, 2, 4] {
+                let pk = spcg_sparse::ParKernels::new(t);
+                let mut dk = DistMpk::new_par(&a, lo, hi, s, &weights, m.flops_per_apply(), pk);
+                let ghosts: Vec<usize> = dk.ghost().ghost_indices().to_vec();
+                let mut v = MultiVector::zeros(hi - lo, s + 1);
+                let mut mv = MultiVector::zeros(hi - lo, s);
+                let mut c = Counters::new();
+                let mut completions = 0;
+                dk.run_overlapped(
+                    &w[lo..hi],
+                    None,
+                    &params,
+                    &mut v,
+                    &mut mv,
+                    &mut c,
+                    &mut |wg, mwg| {
+                        completions += 1;
+                        assert!(mwg.is_none());
+                        for (dst, &g) in wg.iter_mut().zip(&ghosts) {
+                            *dst = w[g];
+                        }
+                    },
+                );
+                assert_eq!(completions, 1, "exactly one exchange completion");
+                for j in 0..=s {
+                    assert_eq!(v.col(j), v_ref.col(j), "rank {p} t {t} v col {j}");
+                }
+                for j in 0..s {
+                    assert_eq!(mv.col(j), mv_ref.col(j), "rank {p} t {t} mv col {j}");
+                }
+                assert_eq!(c, c_ref, "rank {p} t {t}: counters must not change");
+            }
+        }
+    }
+
+    /// CA-PCG's Q-run shape: `mv_cols == v_cols` with the seed's `M⁻¹`
+    /// known, so the completion must fill both ghost segments.
+    #[test]
+    fn run_overlapped_supports_known_mw() {
+        let a = poisson_2d(7);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mw = m.apply_alloc(&w);
+        let s = 3;
+        let params = BasisParams::monomial(s);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let (lo, hi) = (14, 35);
+        let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+        let ghosts: Vec<usize> = dk.ghost().ghost_indices().to_vec();
+        let w_ext = dk.ghost().extend_from_global(&w);
+        let mw_ext = dk.ghost().extend_from_global(&mw);
+        let mut v_ref = MultiVector::zeros(hi - lo, s + 1);
+        let mut mv_ref = MultiVector::zeros(hi - lo, s + 1);
+        let mut c_ref = Counters::new();
+        dk.run(
+            &w_ext,
+            Some(&mw_ext),
+            &params,
+            &mut v_ref,
+            &mut mv_ref,
+            &mut c_ref,
+        );
+
+        let mut v = MultiVector::zeros(hi - lo, s + 1);
+        let mut mv = MultiVector::zeros(hi - lo, s + 1);
+        let mut c = Counters::new();
+        dk.run_overlapped(
+            &w[lo..hi],
+            Some(&mw[lo..hi]),
+            &params,
+            &mut v,
+            &mut mv,
+            &mut c,
+            &mut |wg, mwg| {
+                for (dst, &g) in wg.iter_mut().zip(&ghosts) {
+                    *dst = w[g];
+                }
+                for (dst, &g) in mwg.expect("mw ghosts needed").iter_mut().zip(&ghosts) {
+                    *dst = mw[g];
+                }
+            },
+        );
+        for j in 0..=s {
+            assert_eq!(v.col(j), v_ref.col(j), "v col {j}");
+            assert_eq!(mv.col(j), mv_ref.col(j), "mv col {j}");
+        }
+        assert_eq!(c, c_ref);
     }
 
     #[test]

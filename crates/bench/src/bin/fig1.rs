@@ -18,7 +18,8 @@
 //! `fig1_ranks<R>.txt`.
 
 use spcg_bench::{
-    paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond, TextTable,
+    no_overlap_arg, paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond,
+    TextTable,
 };
 use spcg_perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
 use spcg_perf::MachineParams;
@@ -33,11 +34,13 @@ fn run(
     inst: &spcg_bench::Instance,
     engine: Engine,
     threads: Option<usize>,
+    overlap: bool,
 ) -> SolveResult {
     let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(100_000)
-        .criterion(StoppingCriterion::PrecondMNorm);
+        .criterion(StoppingCriterion::PrecondMNorm)
+        .overlap(overlap);
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
@@ -47,6 +50,7 @@ fn run(
 fn main() {
     let ranks = ranks_arg();
     let threads = threads_arg();
+    let overlap = !no_overlap_arg();
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -81,7 +85,11 @@ fn main() {
     // Run each solver once; iterations are topology-independent.
     let mut curves: Vec<(String, usize, SolveResult)> = Vec::new();
     eprintln!("[fig1] PCG");
-    curves.push(("PCG".into(), 1, run(&Method::Pcg, &inst, engine, threads)));
+    curves.push((
+        "PCG".into(),
+        1,
+        run(&Method::Pcg, &inst, engine, threads, overlap),
+    ));
     for s in [5usize, 10, 15] {
         for (label, method) in [
             (
@@ -107,17 +115,26 @@ fn main() {
             ),
         ] {
             eprintln!("[fig1] {label}");
-            curves.push((label.clone(), s, run(&method, &inst, engine, threads)));
+            curves.push((
+                label.clone(),
+                s,
+                run(&method, &inst, engine, threads, overlap),
+            ));
         }
     }
 
     // Ranked mode: report the *measured* per-rank communication before the
     // modeled scaling — the point is one ghost-zone exchange per s-block.
     if let Some(r) = ranks {
+        let schedule = if overlap {
+            "overlapped (post / interior SpMV / complete / frontier SpMV)"
+        } else {
+            "blocking (--no-overlap)"
+        };
         out.push_str(&format!(
             "Measured communication on the rank-parallel engine ({r} ranks):\n\
              one halo exchange per s-block (CA-PCG builds two bases per block),\n\
-             one global collective per s steps.\n\n"
+             one global collective per s steps. Exchange schedule: {schedule}.\n\n"
         ));
         let mut t = TextTable::new(&[
             "Solver",

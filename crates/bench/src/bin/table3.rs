@@ -19,7 +19,8 @@
 //! `table3_ranks<R>.txt`.
 
 use spcg_bench::{
-    paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond, TextTable,
+    no_overlap_arg, paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond,
+    TextTable,
 };
 use spcg_dist::{Counters, MachineTopology};
 use spcg_perf::{predict_time, MachineParams};
@@ -42,11 +43,13 @@ fn run(
     crit: StoppingCriterion,
     engine: Engine,
     threads: Option<usize>,
+    overlap: bool,
 ) -> SolveResult {
     let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(paper::MAX_ITERS)
-        .criterion(crit);
+        .criterion(crit)
+        .overlap(overlap);
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
@@ -82,6 +85,7 @@ fn main() {
     let s = paper::S;
     let ranks = ranks_arg();
     let threads = threads_arg();
+    let overlap = !no_overlap_arg();
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -121,7 +125,7 @@ fn main() {
             // Banded stand-ins: per-rank halo ≈ the band width each side.
             let halo = (4 * entry.rounds) as f64;
             let size_factor = entry.paper_n as f64 / entry.n as f64;
-            let pcg = run(&Method::Pcg, &inst, crit, engine, threads);
+            let pcg = run(&Method::Pcg, &inst, crit, engine, threads, overlap);
             let pcg_time = predict_time(
                 &scale_to_paper_size(&pcg.counters, size_factor),
                 &machine,
@@ -145,7 +149,7 @@ fn main() {
                     basis: basis.clone(),
                 },
             ] {
-                let res = run(&method, &inst, crit, engine, threads);
+                let res = run(&method, &inst, crit, engine, threads, overlap);
                 let time = predict_time(
                     &scale_to_paper_size(&res.counters, size_factor),
                     &machine,

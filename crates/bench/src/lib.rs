@@ -162,6 +162,14 @@ pub fn threads_arg() -> Option<usize> {
     }
 }
 
+/// Parses a `--no-overlap` command-line flag: run ranked solves on the
+/// blocking halo-exchange schedule instead of the default overlapped one
+/// (`SolveOptions::overlap(false)`). Results are bitwise identical either
+/// way; the flag exists to time the two schedules against each other.
+pub fn no_overlap_arg() -> bool {
+    std::env::args().any(|a| a == "--no-overlap")
+}
+
 /// Writes experiment output under `results/` (relative to the workspace
 /// root) and echoes it to stdout.
 pub fn write_results(file_name: &str, content: &str) {

@@ -1,25 +1,112 @@
-//! Distributed-vector exchange board.
+//! Distributed-vector exchange board with a split-phase halo protocol.
 //!
 //! In the block-row-distributed SpMV each rank owns a contiguous chunk of
 //! the vector and needs a halo of remote entries. On shared memory the
-//! natural analogue is a full-length board: each rank publishes its chunk,
-//! a barrier establishes visibility, and every rank reads whatever halo
-//! entries its rows reference. The published/consumed word counts — what an
-//! MPI halo exchange would actually send — are what the performance model
-//! charges, via [`crate::Counters`] and the partition's halo analysis.
+//! natural analogue is a full-length board that ranks publish chunks into
+//! and read halos out of. The published/consumed word counts — what an MPI
+//! halo exchange would actually send — are what the performance model
+//! charges, via [`crate::Counters`] and the ghost-zone analysis.
 //!
-//! Safety: the board hands out disjoint mutable chunks guarded by the
-//! partition's ranges; cross-rank reads only happen after the barrier that
-//! follows publication (callers must use [`VectorBoard::publish`], which
-//! synchronizes internally).
+//! The exchange is **split-phase**, the shared-memory analogue of
+//! `MPI_Isend`/`MPI_Irecv` + `MPI_Wait`:
+//!
+//! * [`VectorBoard::post`] writes the rank's chunk and raises its
+//!   per-rank readiness flag — the *send* side; it returns immediately
+//!   (waiting only for stragglers still reading the previous round).
+//! * [`VectorBoard::complete_into`] waits for the readiness flags of the
+//!   **neighbour ranks a [`GatherPlan`] names** (not a full barrier) and
+//!   then copies the ghost runs — the *receive completion*.
+//!
+//! Between the two calls the rank is free to compute on data that needs no
+//! remote input — interior SpMV rows — which is exactly the
+//! communication–computation overlap the ranked engine exploits. Rounds
+//! are sequenced by per-rank epoch counters (`published`/`consumed` under
+//! one mutex + condvar): a rank cannot overwrite its chunk for round
+//! `e + 1` until every rank has finished consuming round `e`, which makes
+//! the blocking and overlapped schedules touch identical data and keeps
+//! message/volume counters provably unchanged (the *same* one exchange per
+//! round happens either way; only the wait moves).
+//!
+//! Every round on a board must be exactly one `post` followed by exactly
+//! one completion (`complete_into` or [`VectorBoard::complete_snapshot`])
+//! on every rank — the SPMD control flow of the solvers guarantees this,
+//! and the board asserts it.
 
 use crate::comm::ThreadComm;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-/// A shared full-length vector that ranks publish chunks into.
+/// One contiguous source run of a [`GatherPlan`].
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    /// Rank owning the run.
+    src: usize,
+    /// First board index of the run.
+    start: usize,
+    /// Length in words.
+    len: usize,
+}
+
+/// A precomputed halo-gather plan: the ghost indices of one rank,
+/// compressed into maximal contiguous runs (each run within a single
+/// source rank's range), plus the sorted set of source ranks whose
+/// readiness the completion must wait for.
+///
+/// Built once per ghost zone via [`VectorBoard::plan`] and reused every
+/// iteration — the per-call index arithmetic and allocation churn of an
+/// elementwise gather happen once, at plan-build time. The destination
+/// layout of [`VectorBoard::complete_into`] follows the index order given
+/// to [`VectorBoard::plan`], so a ghost-zone's extended-vector layout is
+/// preserved run by run.
+#[derive(Debug, Clone)]
+pub struct GatherPlan {
+    runs: Vec<Run>,
+    src_ranks: Vec<usize>,
+    total: usize,
+}
+
+impl GatherPlan {
+    /// Total words the plan gathers (the halo volume of one exchange of
+    /// one vector — the number [`crate::Counters::record_halo_exchange`]
+    /// is charged with).
+    pub fn words(&self) -> usize {
+        self.total
+    }
+
+    /// Number of contiguous runs the indices compressed into.
+    pub fn n_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Sorted, deduplicated ranks this plan reads from — the neighbour set
+    /// of the halo exchange.
+    pub fn src_ranks(&self) -> &[usize] {
+        &self.src_ranks
+    }
+
+    /// True if the plan gathers nothing (single-rank runs).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Per-rank round flags of a board: `published[r]` is the round rank `r`
+/// has posted, `consumed[r]` the round it has finished reading.
+struct Flags {
+    state: Mutex<FlagState>,
+    cvar: Condvar,
+}
+
+struct FlagState {
+    published: Vec<u64>,
+    consumed: Vec<u64>,
+}
+
+/// A shared full-length vector that ranks publish chunks into through the
+/// split-phase protocol described at the module level.
 pub struct VectorBoard {
     data: Arc<RwLock<Vec<f64>>>,
     offsets: Arc<Vec<usize>>,
+    flags: Arc<Flags>,
 }
 
 impl VectorBoard {
@@ -27,16 +114,24 @@ impl VectorBoard {
     /// (length `nranks + 1`, `offsets[0] == 0`, `offsets[nranks] == n`).
     pub fn new(offsets: Vec<usize>) -> Self {
         assert!(
-            !offsets.is_empty() && offsets[0] == 0,
+            offsets.len() >= 2 && offsets[0] == 0,
             "VectorBoard: bad offsets"
         );
         for w in offsets.windows(2) {
             assert!(w[0] <= w[1], "VectorBoard: offsets must be monotone");
         }
         let n = *offsets.last().unwrap();
+        let nranks = offsets.len() - 1;
         VectorBoard {
             data: Arc::new(RwLock::new(vec![0.0; n])),
             offsets: Arc::new(offsets),
+            flags: Arc::new(Flags {
+                state: Mutex::new(FlagState {
+                    published: vec![0; nranks],
+                    consumed: vec![0; nranks],
+                }),
+                cvar: Condvar::new(),
+            }),
         }
     }
 
@@ -45,6 +140,7 @@ impl VectorBoard {
         VectorBoard {
             data: Arc::clone(&self.data),
             offsets: Arc::clone(&self.offsets),
+            flags: Arc::clone(&self.flags),
         }
     }
 
@@ -53,36 +149,130 @@ impl VectorBoard {
         (self.offsets[rank], self.offsets[rank + 1])
     }
 
-    /// Publishes this rank's chunk and synchronizes: after this call returns
-    /// on every rank, the full board is consistent and may be read.
-    pub fn publish(&self, comm: &ThreadComm, chunk: &[f64]) {
-        let (lo, hi) = self.range(comm.rank());
-        assert_eq!(chunk.len(), hi - lo, "publish: chunk length mismatch");
+    /// Compresses `indices` (board positions, e.g. a ghost zone's global
+    /// ghost indices) into a reusable [`GatherPlan`]. Runs never cross a
+    /// rank boundary, so each run has a single source whose readiness flag
+    /// gates it.
+    ///
+    /// # Panics
+    /// Panics if an index is out of the board's range.
+    pub fn plan(&self, indices: &[usize]) -> GatherPlan {
+        let n = *self.offsets.last().unwrap();
+        let owner = |idx: usize| self.offsets.partition_point(|&o| o <= idx) - 1;
+        let mut runs: Vec<Run> = Vec::new();
+        for &idx in indices {
+            assert!(idx < n, "GatherPlan: index {idx} out of range");
+            let src = owner(idx);
+            match runs.last_mut() {
+                Some(run) if run.start + run.len == idx && run.src == src => run.len += 1,
+                _ => runs.push(Run {
+                    src,
+                    start: idx,
+                    len: 1,
+                }),
+            }
+        }
+        let mut src_ranks: Vec<usize> = runs.iter().map(|r| r.src).collect();
+        src_ranks.sort_unstable();
+        src_ranks.dedup();
+        GatherPlan {
+            runs,
+            src_ranks,
+            total: indices.len(),
+        }
+    }
+
+    /// Posts this rank's chunk for the next round: waits until every rank
+    /// has consumed the previous round (so no reader races the overwrite),
+    /// writes the chunk, and raises this rank's readiness flag. Returns
+    /// without waiting for any other rank's data — compute on interior
+    /// rows between this and the completion call.
+    ///
+    /// # Panics
+    /// Panics on a chunk-length mismatch or if the previous round was
+    /// never completed on this rank.
+    pub fn post(&self, comm: &ThreadComm, chunk: &[f64]) {
+        let me = comm.rank();
+        let (lo, hi) = self.range(me);
+        assert_eq!(chunk.len(), hi - lo, "post: chunk length mismatch");
+        let round = {
+            let mut st = self.flags.state.lock().unwrap();
+            assert_eq!(
+                st.consumed[me], st.published[me],
+                "post: previous round not completed on rank {me}"
+            );
+            let round = st.published[me] + 1;
+            while !st.consumed.iter().all(|&c| c + 1 >= round) {
+                st = self.flags.cvar.wait(st).unwrap();
+            }
+            round
+        };
         {
             let mut board = self.data.write().unwrap();
             board[lo..hi].copy_from_slice(chunk);
         }
-        comm.barrier();
+        let mut st = self.flags.state.lock().unwrap();
+        st.published[me] = round;
+        self.flags.cvar.notify_all();
     }
 
-    /// Reads a copy of the full board (call only after [`Self::publish`] has
-    /// completed on all ranks in this round).
-    pub fn snapshot(&self) -> Vec<f64> {
-        self.data.read().unwrap().clone()
+    /// Completes the round this rank posted: waits for the readiness flags
+    /// of the plan's source ranks only, then copies the plan's runs into
+    /// `out` (in plan order — the ghost segment of an extended vector).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != plan.words()` or this rank has not posted
+    /// the round it is completing.
+    pub fn complete_into(&self, comm: &ThreadComm, plan: &GatherPlan, out: &mut [f64]) {
+        assert_eq!(out.len(), plan.total, "complete_into: out length mismatch");
+        let me = comm.rank();
+        let round = self.begin_complete(me, plan.src_ranks.iter().copied());
+        {
+            let board = self.data.read().unwrap();
+            let mut pos = 0;
+            for run in &plan.runs {
+                out[pos..pos + run.len].copy_from_slice(&board[run.start..run.start + run.len]);
+                pos += run.len;
+            }
+        }
+        self.end_complete(me, round);
     }
 
-    /// Reads selected entries (the halo indices) into `out`.
-    pub fn gather(&self, indices: &[usize], out: &mut Vec<f64>) {
-        let board = self.data.read().unwrap();
-        out.clear();
-        out.extend(indices.iter().map(|&i| board[i]));
+    /// Completes the round with a copy of the **full** board — the
+    /// all-neighbour variant used by the replicated (non-pointwise
+    /// preconditioner) fallback paths, which need the assembled vector.
+    ///
+    /// # Panics
+    /// Panics if this rank has not posted the round it is completing.
+    pub fn complete_snapshot(&self, comm: &ThreadComm) -> Vec<f64> {
+        let me = comm.rank();
+        let round = self.begin_complete(me, 0..comm.nranks());
+        let full = self.data.read().unwrap().clone();
+        self.end_complete(me, round);
+        full
     }
 
-    /// Runs `f` with a read view of the full board, avoiding the copy that
-    /// [`Self::snapshot`] makes.
-    pub fn with_view<R>(&self, f: impl FnOnce(&[f64]) -> R) -> R {
-        let board = self.data.read().unwrap();
-        f(&board)
+    /// Waits until every rank in `sources` has published this rank's
+    /// current round, returning the round number.
+    fn begin_complete(&self, me: usize, sources: impl Iterator<Item = usize> + Clone) -> u64 {
+        let mut st = self.flags.state.lock().unwrap();
+        let round = st.published[me];
+        assert_eq!(
+            st.consumed[me] + 1,
+            round,
+            "complete: rank {me} has not posted this round"
+        );
+        while !sources.clone().all(|src| st.published[src] >= round) {
+            st = self.flags.cvar.wait(st).unwrap();
+        }
+        round
+    }
+
+    /// Marks this rank's round consumed, releasing the next `post`.
+    fn end_complete(&self, me: usize, round: u64) {
+        let mut st = self.flags.state.lock().unwrap();
+        st.consumed[me] = round;
+        self.flags.cvar.notify_all();
     }
 }
 
@@ -92,7 +282,7 @@ mod tests {
     use crate::comm::CommGroup;
 
     #[test]
-    fn publish_and_snapshot_roundtrip() {
+    fn post_and_complete_snapshot_roundtrip() {
         let g = CommGroup::new(3);
         let board = VectorBoard::new(vec![0, 2, 4, 6]);
         let handles: Vec<_> = (0..3)
@@ -101,8 +291,8 @@ mod tests {
                 let b = board.handle();
                 std::thread::spawn(move || {
                     let chunk = vec![r as f64; 2];
-                    b.publish(&c, &chunk);
-                    b.snapshot()
+                    b.post(&c, &chunk);
+                    b.complete_snapshot(&c)
                 })
             })
             .collect();
@@ -113,7 +303,25 @@ mod tests {
     }
 
     #[test]
-    fn gather_reads_halo_indices() {
+    fn plan_compresses_contiguous_indices_into_runs() {
+        let board = VectorBoard::new(vec![0, 4, 8, 12]);
+        // BFS-distance-grouped ghosts of a middle rank: two one-sided
+        // neighbours, then the next layer out.
+        let plan = board.plan(&[3, 8, 2, 9]);
+        assert_eq!(plan.words(), 4);
+        assert_eq!(plan.n_runs(), 4); // 3 | 8 | 2 | 9 (order preserved)
+        assert_eq!(plan.src_ranks(), &[0, 2]);
+        // A sorted contiguous block compresses maximally and never crosses
+        // the rank boundary at 8.
+        let plan = board.plan(&[5, 6, 7, 8, 9]);
+        assert_eq!(plan.n_runs(), 2);
+        assert_eq!(plan.src_ranks(), &[1, 2]);
+        assert!(!plan.is_empty());
+        assert!(board.plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn complete_into_gathers_plan_order() {
         let g = CommGroup::new(2);
         let board = VectorBoard::new(vec![0, 3, 6]);
         let handles: Vec<_> = (0..2)
@@ -122,11 +330,11 @@ mod tests {
                 let b = board.handle();
                 std::thread::spawn(move || {
                     let chunk: Vec<f64> = (0..3).map(|i| (r * 3 + i) as f64 * 10.0).collect();
-                    b.publish(&c, &chunk);
-                    let mut halo = Vec::new();
-                    // Each rank reads the other rank's boundary entry.
-                    let idx = if r == 0 { vec![3] } else { vec![2] };
-                    b.gather(&idx, &mut halo);
+                    // Each rank pulls the other rank's boundary entry.
+                    let plan = b.plan(if r == 0 { &[3] } else { &[2] });
+                    b.post(&c, &chunk);
+                    let mut halo = [0.0];
+                    b.complete_into(&c, &plan, &mut halo);
                     halo[0]
                 })
             })
@@ -135,9 +343,92 @@ mod tests {
         assert_eq!(got, vec![30.0, 20.0]);
     }
 
+    /// The epoch flags must keep a fast rank from overwriting its chunk
+    /// while a slow rank still reads the previous round, for many rounds.
+    #[test]
+    fn rounds_are_isolated_across_ranks() {
+        let g = CommGroup::new(3);
+        let board = VectorBoard::new(vec![0, 2, 4, 6]);
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    // Every rank gathers both remote chunks; plan reuse
+                    // across rounds is the satellite's allocation fix.
+                    let ghosts: Vec<usize> = (0..6).filter(|i| i / 2 != r).collect();
+                    let plan = b.plan(&ghosts);
+                    let mut out = vec![0.0; 4];
+                    for round in 0..100 {
+                        let val = (round * 3 + r) as f64;
+                        b.post(&c, &[val, val]);
+                        // Rank-dependent delay to shake out races.
+                        if (round + r) % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                        b.complete_into(&c, &plan, &mut out);
+                        let others: Vec<usize> = (0..3).filter(|&q| q != r).collect();
+                        let expect: Vec<f64> = others
+                            .iter()
+                            .flat_map(|&q| {
+                                let v = (round * 3 + q) as f64;
+                                [v, v]
+                            })
+                            .collect();
+                        assert_eq!(out, expect, "rank {r} round {round}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Overlapped schedule: one rank computes "interior work" between post
+    /// and complete while the others lag; the data read at completion must
+    /// still be the current round's.
+    #[test]
+    fn overlap_window_reads_current_round() {
+        let g = CommGroup::new(2);
+        let board = VectorBoard::new(vec![0, 1, 2]);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    let plan = b.plan(&[1 - r]);
+                    let mut ghost = [0.0];
+                    let mut acc = 0.0;
+                    for round in 0..200 {
+                        b.post(&c, &[(round * 2 + r) as f64]);
+                        // Interior compute stand-in of rank-skewed length.
+                        acc += (0..(r + 1) * 40).map(|i| i as f64).sum::<f64>();
+                        b.complete_into(&c, &plan, &mut ghost);
+                        assert_eq!(ghost[0], (round * 2 + (1 - r)) as f64);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
     #[test]
     #[should_panic(expected = "offsets must be monotone")]
     fn rejects_bad_offsets() {
         VectorBoard::new(vec![0, 5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has not posted this round")]
+    fn complete_without_post_is_rejected() {
+        let g = CommGroup::new(1);
+        let c = g.rank_comm(0);
+        let board = VectorBoard::new(vec![0, 2]);
+        let plan = board.plan(&[]);
+        board.complete_into(&c, &plan, &mut []);
     }
 }

@@ -23,5 +23,5 @@ pub mod topology;
 
 pub use comm::{CommGroup, ThreadComm};
 pub use counters::Counters;
-pub use exchange::VectorBoard;
+pub use exchange::{GatherPlan, VectorBoard};
 pub use topology::MachineTopology;

@@ -16,12 +16,17 @@
 //!   allreduce — bitwise identical to the pre-engine serial solvers.
 //! * [`RankExec`] owns a block of rows `[lo, hi)` on one
 //!   [`ThreadComm`] rank. SpMV gathers a depth-1 ghost zone through a
-//!   [`VectorBoard`]; the MPK gathers a depth-s ghost zone **once per
-//!   s-step block** and runs [`DistMpk`] — the PA1 halo amortization the
-//!   paper's §4.2 communication model assumes. The preconditioner is
-//!   dispatched on its [`DistForm`]: pointwise and rank-aligned block
-//!   operators apply locally, polynomial operators apply through the
-//!   distributed SpMV, and anything else falls back to a replicated apply.
+//!   [`VectorBoard`]'s split-phase exchange; the MPK gathers a depth-s
+//!   ghost zone **once per s-step block** and runs [`DistMpk`] — the PA1
+//!   halo amortization the paper's §4.2 communication model assumes. With
+//!   [`SolveOptions::overlap`] (the default) each product's interior rows
+//!   run between the exchange's post and completion, hiding the exchange
+//!   latency behind computation that needs no remote data; solutions and
+//!   communication counters are bitwise/exactly identical either way. The
+//!   preconditioner is dispatched on its [`DistForm`]: pointwise and
+//!   rank-aligned block operators apply locally, polynomial operators
+//!   apply through the distributed SpMV, and anything else falls back to
+//!   a replicated apply.
 //!
 //! Reductions go through `ThreadComm::allreduce_sum`, which sums rank
 //! contributions in rank order — deterministic, so every rank takes the
@@ -32,7 +37,7 @@ use crate::options::{Problem, SolveOptions, SolveResult};
 use spcg_basis::poly::BasisParams;
 use spcg_basis::{DistMpk, Mpk};
 use spcg_dist::executor::run_ranks;
-use spcg_dist::{Counters, ThreadComm, VectorBoard};
+use spcg_dist::{Counters, GatherPlan, ThreadComm, VectorBoard};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
 use spcg_sparse::{CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels};
@@ -190,25 +195,43 @@ impl Exec for SerialExec<'_> {
     }
 }
 
-/// Publishes this rank's `chunk` and gathers the extended vector
-/// `[chunk, ghosts]` into `ext`. The trailing barrier keeps a slow reader
-/// from racing the next publish on the same board — the ordering an MPI
-/// halo exchange gets from receive completion. The caller records the
-/// halo-traffic counters (a round may carry several vectors).
-fn gather_ext(
+/// The distributed SpMV `y ← A x` over a depth-1 ghost zone, through the
+/// split-phase exchange. With `overlap` on, the interior rows (no ghost
+/// operands) run between the post and the completion — inside the
+/// exchange's latency window — and only the frontier rows wait; with it
+/// off, the completion directly follows the post (the blocking schedule).
+/// Both schedules run the same per-row arithmetic on the same data and
+/// record the same halo traffic: one exchange of `plan.words()` ghost
+/// words per call.
+#[allow(clippy::too_many_arguments)] // internal kernel, three call sites
+fn dist_spmv(
     board: &VectorBoard,
     comm: &ThreadComm,
-    chunk: &[f64],
-    ghosts: &[usize],
-    ext: &mut Vec<f64>,
-    scratch: &mut Vec<f64>,
+    gz1: &GhostZone,
+    plan: &GatherPlan,
+    pk: &ParKernels,
+    overlap: bool,
+    ext_buf: &mut Vec<f64>,
+    x: &[f64],
+    y: &mut [f64],
+    counters: &mut Counters,
 ) {
-    board.publish(comm, chunk);
-    board.gather(ghosts, scratch);
-    ext.clear();
-    ext.extend_from_slice(chunk);
-    ext.extend_from_slice(scratch);
-    comm.barrier();
+    let nl = gz1.n_owned();
+    ext_buf.resize(gz1.ext_len(), 0.0);
+    board.post(comm, x);
+    ext_buf[..nl].copy_from_slice(x);
+    if overlap {
+        // Interior rows read only the owned prefix; the stale ghost tail
+        // is never touched.
+        gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y);
+        board.complete_into(comm, plan, &mut ext_buf[nl..]);
+        counters.record_halo_exchange(plan.words() as u64);
+        gz1.spmv_rows_list_par(pk, gz1.frontier_rows(nl), ext_buf, y);
+    } else {
+        board.complete_into(comm, plan, &mut ext_buf[nl..]);
+        counters.record_halo_exchange(plan.words() as u64);
+        gz1.spmv_prefix_par(pk, nl, ext_buf, y);
+    }
 }
 
 /// One rank of a block-row-partitioned solve.
@@ -224,9 +247,18 @@ pub(crate) struct RankExec<'a> {
     board2: VectorBoard,
     /// Depth-1 ghost zone for single SpMVs.
     gz1: GhostZone,
+    /// Reusable gather plan for `gz1`'s ghosts (contiguous-run compressed,
+    /// built once — no per-iteration index arithmetic or allocation).
+    plan1: GatherPlan,
     /// Depth-s MPK plan — present when the method is s-step and the
     /// preconditioner is pointwise (the paper's Jacobi configuration).
     dist_mpk: Option<DistMpk>,
+    /// Gather plan for the MPK's depth-s ghosts; both boards share the
+    /// partition offsets, so one plan serves the seed and `M⁻¹`-seed.
+    plan_s: Option<GatherPlan>,
+    /// Overlap halo exchange with interior compute
+    /// ([`SolveOptions::overlap`]).
+    overlap: bool,
     /// Partition boundaries align with the block-operator boundaries, so a
     /// `DistForm::RankLocal` preconditioner can apply locally.
     rank_local_ok: bool,
@@ -235,7 +267,6 @@ pub(crate) struct RankExec<'a> {
     pk: ParKernels,
     ext_buf: Vec<f64>,
     ext_buf2: Vec<f64>,
-    ghost_buf: Vec<f64>,
     full_buf: Vec<f64>,
 }
 
@@ -250,9 +281,11 @@ impl<'a> RankExec<'a> {
         board2: VectorBoard,
         mpk_depth: Option<usize>,
         threads: usize,
+        overlap: bool,
     ) -> Self {
         let pk = ParKernels::new(threads);
         let gz1 = GhostZone::new(problem.a, lo, hi, 1);
+        let plan1 = board.plan(gz1.ghost_indices());
         let dist_mpk = match (mpk_depth, problem.m.dist_form()) {
             (Some(depth), DistForm::Pointwise(w)) => Some(DistMpk::new_par(
                 problem.a,
@@ -271,6 +304,9 @@ impl<'a> RankExec<'a> {
             }
             _ => false,
         };
+        let plan_s = dist_mpk
+            .as_ref()
+            .map(|dk| board.plan(dk.ghost().ghost_indices()));
         RankExec {
             a: problem.a,
             m: problem.m,
@@ -281,23 +317,27 @@ impl<'a> RankExec<'a> {
             board,
             board2,
             gz1,
+            plan1,
             dist_mpk,
+            plan_s,
+            overlap,
             rank_local_ok,
             pk,
             ext_buf: Vec::new(),
             ext_buf2: Vec::new(),
-            ghost_buf: Vec::new(),
             full_buf: Vec::new(),
         }
     }
 
-    /// Replicated preconditioner application: publish the local residual,
+    /// Replicated preconditioner application: post the local residual,
     /// apply the (coupled) operator on the assembled global vector, keep the
-    /// owned rows. One exchange of the full remote vector.
+    /// owned rows. One exchange of the full remote vector; a coupled
+    /// operator leaves nothing exchange-independent to overlap with, so the
+    /// completion directly follows the post regardless of the overlap mode
+    /// (counters therefore cannot differ between modes here either).
     fn precond_replicated(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
-        self.board.publish(&self.comm, r);
-        let r_full = self.board.snapshot();
-        self.comm.barrier();
+        self.board.post(&self.comm, r);
+        let r_full = self.board.complete_snapshot(&self.comm);
         counters.record_halo_exchange((r_full.len() - (self.hi - self.lo)) as u64);
         self.full_buf.resize(r_full.len(), 0.0);
         self.m.apply_par(&self.pk, &r_full, &mut self.full_buf);
@@ -327,14 +367,15 @@ impl Exec for RankExec<'_> {
             comm,
             board,
             gz1,
+            plan1,
+            overlap,
             pk,
             ext_buf,
-            ghost_buf,
             ..
         } = self;
-        gather_ext(board, comm, x, gz1.ghost_indices(), ext_buf, ghost_buf);
-        counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
-        gz1.spmv_prefix_par(pk, gz1.n_owned(), ext_buf, y);
+        dist_spmv(
+            board, comm, gz1, plan1, pk, *overlap, ext_buf, x, y, counters,
+        );
     }
 
     fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
@@ -355,15 +396,16 @@ impl Exec for RankExec<'_> {
                     comm,
                     board,
                     gz1,
+                    plan1,
+                    overlap,
                     pk,
                     ext_buf,
-                    ghost_buf,
                     ..
                 } = self;
                 op.apply_with_spmv(r, z, &mut |xv, yv| {
-                    gather_ext(board, comm, xv, gz1.ghost_indices(), ext_buf, ghost_buf);
-                    counters.record_halo_exchange(gz1.ghost_indices().len() as u64);
-                    gz1.spmv_prefix_par(pk, gz1.n_owned(), ext_buf, yv);
+                    dist_spmv(
+                        board, comm, gz1, plan1, pk, *overlap, ext_buf, xv, yv, counters,
+                    );
                 });
             }
             // Coupled operators — and block operators whose boundaries cut
@@ -390,55 +432,67 @@ impl Exec for RankExec<'_> {
                 board,
                 board2,
                 dist_mpk,
+                plan_s,
+                overlap,
                 ext_buf,
                 ext_buf2,
-                ghost_buf,
                 ..
             } = self;
             let dk = dist_mpk.as_mut().unwrap();
-            let n_ghost = dk.ghost().ghost_indices().len() as u64;
-            gather_ext(
-                board,
-                comm,
-                w,
-                dk.ghost().ghost_indices(),
-                ext_buf,
-                ghost_buf,
-            );
-            if let Some(mw) = known_mw {
-                gather_ext(
-                    board2,
-                    comm,
-                    mw,
-                    dk.ghost().ghost_indices(),
-                    ext_buf2,
-                    ghost_buf,
+            let plan = plan_s.as_ref().unwrap();
+            let vectors = if known_mw.is_some() { 2 } else { 1 };
+            counters.record_halo_exchange(plan.words() as u64 * vectors);
+            if *overlap {
+                // Post the seed(s), run the interior rows of the first
+                // basis product inside the exchange window, complete the
+                // exchange from the kernel's callback, finish frontier.
+                board.post(comm, w);
+                if let Some(mw) = known_mw {
+                    board2.post(comm, mw);
+                }
+                dk.run_overlapped(w, known_mw, params, v, mv, counters, &mut |wg, mwg| {
+                    board.complete_into(comm, plan, wg);
+                    if let Some(mwg) = mwg {
+                        board2.complete_into(comm, plan, mwg);
+                    }
+                });
+            } else {
+                // Blocking schedule: gather the extended seed(s) up front.
+                let nl = dk.ghost().n_owned();
+                ext_buf.resize(dk.ghost().ext_len(), 0.0);
+                board.post(comm, w);
+                ext_buf[..nl].copy_from_slice(w);
+                board.complete_into(comm, plan, &mut ext_buf[nl..]);
+                if let Some(mw) = known_mw {
+                    ext_buf2.resize(dk.ghost().ext_len(), 0.0);
+                    board2.post(comm, mw);
+                    ext_buf2[..nl].copy_from_slice(mw);
+                    board2.complete_into(comm, plan, &mut ext_buf2[nl..]);
+                }
+                dk.run(
+                    ext_buf,
+                    known_mw.map(|_| ext_buf2.as_slice()),
+                    params,
+                    v,
+                    mv,
+                    counters,
                 );
             }
-            counters.record_halo_exchange(n_ghost * if known_mw.is_some() { 2 } else { 1 });
-            dk.run(
-                ext_buf,
-                known_mw.map(|_| ext_buf2.as_slice()),
-                params,
-                v,
-                mv,
-                counters,
-            );
         } else {
             // Non-pointwise preconditioner: the basis recurrence couples all
             // rows through M⁻¹, so replicate the kernel on the assembled
             // seed(s) and keep the owned rows. Costs a full-vector exchange
-            // (still one round per s-step block).
+            // (still one round per s-step block); nothing is computable
+            // before the seed assembles, so there is no overlap window and
+            // both overlap modes take this identical path.
             let n = self.a.nrows();
             let nl = self.hi - self.lo;
-            self.board.publish(&self.comm, w);
-            let w_full = self.board.snapshot();
-            self.comm.barrier();
+            self.board.post(&self.comm, w);
+            let w_full = self.board.complete_snapshot(&self.comm);
             let mut words = (n - nl) as u64;
             let mw_full = known_mw.map(|mw| {
-                self.board2.publish(&self.comm, mw);
-                let full = self.board2.snapshot();
-                self.comm.barrier();
+                self.board2.post(&self.comm, mw);
+                let full = self.board2.complete_snapshot(&self.comm);
                 words += (n - nl) as u64;
                 full
             });
@@ -514,6 +568,7 @@ pub(crate) fn run_ranked(
             board2.handle(),
             mpk_depth,
             opts.threads,
+            opts.overlap,
         );
         dispatch(method, &mut exec, opts)
     });

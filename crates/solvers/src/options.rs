@@ -152,6 +152,18 @@ pub struct SolveOptions {
     /// environment variable so test suites can sweep thread counts without
     /// code changes.
     pub threads: usize,
+    /// Overlap halo exchange with interior computation under
+    /// [`crate::Engine::Ranked`]: each rank posts its chunk, computes the
+    /// SpMV rows that reference no ghost entries while the exchange is in
+    /// flight, then completes the exchange and finishes the frontier rows.
+    /// Results are **bitwise identical** with overlap on or off (the same
+    /// rows run the same per-row arithmetic; only the execution order of
+    /// two disjoint row sets changes), and communication counters are
+    /// unchanged (the same one exchange per round happens either way).
+    /// Defaults to `true` — set the `SPCG_OVERLAP` environment variable to
+    /// `0` to default it off. Ignored by [`crate::Engine::Serial`], which
+    /// has no exchanges to hide.
+    pub overlap: bool,
 }
 
 /// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
@@ -161,6 +173,12 @@ fn default_threads() -> usize {
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&t| t > 0)
         .unwrap_or(1)
+}
+
+/// Default overlap mode: on, unless `SPCG_OVERLAP=0` turns it off (the
+/// escape hatch for comparing the blocking schedule without code changes).
+fn default_overlap() -> bool {
+    std::env::var("SPCG_OVERLAP").map_or(true, |v| v != "0")
 }
 
 impl Default for SolveOptions {
@@ -174,6 +192,7 @@ impl Default for SolveOptions {
             keep_history: false,
             residual_replacement: None,
             threads: default_threads(),
+            overlap: default_overlap(),
         }
     }
 }
@@ -230,6 +249,12 @@ impl SolveOptions {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "threads must be positive");
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style halo-exchange overlap (see [`SolveOptions::overlap`]).
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
         self
     }
 }
@@ -301,6 +326,13 @@ impl SolveOptionsBuilder {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "threads must be positive");
         self.opts.threads = threads;
+        self
+    }
+
+    /// Halo-exchange overlap under ranked execution (see
+    /// [`SolveOptions::overlap`]).
+    pub fn overlap(mut self, overlap: bool) -> Self {
+        self.opts.overlap = overlap;
         self
     }
 
@@ -466,6 +498,18 @@ mod tests {
         assert!(dflt >= 1);
         assert_eq!(SolveOptions::builder().threads(4).build().threads, 4);
         assert_eq!(SolveOptions::default().with_threads(2).threads, 2);
+    }
+
+    #[test]
+    fn overlap_option_defaults_on_and_builds() {
+        // Default is on unless SPCG_OVERLAP=0 (not set in the default test
+        // environment; the CI blocking-schedule job may export it).
+        if std::env::var("SPCG_OVERLAP").is_err() {
+            assert!(SolveOptions::default().overlap);
+        }
+        assert!(!SolveOptions::builder().overlap(false).build().overlap);
+        assert!(SolveOptions::builder().overlap(true).build().overlap);
+        assert!(!SolveOptions::default().with_overlap(false).overlap);
     }
 
     #[test]

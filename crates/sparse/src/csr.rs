@@ -8,6 +8,7 @@
 //! estimation.
 
 use crate::coo::CooMatrix;
+use crate::split::RowSplit;
 use std::sync::{Arc, Mutex};
 
 /// Validates the CSR invariants, panicking on the first violation.
@@ -58,7 +59,14 @@ pub struct CsrMatrix {
     /// Lazily computed nnz-balanced row partition for the threaded SpMV,
     /// keyed by chunk count (see [`CsrMatrix::row_schedule`]).
     schedule: Mutex<Option<(usize, Arc<Vec<usize>>)>>,
+    /// Lazily computed interior/frontier row splits, keyed by owned row
+    /// range (see [`CsrMatrix::row_split`]). One entry per distinct range —
+    /// in practice one per rank of a block-row partition.
+    splits: SplitCache,
 }
+
+/// Cache of [`RowSplit`]s keyed by owned row range.
+type SplitCache = Mutex<Vec<((usize, usize), Arc<RowSplit>)>>;
 
 impl Clone for CsrMatrix {
     fn clone(&self) -> Self {
@@ -70,6 +78,7 @@ impl Clone for CsrMatrix {
             col_idx: self.col_idx.clone(),
             values: self.values.clone(),
             schedule: Mutex::new(None),
+            splits: Mutex::new(Vec::new()),
         }
     }
 }
@@ -89,6 +98,7 @@ impl CsrMatrix {
             col_idx,
             values,
             schedule: Mutex::new(None),
+            splits: Mutex::new(Vec::new()),
         }
     }
 
@@ -363,6 +373,24 @@ impl CsrMatrix {
         *cache = Some((nchunks, Arc::clone(&bounds)));
         bounds
     }
+
+    /// The interior/frontier classification of rows `[lo, hi)` — which of
+    /// them reference only columns inside the range (computable before a
+    /// halo exchange completes) and which touch remote columns. Cached per
+    /// range, so the depth-1 and depth-s ghost zones of one rank share a
+    /// single scan.
+    ///
+    /// # Panics
+    /// Panics if the range is invalid.
+    pub fn row_split(&self, lo: usize, hi: usize) -> Arc<RowSplit> {
+        let mut cache = self.splits.lock().unwrap();
+        if let Some((_, split)) = cache.iter().find(|(range, _)| *range == (lo, hi)) {
+            return Arc::clone(split);
+        }
+        let split = Arc::new(RowSplit::new(self, lo, hi));
+        cache.push(((lo, hi), Arc::clone(&split)));
+        split
+    }
 }
 
 /// Computes nnz-balanced chunk boundaries over `row_ptr[..=nrows]`; shared by
@@ -380,6 +408,25 @@ pub(crate) fn nnz_balanced_bounds(row_ptr: &[usize], nrows: usize, nchunks: usiz
     }
     bounds.push(nrows);
     bounds
+}
+
+/// [`nnz_balanced_bounds`] over a *scattered* row list: returns boundaries
+/// `b` (length `nchunks + 1`) into `rows` such that the rows
+/// `rows[b[c]..b[c+1]]` of chunk `c` carry roughly `nnz(list)/nchunks`
+/// nonzeros each. This is the schedule of the interior/frontier SpMV, whose
+/// row sets are non-contiguous.
+pub(crate) fn nnz_balanced_bounds_list(
+    rows: &[usize],
+    row_ptr: &[usize],
+    nchunks: usize,
+) -> Vec<usize> {
+    // Prefix nonzero counts over the list (position p = nnz of rows[..p]).
+    let mut prefix = Vec::with_capacity(rows.len() + 1);
+    prefix.push(0usize);
+    for &r in rows {
+        prefix.push(prefix.last().unwrap() + (row_ptr[r + 1] - row_ptr[r]));
+    }
+    nnz_balanced_bounds(&prefix, rows.len(), nchunks)
 }
 
 #[cfg(test)]

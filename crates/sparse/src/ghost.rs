@@ -35,6 +35,15 @@ pub struct GhostZone {
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     values: Vec<f64>,
+    /// Local (extended-space) indices of owned rows whose columns all fall
+    /// inside the owned prefix `[0, n_owned)` — computable before the halo
+    /// exchange completes. Ascending; from the matrix's cached
+    /// [`crate::RowSplit`].
+    interior: Vec<usize>,
+    /// Local indices of all other local rows (owned rows touching ghost
+    /// columns, plus every ghost row). Ascending; together with `interior`
+    /// this partitions `[0, reach_len(depth−1))`.
+    frontier: Vec<usize>,
 }
 
 impl GhostZone {
@@ -95,6 +104,16 @@ impl GhostZone {
             row_ptr.push(col_idx.len());
         }
 
+        // Interior/frontier split: owned rows classified by the matrix's
+        // cached RowSplit (global columns in [lo, hi) ⇔ remapped columns in
+        // the owned prefix); ghost rows always join the frontier — their
+        // operands include ghost entries regardless of structure.
+        let n_owned = hi - lo;
+        let split = a.row_split(lo, hi);
+        let interior: Vec<usize> = split.interior().iter().map(|&g| g - lo).collect();
+        let mut frontier: Vec<usize> = split.frontier().iter().map(|&g| g - lo).collect();
+        frontier.extend(n_owned..nrows_local);
+
         GhostZone {
             lo,
             hi,
@@ -104,6 +123,8 @@ impl GhostZone {
             row_ptr,
             col_idx,
             values,
+            interior,
+            frontier,
         }
     }
 
@@ -216,6 +237,101 @@ impl GhostZone {
         });
     }
 
+    /// Local indices of the owned rows computable without any ghost data
+    /// (every column inside the owned prefix). Ascending, disjoint from
+    /// [`GhostZone::frontier_rows`].
+    pub fn interior_rows(&self) -> &[usize] {
+        &self.interior
+    }
+
+    /// Local indices `< nrows` of the rows that need ghost operands:
+    /// owned rows touching ghost columns plus the ghost rows themselves.
+    /// Together with [`GhostZone::interior_rows`] this partitions
+    /// `[0, nrows)` for any row prefix `nrows ≥ n_owned()`.
+    ///
+    /// # Panics
+    /// Panics if `nrows < n_owned()` (the interior list would then leak
+    /// rows past the prefix).
+    pub fn frontier_rows(&self, nrows: usize) -> &[usize] {
+        assert!(
+            nrows >= self.n_owned(),
+            "frontier_rows: prefix shorter than the owned block"
+        );
+        let cut = self.frontier.partition_point(|&r| r < nrows);
+        &self.frontier[..cut]
+    }
+
+    /// [`GhostZone::spmv_prefix`] restricted to an explicit row list:
+    /// `y[r] = Σ A[ext[r], ext[q]] · x_ext[q]` for each `r` in `rows`,
+    /// with the identical per-row accumulation — running the interior and
+    /// frontier lists (in any order) reproduces the prefix SpMV bitwise.
+    ///
+    /// # Panics
+    /// Panics if a row is out of range of `y` or the local operator.
+    pub fn spmv_rows_list(&self, rows: &[usize], x_ext: &[f64], y: &mut [f64]) {
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_rows_list: x_ext too short"
+        );
+        for &r in rows {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x_ext[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Threaded [`GhostZone::spmv_rows_list`]: the list is cut into
+    /// nnz-balanced chunks (the same schedule machinery as the prefix
+    /// SpMV); each chunk writes its own rows, so the result is bitwise
+    /// equal to the serial list SpMV for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `rows` is not strictly ascending (the disjoint-write
+    /// safety argument needs distinct rows) or a row is out of range.
+    pub fn spmv_rows_list_par(
+        &self,
+        pk: &crate::par::ParKernels,
+        rows: &[usize],
+        x_ext: &[f64],
+        y: &mut [f64],
+    ) {
+        if pk.threads() == 1 || rows.len() <= 1 {
+            self.spmv_rows_list(rows, x_ext, y);
+            return;
+        }
+        assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "spmv_rows_list_par: rows must be strictly ascending"
+        );
+        assert!(
+            *rows.last().unwrap() < y.len(),
+            "spmv_rows_list_par: y too short"
+        );
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_rows_list_par: x_ext too short"
+        );
+        let bounds = crate::csr::nnz_balanced_bounds_list(rows, &self.row_ptr, pk.threads());
+        let ptr = crate::par::SendPtr(y.as_mut_ptr());
+        pk.run_indexed(bounds.len() - 1, |c| {
+            for &r in &rows[bounds[c]..bounds[c + 1]] {
+                let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x_ext[self.col_idx[k]];
+                }
+                // SAFETY: the rows are strictly ascending (checked above)
+                // and the chunks partition the list, so every task writes a
+                // distinct set of in-bounds `y` elements; the exclusive
+                // borrow of `y` outlives the run.
+                unsafe { *ptr.get().add(r) = acc };
+            }
+        });
+    }
+
     /// Gathers `global[ext[i]]` for the ghost entries into a buffer laid
     /// out as `[owned values, ghost values]` (a test/serial convenience;
     /// the ranked engine gathers ghosts from the exchange board instead).
@@ -284,6 +400,61 @@ mod tests {
                 let mut y = vec![1.0; rows];
                 gz.spmv_prefix_par(&pk, rows, &x_ext, &mut y);
                 assert_eq!(y, serial, "depth {d}, threads {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn interior_and_frontier_partition_every_prefix() {
+        let a = poisson_2d(10);
+        let n = a.nrows();
+        let gz = GhostZone::new(&a, n / 4, 2 * n / 3, 3);
+        for d in 0..gz.depth() {
+            let rows = gz.reach_len(d);
+            let mut all: Vec<usize> = gz
+                .interior_rows()
+                .iter()
+                .chain(gz.frontier_rows(rows))
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..rows).collect::<Vec<_>>(), "prefix depth {d}");
+        }
+        // Interior rows reference only owned columns.
+        for &r in gz.interior_rows() {
+            assert!(r < gz.n_owned());
+        }
+        // Every ghost row is frontier.
+        let rows = gz.reach_len(gz.depth() - 1);
+        let f = gz.frontier_rows(rows);
+        for g in gz.n_owned()..rows {
+            assert!(
+                f.binary_search(&g).is_ok(),
+                "ghost row {g} must be frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn split_spmv_matches_prefix_spmv_bitwise() {
+        use crate::par::ParKernels;
+        let a = crate::generators::poisson::poisson_3d(11);
+        let n = a.nrows();
+        let gz = GhostZone::new(&a, n / 5, 4 * n / 5, 3);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 19) as f64) - 9.0).collect();
+        let x_ext = gz.extend_from_global(&x);
+        for d in [1usize, 2] {
+            let rows = gz.reach_len(d);
+            let mut reference = vec![0.0; rows];
+            gz.spmv_prefix(rows, &x_ext, &mut reference);
+            for t in [1usize, 2, 4] {
+                let pk = ParKernels::new(t);
+                let mut y = vec![f64::NAN; rows];
+                // Interior first with stale ghost operands is the overlap
+                // execution order; the result must not depend on it.
+                gz.spmv_rows_list_par(&pk, gz.interior_rows(), &x_ext, &mut y);
+                gz.spmv_rows_list_par(&pk, gz.frontier_rows(rows), &x_ext, &mut y);
+                assert_eq!(y, reference, "depth {d}, threads {t}");
             }
         }
     }

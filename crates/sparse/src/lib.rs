@@ -35,6 +35,7 @@ pub mod par;
 pub mod partition;
 pub mod rng;
 pub mod smallsolve;
+pub mod split;
 pub mod tridiag;
 
 pub use coo::CooMatrix;
@@ -43,6 +44,7 @@ pub use dense::DenseMat;
 pub use ghost::GhostZone;
 pub use multivector::MultiVector;
 pub use par::{ParKernels, ThreadPool};
+pub use split::RowSplit;
 
 /// Workspace-wide floating point scalar. The paper's experiments are all in
 /// IEEE double precision; the numerical-stability phenomena reproduced here

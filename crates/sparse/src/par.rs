@@ -164,9 +164,9 @@ fn worker_loop(shared: &PoolShared, id: usize) {
 }
 
 /// A raw pointer that may cross threads. Every use is confined to this
-/// module and guarded by a disjointness argument: concurrent tasks write
+/// crate and guarded by a disjointness argument: concurrent tasks write
 /// non-overlapping index ranges of the pointee.
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
@@ -174,7 +174,7 @@ impl<T> SendPtr<T> {
     /// Accessor (rather than field access) so closures capture the `Sync`
     /// wrapper, not the raw pointer itself.
     #[inline]
-    fn get(&self) -> *mut T {
+    pub(crate) fn get(&self) -> *mut T {
         self.0
     }
 }
