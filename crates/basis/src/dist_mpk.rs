@@ -22,6 +22,7 @@
 
 use crate::poly::BasisParams;
 use spcg_dist::Counters;
+use spcg_obs::{Phase, Track};
 use spcg_sparse::{CsrMatrix, GhostZone, MultiVector, ParKernels};
 
 /// Exchange-completion callback for [`DistMpk::run_overlapped`]: fills the
@@ -43,6 +44,7 @@ pub struct DistMpk {
     /// Scratch: extended columns of V and M⁻¹V.
     v_ext: Vec<Vec<f64>>,
     mv_ext: Vec<Vec<f64>>,
+    track: Option<Track>,
 }
 
 impl DistMpk {
@@ -91,8 +93,19 @@ impl DistMpk {
             pk,
             v_ext: Vec::new(),
             mv_ext: Vec::new(),
+            track: None,
             gz,
         }
+    }
+
+    /// Attaches a trace track: each recurrence level records an
+    /// [`MpkLevel`](Phase) span, with the interior SpMV, frontier rows,
+    /// and pointwise preconditioner applies nested as
+    /// [`Spmv`](Phase)/[`Frontier`](Phase)/[`Precond`](Phase) spans.
+    /// Instrumentation only — results and counters are unchanged.
+    pub fn with_track(mut self, track: Option<Track>) -> Self {
+        self.track = track;
+        self
     }
 
     /// The underlying ghost-zone plan (the engine uses it to gather ghosts).
@@ -161,6 +174,7 @@ impl DistMpk {
                     self.mv_ext[0].copy_from_slice(mw);
                 }
                 None => {
+                    let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                     self.pk
                         .pointwise_mul(&self.weights_ext, w_ext, &mut self.mv_ext[0]);
                     counters.record_precond(self.m_flops);
@@ -169,13 +183,17 @@ impl DistMpk {
         }
 
         for j in 0..s_levels {
+            let _level = spcg_obs::span(self.track.as_ref(), Phase::MpkLevel);
             // Level j+1 is needed (and computable) on reach(s_levels−j−1);
             // its operands are valid on the strictly larger reach set.
             let rows = self.gz.reach_len(s_levels - j - 1);
             let (lower, upper) = self.v_ext.split_at_mut(j + 1);
             // t is the storage of the new column v_{j+1}, built in place.
             let t = &mut upper[0];
-            self.gz.spmv_prefix_par(&self.pk, rows, &self.mv_ext[j], t);
+            {
+                let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
+                self.gz.spmv_prefix_par(&self.pk, rows, &self.mv_ext[j], t);
+            }
             counters.record_spmv(self.spmv_flops);
             // As in the serial kernel, `t += (−θ)·v` is bitwise equal to
             // the historical `t −= θ·v` pass.
@@ -193,6 +211,7 @@ impl DistMpk {
             }
             counters.blas1_flops += params.extra_flops_for_column(j + 1, self.n_global);
             if j + 1 < mv_cols {
+                let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                 self.pk.pointwise_mul(
                     &self.weights_ext[..rows],
                     &self.v_ext[j + 1][..rows],
@@ -282,6 +301,7 @@ impl DistMpk {
                     self.mv_ext[0][..nl].copy_from_slice(mw);
                 }
                 None => {
+                    let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                     let (head, _) = self.mv_ext[0].split_at_mut(nl);
                     self.pk.pointwise_mul(&self.weights_ext[..nl], w, head);
                 }
@@ -293,6 +313,7 @@ impl DistMpk {
         // window. (With zero levels there is no product to overlap; the
         // completion below still runs exactly once.)
         if s_levels > 0 {
+            let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
             let (_, upper) = self.v_ext.split_at_mut(1);
             self.gz.spmv_rows_list_par(
                 &self.pk,
@@ -316,6 +337,7 @@ impl DistMpk {
             complete(v_ghost, mv_ghost);
         }
         if mv_cols > 0 && known_mw.is_none() {
+            let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
             let (_, tail) = self.mv_ext[0].split_at_mut(nl);
             self.pk
                 .pointwise_mul(&self.weights_ext[nl..], &self.v_ext[0][nl..], tail);
@@ -323,12 +345,14 @@ impl DistMpk {
         }
 
         for j in 0..s_levels {
+            let _level = spcg_obs::span(self.track.as_ref(), Phase::MpkLevel);
             let rows = self.gz.reach_len(s_levels - j - 1);
             let (lower, upper) = self.v_ext.split_at_mut(j + 1);
             let t = &mut upper[0];
             if j == 0 {
                 // Interior rows already hold their results; only the
                 // frontier rows (which read ghost operands) remain.
+                let _f = spcg_obs::span(self.track.as_ref(), Phase::Frontier);
                 self.gz.spmv_rows_list_par(
                     &self.pk,
                     self.gz.frontier_rows(rows),
@@ -338,8 +362,16 @@ impl DistMpk {
             } else {
                 // Levels past the first have no exchange to hide, but run
                 // the same split schedule for a uniform execution shape.
-                self.gz
-                    .spmv_rows_list_par(&self.pk, self.gz.interior_rows(), &self.mv_ext[j], t);
+                {
+                    let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
+                    self.gz.spmv_rows_list_par(
+                        &self.pk,
+                        self.gz.interior_rows(),
+                        &self.mv_ext[j],
+                        t,
+                    );
+                }
+                let _f = spcg_obs::span(self.track.as_ref(), Phase::Frontier);
                 self.gz.spmv_rows_list_par(
                     &self.pk,
                     self.gz.frontier_rows(rows),
@@ -362,6 +394,7 @@ impl DistMpk {
             }
             counters.blas1_flops += params.extra_flops_for_column(j + 1, self.n_global);
             if j + 1 < mv_cols {
+                let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                 self.pk.pointwise_mul(
                     &self.weights_ext[..rows],
                     &self.v_ext[j + 1][..rows],

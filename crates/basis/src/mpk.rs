@@ -19,6 +19,7 @@
 
 use crate::poly::BasisParams;
 use spcg_dist::Counters;
+use spcg_obs::{Phase, Track};
 use spcg_precond::Preconditioner;
 use spcg_sparse::{CsrMatrix, MultiVector, ParKernels};
 
@@ -27,6 +28,7 @@ pub struct Mpk<'a> {
     a: &'a CsrMatrix,
     m: &'a dyn Preconditioner,
     pk: ParKernels,
+    track: Option<Track>,
 }
 
 impl<'a> Mpk<'a> {
@@ -49,7 +51,20 @@ impl<'a> Mpk<'a> {
     pub fn new_par(a: &'a CsrMatrix, m: &'a dyn Preconditioner, pk: ParKernels) -> Self {
         assert_eq!(a.nrows(), a.ncols(), "Mpk: matrix must be square");
         assert_eq!(a.nrows(), m.dim(), "Mpk: preconditioner dimension mismatch");
-        Mpk { a, m, pk }
+        Mpk {
+            a,
+            m,
+            pk,
+            track: None,
+        }
+    }
+
+    /// Attaches a trace track: each basis column records an
+    /// [`MpkLevel`](Phase) span with the SpMV and preconditioner apply
+    /// nested inside. Instrumentation only — results are unchanged.
+    pub fn with_track(mut self, track: Option<Track>) -> Self {
+        self.track = track;
+        self
     }
 
     /// Fills `v` (`n × v_cols`) and `mv` (`n × mv_cols`) with the basis
@@ -99,6 +114,7 @@ impl<'a> Mpk<'a> {
                     mv.col_mut(0).copy_from_slice(mw);
                 }
                 None => {
+                    let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                     self.m.apply_par(&self.pk, v.col(0), mv.col_mut(0));
                     counters.record_precond(self.m.flops_per_apply());
                 }
@@ -107,8 +123,12 @@ impl<'a> Mpk<'a> {
 
         let mut t = vec![0.0; n];
         for j in 0..v_cols - 1 {
+            let _level = spcg_obs::span(self.track.as_ref(), Phase::MpkLevel);
             // t = A · (M⁻¹ v_j).
-            self.pk.spmv(self.a, mv.col(j), &mut t);
+            {
+                let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
+                self.pk.spmv(self.a, mv.col(j), &mut t);
+            }
             counters.record_spmv(self.a.spmv_flops());
             // v_{j+1} = (t − θ_j v_j − μ_{j-1} v_{j-1}) / γ_j. The axpy
             // form `t += (−θ)·v` is bitwise equal to `t −= θ·v` (IEEE
@@ -128,6 +148,7 @@ impl<'a> Mpk<'a> {
             counters.blas1_flops += params.extra_flops_for_column(j + 1, n as u64);
             v.col_mut(j + 1).copy_from_slice(&t);
             if j + 1 < mv_cols {
+                let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
                 self.m.apply_par(&self.pk, v.col(j + 1), mv.col_mut(j + 1));
                 counters.record_precond(self.m.flops_per_apply());
             }

@@ -16,11 +16,17 @@
 //! *measured* per-rank communication — collectives and halo exchanges —
 //! demonstrating one halo exchange per s-block, and is written to
 //! `fig1_ranks<R>.txt`.
+//!
+//! With `--trace <path>` (or `SPCG_TRACE=1`) every solve records per-rank
+//! phase spans and the combined Chrome trace-event export — loadable in
+//! Perfetto — is written to `path` (default `results/TRACE_fig1*.json`).
+//! `SPCG_TRACE_CAP` bounds the events kept per rank track.
 
 use spcg_bench::{
-    no_overlap_arg, paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond,
-    TextTable,
+    no_overlap_arg, paper, prepare_instance, ranks_arg, results_dir, threads_arg, trace_arg,
+    tracer_from_args, write_results, write_trace, Precond, TextTable,
 };
+use spcg_obs::Tracer;
 use spcg_perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
 use spcg_perf::MachineParams;
 use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
@@ -35,12 +41,14 @@ fn run(
     engine: Engine,
     threads: Option<usize>,
     overlap: bool,
+    tracer: Option<&Tracer>,
 ) -> SolveResult {
     let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(100_000)
         .criterion(StoppingCriterion::PrecondMNorm)
-        .overlap(overlap);
+        .overlap(overlap)
+        .trace(tracer.cloned());
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
@@ -51,6 +59,8 @@ fn main() {
     let ranks = ranks_arg();
     let threads = threads_arg();
     let overlap = !no_overlap_arg();
+    let trace_path = trace_arg();
+    let tracer = tracer_from_args(&trace_path);
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -88,7 +98,14 @@ fn main() {
     curves.push((
         "PCG".into(),
         1,
-        run(&Method::Pcg, &inst, engine, threads, overlap),
+        run(
+            &Method::Pcg,
+            &inst,
+            engine,
+            threads,
+            overlap,
+            tracer.as_ref(),
+        ),
     ));
     for s in [5usize, 10, 15] {
         for (label, method) in [
@@ -118,7 +135,7 @@ fn main() {
             curves.push((
                 label.clone(),
                 s,
-                run(&method, &inst, engine, threads, overlap),
+                run(&method, &inst, engine, threads, overlap, tracer.as_ref()),
             ));
         }
     }
@@ -213,5 +230,20 @@ fn main() {
     match ranks {
         Some(r) => write_results(&format!("fig1_ranks{r}.txt"), &out),
         None => write_results("fig1.txt", &out),
+    }
+
+    if let Some(tracer) = &tracer {
+        let mut merged = spcg_dist::Counters::new();
+        for (_, _, res) in &curves {
+            merged.merge(&res.counters);
+        }
+        let path = trace_path.unwrap_or_else(|| {
+            let name = match ranks {
+                Some(r) => format!("TRACE_fig1_ranks{r}.json"),
+                None => "TRACE_fig1.json".to_string(),
+            };
+            results_dir().join(name)
+        });
+        write_trace(&path, tracer, &merged);
     }
 }

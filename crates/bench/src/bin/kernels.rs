@@ -13,6 +13,10 @@
 //! validates correct (deterministic) execution, it just cannot show
 //! speedup.
 //!
+//! All timing goes through `spcg_obs` spans — the same tracer the solvers
+//! use — so the bench and a traced solve report the same quantities. Each
+//! rep records one span; `TrackSpans::min_duration_s` yields best-of-reps.
+//!
 //! The blocked update is reported twice: `blocked_update_cold` is the very
 //! first call at each thread count (it pays one-time costs — thread-pool
 //! spin-up, first-touch page faults on the scratch block, schedule build)
@@ -23,25 +27,18 @@
 use spcg_bench::{quick_mode, write_results};
 use spcg_dist::executor::run_ranks;
 use spcg_dist::{ThreadComm, VectorBoard};
+use spcg_obs::{Phase, Tracer};
 use spcg_sparse::generators::poisson::poisson_3d;
 use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::{CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels};
-use std::time::Instant;
+use spcg_sparse::{CsrMatrix, DenseMat, MultiVector, ParKernels};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const RANKS: [usize; 3] = [1, 2, 4];
 const S: usize = 10;
 
-/// Best-of-`reps` wall-clock seconds for `f`.
-fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
-}
+/// Cold call goes on this pseudo-thread id so it stays separate from the
+/// warm best-of-reps track of the same kernel.
+const COLD_THREAD: usize = 1;
 
 fn filled_multivector(n: usize, k: usize, seed: usize) -> MultiVector {
     let cols: Vec<Vec<f64>> = (0..k)
@@ -64,77 +61,71 @@ fn json_array_sci(values: &[f64]) -> String {
     format!("[{}]", cells.join(", "))
 }
 
-/// Per-phase best-of-reps seconds for one rank of the split-phase
-/// exchange + interior/frontier SpMV round.
-struct OverlapSample {
-    post: f64,
-    interior: f64,
-    complete: f64,
-    frontier: f64,
-    n_interior: usize,
-    n_frontier: usize,
-    halo_words: usize,
-}
-
 /// Runs `reps` split-phase rounds on `ranks` rank threads and returns the
-/// critical-path (max-over-ranks) per-phase timings. This is the exact
-/// schedule `Engine::Ranked` uses with overlap on: post → interior SpMV →
-/// complete → frontier SpMV, one exchange per round.
-fn overlap_round(a: &CsrMatrix, x: &[f64], ranks: usize, reps: usize) -> OverlapSample {
+/// critical-path (max-over-ranks) best-of-reps seconds per phase, keyed
+/// `(post, interior, complete, frontier)`, plus summed row/word counts.
+/// This is the exact schedule `Engine::Ranked` uses with overlap on:
+/// post → interior SpMV → complete → frontier SpMV, one exchange per
+/// round. The phase timings come from the same obs spans the traced
+/// solver emits (`ExchangePost`/`Spmv`/`ExchangeWait`/`Frontier`).
+fn overlap_round(
+    a: &CsrMatrix,
+    x: &[f64],
+    ranks: usize,
+    reps: usize,
+) -> ([f64; 4], usize, usize, usize) {
     let n = a.nrows();
     let part = BlockRowPartition::balanced(n, ranks);
     let offsets: Vec<usize> = (0..ranks).map(|r| part.range(r).0).chain([n]).collect();
     let board = VectorBoard::new(offsets);
-    let samples = run_ranks(ranks, |comm: ThreadComm| {
+    let tracer = Tracer::new();
+    let counts = run_ranks(ranks, |comm: ThreadComm| {
+        let track = tracer.track(comm.rank());
         let (lo, hi) = part.range(comm.rank());
         let nl = hi - lo;
-        let gz = GhostZone::new(a, lo, hi, 1);
+        let gz = spcg_sparse::GhostZone::new(a, lo, hi, 1);
         let plan = board.plan(gz.ghost_indices());
         let pk = ParKernels::new(1);
         let x_local = &x[lo..hi];
         let mut ext = vec![0.0; gz.ext_len()];
         let mut y = vec![0.0; nl];
-        let mut best = OverlapSample {
-            post: f64::INFINITY,
-            interior: f64::INFINITY,
-            complete: f64::INFINITY,
-            frontier: f64::INFINITY,
-            n_interior: gz.interior_rows().len(),
-            n_frontier: gz.frontier_rows(nl).len(),
-            halo_words: plan.words(),
-        };
         for _ in 0..reps {
-            let t0 = Instant::now();
-            board.post(&comm, x_local);
-            let t_post = t0.elapsed().as_secs_f64();
+            board.post_traced(&comm, x_local, Some(&track));
             ext[..nl].copy_from_slice(x_local);
-            let t0 = Instant::now();
-            gz.spmv_rows_list_par(&pk, gz.interior_rows(), &ext, &mut y);
-            let t_int = t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
-            board.complete_into(&comm, &plan, &mut ext[nl..]);
-            let t_comp = t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
-            gz.spmv_rows_list_par(&pk, gz.frontier_rows(nl), &ext, &mut y);
-            let t_front = t0.elapsed().as_secs_f64();
-            best.post = best.post.min(t_post);
-            best.interior = best.interior.min(t_int);
-            best.complete = best.complete.min(t_comp);
-            best.frontier = best.frontier.min(t_front);
+            {
+                let _s = track.span(Phase::Spmv);
+                gz.spmv_rows_list_par(&pk, gz.interior_rows(), &ext, &mut y);
+            }
+            board.complete_into_traced(&comm, &plan, &mut ext[nl..], Some(&track));
+            {
+                let _s = track.span(Phase::Frontier);
+                gz.spmv_rows_list_par(&pk, gz.frontier_rows(nl), &ext, &mut y);
+            }
         }
-        best
+        (
+            gz.interior_rows().len(),
+            gz.frontier_rows(nl).len(),
+            plan.words(),
+        )
     });
     // Critical path: the slowest rank gates each phase; counts sum.
-    let max = |f: fn(&OverlapSample) -> f64| samples.iter().map(f).fold(0.0f64, f64::max);
-    OverlapSample {
-        post: max(|s| s.post),
-        interior: max(|s| s.interior),
-        complete: max(|s| s.complete),
-        frontier: max(|s| s.frontier),
-        n_interior: samples.iter().map(|s| s.n_interior).sum(),
-        n_frontier: samples.iter().map(|s| s.n_frontier).sum(),
-        halo_words: samples.iter().map(|s| s.halo_words).sum(),
+    let phases = [
+        Phase::ExchangePost,
+        Phase::Spmv,
+        Phase::ExchangeWait,
+        Phase::Frontier,
+    ];
+    let mut best = [0.0f64; 4];
+    for track in tracer.tracks() {
+        for (slot, &phase) in best.iter_mut().zip(&phases) {
+            let rank_best = track.min_duration_s(phase).unwrap_or(0.0);
+            *slot = slot.max(rank_best);
+        }
     }
+    let n_interior = counts.iter().map(|c| c.0).sum();
+    let n_frontier = counts.iter().map(|c| c.1).sum();
+    let halo_words = counts.iter().map(|c| c.2).sum();
+    (best, n_interior, n_frontier, halo_words)
 }
 
 fn main() {
@@ -175,21 +166,46 @@ fn main() {
     let mut update_cold_gf = Vec::new();
     for &t in &THREADS {
         let pk = ParKernels::new(t);
-        // Warm the cached row schedule so it is not timed.
-        pk.spmv(&a, &x, &mut y);
-        let ts = time_best(reps, || pk.spmv(&a, &x, &mut y));
-        let tg = time_best(reps, || {
-            let _ = pk.gram(&v_gram, &v_gram);
-        });
-        let mut p_mat = filled_multivector(n, S, 5);
-        // Cold: the first call pays pool spin-up and first-touch faults.
-        let t0 = Instant::now();
-        p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
-        let tu_cold = t0.elapsed().as_secs_f64();
-        // Warm: steady-state best-of-reps, the number solver iterations see.
-        let tu = time_best(reps, || {
-            p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
-        });
+        // One tracer per thread count: rank id = thread count, the warm
+        // best-of-reps spans on thread 0, the cold call on COLD_THREAD.
+        let tracer = Tracer::new();
+        {
+            let track = tracer.track_on(t, 0);
+            let cold = tracer.track_on(t, COLD_THREAD);
+            // Warm the cached row schedule so it is not timed.
+            pk.spmv(&a, &x, &mut y);
+            for _ in 0..reps {
+                let _s = track.span(Phase::Spmv);
+                pk.spmv(&a, &x, &mut y);
+            }
+            for _ in 0..reps {
+                let _s = track.span(Phase::Gram);
+                let _ = pk.gram(&v_gram, &v_gram);
+            }
+            let mut p_mat = filled_multivector(n, S, 5);
+            // Cold: the first call pays pool spin-up and first-touch faults.
+            {
+                let _s = cold.span(Phase::VecUpdate);
+                p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
+            }
+            // Warm: steady-state best-of-reps, the number iterations see.
+            for _ in 0..reps {
+                let _s = track.span(Phase::VecUpdate);
+                p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
+            }
+        }
+        let tracks = tracer.tracks();
+        let min_of = |thread: usize, phase: Phase| -> f64 {
+            tracks
+                .iter()
+                .find(|tr| tr.thread == thread)
+                .and_then(|tr| tr.min_duration_s(phase))
+                .expect("bench span missing")
+        };
+        let ts = min_of(0, Phase::Spmv);
+        let tg = min_of(0, Phase::Gram);
+        let tu = min_of(0, Phase::VecUpdate);
+        let tu_cold = min_of(COLD_THREAD, Phase::VecUpdate);
         spmv_gf.push(spmv_flops / ts / 1e9);
         gram_gf.push(gram_flops / tg / 1e9);
         update_gf.push(update_flops / tu / 1e9);
@@ -227,23 +243,21 @@ fn main() {
     let mut interior_frac = Vec::new();
     let mut halo_words = Vec::new();
     for &r in &RANKS {
-        let s = overlap_round(&a, &x, r, reps);
+        let ([post, interior, complete, frontier], n_int, n_front, words) =
+            overlap_round(&a, &x, r, reps);
         eprintln!(
-            "[kernels] ranks={r}: post {:.1}us, interior {:.1}us ({} rows), complete {:.1}us, frontier {:.1}us ({} rows), halo {} words",
-            s.post * 1e6,
-            s.interior * 1e6,
-            s.n_interior,
-            s.complete * 1e6,
-            s.frontier * 1e6,
-            s.n_frontier,
-            s.halo_words
+            "[kernels] ranks={r}: post {:.1}us, interior {:.1}us ({n_int} rows), complete {:.1}us, frontier {:.1}us ({n_front} rows), halo {words} words",
+            post * 1e6,
+            interior * 1e6,
+            complete * 1e6,
+            frontier * 1e6,
         );
-        interior_frac.push(s.n_interior as f64 / n as f64);
-        post_s.push(s.post);
-        interior_s.push(s.interior);
-        complete_s.push(s.complete);
-        frontier_s.push(s.frontier);
-        halo_words.push(s.halo_words as f64);
+        interior_frac.push(n_int as f64 / n as f64);
+        post_s.push(post);
+        interior_s.push(interior);
+        complete_s.push(complete);
+        frontier_s.push(frontier);
+        halo_words.push(words as f64);
     }
     let ranks_list: Vec<String> = RANKS.iter().map(|r| r.to_string()).collect();
     let out = format!(

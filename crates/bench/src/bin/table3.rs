@@ -17,12 +17,17 @@
 //! counters the model prices are then the globally merged counts measured
 //! across the R communicating ranks, and output goes to
 //! `table3_ranks<R>.txt`.
+//!
+//! With `--trace <path>` (or `SPCG_TRACE=1`) every solve records per-rank
+//! phase spans; the combined Chrome trace-event export is written to
+//! `path` (default `results/TRACE_table3*.json`).
 
 use spcg_bench::{
-    no_overlap_arg, paper, prepare_instance, ranks_arg, threads_arg, write_results, Precond,
-    TextTable,
+    no_overlap_arg, paper, prepare_instance, ranks_arg, results_dir, threads_arg, trace_arg,
+    tracer_from_args, write_results, write_trace, Precond, TextTable,
 };
 use spcg_dist::{Counters, MachineTopology};
+use spcg_obs::Tracer;
 use spcg_perf::{predict_time, MachineParams};
 use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
 use spcg_sparse::generators::suite::suite_matrices;
@@ -44,12 +49,14 @@ fn run(
     engine: Engine,
     threads: Option<usize>,
     overlap: bool,
+    tracer: Option<&Tracer>,
 ) -> SolveResult {
     let mut builder = SolveOptions::builder()
         .tol(paper::TOL)
         .max_iters(paper::MAX_ITERS)
         .criterion(crit)
-        .overlap(overlap);
+        .overlap(overlap)
+        .trace(tracer.cloned());
     if let Some(t) = threads {
         builder = builder.threads(t);
     }
@@ -86,6 +93,9 @@ fn main() {
     let ranks = ranks_arg();
     let threads = threads_arg();
     let overlap = !no_overlap_arg();
+    let trace_path = trace_arg();
+    let tracer = tracer_from_args(&trace_path);
+    let mut traced_counters = Counters::new();
     let engine = match ranks {
         Some(r) => Engine::Ranked { ranks: r },
         None => Engine::Serial,
@@ -125,7 +135,16 @@ fn main() {
             // Banded stand-ins: per-rank halo ≈ the band width each side.
             let halo = (4 * entry.rounds) as f64;
             let size_factor = entry.paper_n as f64 / entry.n as f64;
-            let pcg = run(&Method::Pcg, &inst, crit, engine, threads, overlap);
+            let pcg = run(
+                &Method::Pcg,
+                &inst,
+                crit,
+                engine,
+                threads,
+                overlap,
+                tracer.as_ref(),
+            );
+            traced_counters.merge(&pcg.counters);
             let pcg_time = predict_time(
                 &scale_to_paper_size(&pcg.counters, size_factor),
                 &machine,
@@ -149,7 +168,16 @@ fn main() {
                     basis: basis.clone(),
                 },
             ] {
-                let res = run(&method, &inst, crit, engine, threads, overlap);
+                let res = run(
+                    &method,
+                    &inst,
+                    crit,
+                    engine,
+                    threads,
+                    overlap,
+                    tracer.as_ref(),
+                );
+                traced_counters.merge(&res.counters);
                 let time = predict_time(
                     &scale_to_paper_size(&res.counters, size_factor),
                     &machine,
@@ -172,5 +200,16 @@ fn main() {
     match ranks {
         Some(r) => write_results(&format!("table3_ranks{r}.txt"), &out),
         None => write_results("table3.txt", &out),
+    }
+
+    if let Some(tracer) = &tracer {
+        let path = trace_path.unwrap_or_else(|| {
+            let name = match ranks {
+                Some(r) => format!("TRACE_table3_ranks{r}.json"),
+                None => "TRACE_table3.json".to_string(),
+            };
+            results_dir().join(name)
+        });
+        write_trace(&path, tracer, &traced_counters);
     }
 }

@@ -1,0 +1,38 @@
+//! Validates a Chrome trace-event export produced by the obs tracer (the
+//! `--trace` flag of the fig1/table3 binaries, or `SolveOptions::trace`):
+//! well-formed JSON, a `traceEvents` array, matched and properly nested
+//! B/E pairs per (pid, tid) track, and non-decreasing timestamps.
+//!
+//! Run: `cargo run -p spcg-bench --bin tracecheck -- <trace.json> [...]`
+//!
+//! Exits non-zero on the first invalid file; CI round-trips every exported
+//! trace through this check.
+
+use spcg_obs::validate_chrome_trace;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: tracecheck <trace.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_chrome_trace(&src) {
+            Ok(stats) => println!(
+                "{path}: ok — {} events, {} spans, {} tracks",
+                stats.events, stats.spans, stats.tracks
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

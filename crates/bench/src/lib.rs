@@ -5,6 +5,7 @@
 pub mod harness;
 
 use spcg_basis::BasisType;
+use spcg_dist::Counters;
 use spcg_precond::{ChebyshevPrecond, Jacobi, Preconditioner};
 use spcg_solvers::{Problem, SolveResult};
 use spcg_sparse::generators::paper_rhs;
@@ -168,6 +169,58 @@ pub fn threads_arg() -> Option<usize> {
 /// way; the flag exists to time the two schedules against each other.
 pub fn no_overlap_arg() -> bool {
     std::env::args().any(|a| a == "--no-overlap")
+}
+
+/// Parses a `--trace <path>` command-line flag: trace every solve with a
+/// shared [`spcg_obs::Tracer`] and write the Chrome trace-event export
+/// (with the per-phase summary and merged counters spliced in) to `path`.
+/// A `--trace` with a missing value aborts. Without the flag, tracing
+/// still turns on when `SPCG_TRACE` is set, writing to a default name
+/// under `results/`.
+pub fn trace_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--trace")?;
+    match args.get(i + 1) {
+        Some(p) if !p.starts_with("--") => Some(PathBuf::from(p)),
+        _ => {
+            eprintln!("error: --trace requires a file path, e.g. --trace results/TRACE.json");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The tracer a bin should thread through its solves: `Some` when
+/// `--trace` was passed or `SPCG_TRACE` is set (cap still honours
+/// `SPCG_TRACE_CAP`), `None` otherwise.
+pub fn tracer_from_args(trace_path: &Option<PathBuf>) -> Option<spcg_obs::Tracer> {
+    if let Some(t) = spcg_obs::Tracer::from_env() {
+        return Some(t);
+    }
+    // Explicit --trace without SPCG_TRACE: on, still honouring the env cap.
+    trace_path.as_ref().map(|_| {
+        match std::env::var("SPCG_TRACE_CAP")
+            .ok()
+            .and_then(|c| c.parse::<usize>().ok())
+        {
+            Some(cap) => spcg_obs::Tracer::with_capacity(cap),
+            None => spcg_obs::Tracer::new(),
+        }
+    })
+}
+
+/// Writes the Chrome trace-event export of `tracer` (phase summary and
+/// `counters` spliced in) to `path`, creating parent directories. Loadable
+/// in Perfetto (<https://ui.perfetto.dev>) as-is.
+pub fn write_trace(path: &std::path::Path, tracer: &spcg_obs::Tracer, counters: &Counters) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("cannot create trace dir");
+        }
+    }
+    let json = tracer.export_json(Some(&counters.to_json()));
+    spcg_obs::validate_chrome_trace(&json).expect("exported trace failed validation");
+    std::fs::write(path, &json).expect("cannot write trace file");
+    eprintln!("[trace written to {}]", path.display());
 }
 
 /// Writes experiment output under `results/` (relative to the workspace

@@ -143,6 +143,35 @@ impl Counters {
     pub fn mv_plus_precond(&self) -> u64 {
         self.spmv_count + self.precond_count
     }
+
+    /// Every field as a flat JSON object — the `"counters"` block of the
+    /// trace exports (`spcg_obs::Tracer::export_json`), merging the
+    /// Table-1 FLOP/communication counts into the timeline file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"spmv_count\":{},\"spmv_flops\":{},\"precond_count\":{},\"precond_flops\":{},\
+             \"global_collectives\":{},\"allreduce_words\":{},\"dot_count\":{},\
+             \"local_reduction_flops\":{},\"blas1_flops\":{},\"blas2_flops\":{},\
+             \"blas3_flops\":{},\"small_flops\":{},\"iterations\":{},\"outer_iterations\":{},\
+             \"halo_exchanges\":{},\"halo_words\":{}}}",
+            self.spmv_count,
+            self.spmv_flops,
+            self.precond_count,
+            self.precond_flops,
+            self.global_collectives,
+            self.allreduce_words,
+            self.dot_count,
+            self.local_reduction_flops,
+            self.blas1_flops,
+            self.blas2_flops,
+            self.blas3_flops,
+            self.small_flops,
+            self.iterations,
+            self.outer_iterations,
+            self.halo_exchanges,
+            self.halo_words,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +208,34 @@ mod tests {
         c.blas1_flops = 600;
         c.local_reduction_flops = 200;
         assert!((c.remaining_flops_per_row(100) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_round_trips_every_field() {
+        let mut c = Counters::new();
+        c.record_spmv(100);
+        c.record_precond(40);
+        c.record_collective(21);
+        c.record_dots(3, 10);
+        c.record_halo_exchange(12);
+        c.blas1_flops = 1;
+        c.blas2_flops = 2;
+        c.blas3_flops = 3;
+        c.small_flops = 4;
+        c.iterations = 5;
+        c.outer_iterations = 6;
+        let json = c.to_json();
+        let v = spcg_obs::json::parse(&json).expect("counters JSON parses");
+        let field = |k: &str| v.get(k).and_then(spcg_obs::json::Value::as_f64).unwrap();
+        assert_eq!(field("spmv_count"), 1.0);
+        assert_eq!(field("spmv_flops"), 100.0);
+        assert_eq!(field("precond_flops"), 40.0);
+        assert_eq!(field("allreduce_words"), 21.0);
+        assert_eq!(field("dot_count"), 3.0);
+        assert_eq!(field("local_reduction_flops"), 60.0);
+        assert_eq!(field("blas3_flops"), 3.0);
+        assert_eq!(field("halo_words"), 12.0);
+        assert_eq!(field("outer_iterations"), 6.0);
     }
 
     #[test]

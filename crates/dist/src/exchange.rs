@@ -33,6 +33,7 @@
 //! and the board asserts it.
 
 use crate::comm::ThreadComm;
+use spcg_obs::{Phase, Track};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// One contiguous source run of a [`GatherPlan`].
@@ -192,6 +193,14 @@ impl VectorBoard {
     /// Panics on a chunk-length mismatch or if the previous round was
     /// never completed on this rank.
     pub fn post(&self, comm: &ThreadComm, chunk: &[f64]) {
+        self.post_traced(comm, chunk, None);
+    }
+
+    /// [`VectorBoard::post`] wrapped in an [`ExchangePost`](Phase) span
+    /// when a trace track is given. Instrumentation only — the protocol is
+    /// identical with `None`.
+    pub fn post_traced(&self, comm: &ThreadComm, chunk: &[f64], track: Option<&Track>) {
+        let _span = spcg_obs::span(track, Phase::ExchangePost);
         let me = comm.rank();
         let (lo, hi) = self.range(me);
         assert_eq!(chunk.len(), hi - lo, "post: chunk length mismatch");
@@ -224,6 +233,20 @@ impl VectorBoard {
     /// Panics if `out.len() != plan.words()` or this rank has not posted
     /// the round it is completing.
     pub fn complete_into(&self, comm: &ThreadComm, plan: &GatherPlan, out: &mut [f64]) {
+        self.complete_into_traced(comm, plan, out, None);
+    }
+
+    /// [`VectorBoard::complete_into`] wrapped in an
+    /// [`ExchangeWait`](Phase) span when a trace track is given — the span
+    /// covers both the wait on neighbour readiness and the gather copy.
+    pub fn complete_into_traced(
+        &self,
+        comm: &ThreadComm,
+        plan: &GatherPlan,
+        out: &mut [f64],
+        track: Option<&Track>,
+    ) {
+        let _span = spcg_obs::span(track, Phase::ExchangeWait);
         assert_eq!(out.len(), plan.total, "complete_into: out length mismatch");
         let me = comm.rank();
         let round = self.begin_complete(me, plan.src_ranks.iter().copied());
@@ -245,6 +268,13 @@ impl VectorBoard {
     /// # Panics
     /// Panics if this rank has not posted the round it is completing.
     pub fn complete_snapshot(&self, comm: &ThreadComm) -> Vec<f64> {
+        self.complete_snapshot_traced(comm, None)
+    }
+
+    /// [`VectorBoard::complete_snapshot`] wrapped in an
+    /// [`ExchangeWait`](Phase) span when a trace track is given.
+    pub fn complete_snapshot_traced(&self, comm: &ThreadComm, track: Option<&Track>) -> Vec<f64> {
+        let _span = spcg_obs::span(track, Phase::ExchangeWait);
         let me = comm.rank();
         let round = self.begin_complete(me, 0..comm.nranks());
         let full = self.data.read().unwrap().clone();

@@ -19,6 +19,7 @@ use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::b_capcg;
 use spcg_basis::BasisType;
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 use spcg_sparse::{blas, MultiVector};
 
 /// Solves `A x = b` with CA-PCG (Alg. 3).
@@ -32,7 +33,7 @@ pub fn capcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    capcg_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
+    capcg_g(&mut SerialExec::new(problem, opts), s, basis, opts)
 }
 
 /// CA-PCG over any execution substrate (see [`crate::engine`]).
@@ -48,6 +49,7 @@ pub(crate) fn capcg_g<E: Exec>(
     let sw = s as u64;
     let dim = 2 * s + 1;
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -77,10 +79,12 @@ pub(crate) fn capcg_g<E: Exec>(
         exec.mpk(&r, Some(&u), &params, &mut r_mat, &mut u_mat, &mut counters);
 
         // --- single global reduction: G = ZᵀY, (2s+1)² words ---
+        let gram_span = spcg_obs::span(tr.as_ref(), Phase::Gram);
         let mut g = gram_concat(&pk, &p_mat, &u_mat, &q_mat, &r_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
         allreduce_gram(exec, &mut [&mut g], &mut []);
+        drop(gram_span);
         let g = g;
 
         // --- convergence check every s steps ---
@@ -105,6 +109,7 @@ pub(crate) fn capcg_g<E: Exec>(
         }
 
         // --- coordinate-space inner loop (no communication) ---
+        let scalar_span = spcg_obs::span(tr.as_ref(), Phase::ScalarWork);
         let mut p_c = vec![0.0; dim];
         p_c[0] = 1.0;
         let mut r_c = vec![0.0; dim];
@@ -149,14 +154,17 @@ pub(crate) fn capcg_g<E: Exec>(
             }
         }
         counters.small_flops += 8 * (dim * dim) as u64 * sw;
+        drop(scalar_span);
 
         // --- recover the full vectors (BLAS2, lines 14–16) ---
+        let update_span = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
         gemv_concat(&pk, &q_mat, &r_mat, &p_c, &mut q);
         gemv_concat(&pk, &q_mat, &r_mat, &r_c, &mut r);
         gemv_concat(&pk, &p_mat, &u_mat, &p_c, &mut p);
         gemv_concat(&pk, &p_mat, &u_mat, &r_c, &mut u);
         gemv_concat_acc(&pk, &p_mat, &u_mat, 1.0, &x_c, &mut x);
         counters.blas2_flops += 5 * 2 * dim as u64 * nw;
+        drop(update_span);
 
         iterations += s;
         counters.iterations += sw;

@@ -29,6 +29,7 @@ use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::b_small;
 use spcg_basis::BasisType;
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 use spcg_sparse::{blas, DenseMat, MultiVector};
 
 /// Solves `A x = b` with CA-PCG3 (Alg. 4).
@@ -41,7 +42,7 @@ pub fn capcg3(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    capcg3_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
+    capcg3_g(&mut SerialExec::new(problem, opts), s, basis, opts)
 }
 
 /// CA-PCG3 over any execution substrate (see [`crate::engine`]).
@@ -57,6 +58,7 @@ pub(crate) fn capcg3_g<E: Exec>(
     let sw = s as u64;
     let dim = 2 * s + 1;
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -104,10 +106,12 @@ pub(crate) fn capcg3_g<E: Exec>(
         u.copy_from_slice(v_mat.col(0));
 
         // --- single global reduction: G = [U_old|V]ᵀ[R_old|W] ---
+        let gram_span = spcg_obs::span(tr.as_ref(), Phase::Gram);
         let mut g_mat = gram_concat(&pk, &u_old, &v_mat, &r_old, &w_mat);
         counters.record_dots((dim * dim) as u64, nw);
         counters.record_collective((dim * dim) as u64);
         allreduce_gram(exec, &mut [&mut g_mat], &mut []);
+        drop(gram_span);
         let g_mat = g_mat;
 
         // --- convergence check every s steps ---
@@ -132,7 +136,10 @@ pub(crate) fn capcg3_g<E: Exec>(
         }
 
         // --- coordinate operator D for this outer iteration ---
-        let d_op = build_d_operator(s, &gamma_hist, &rho_hist, &b_w);
+        let d_op = {
+            let _sw = spcg_obs::span(tr.as_ref(), Phase::ScalarWork);
+            build_d_operator(s, &gamma_hist, &rho_hist, &b_w)
+        };
 
         // Coordinates of r^(sk) and r^(sk-1) in [R_old | W].
         let mut g_c = vec![0.0; dim];
@@ -155,6 +162,7 @@ pub(crate) fn capcg3_g<E: Exec>(
             // Out-of-basis columns must carry zero weight (support lemma).
             debug_assert_eq!(g_c[0], 0.0, "support leaked onto r^(s(k-1)-1)");
             debug_assert_eq!(g_c[dim - 1], 0.0, "support leaked onto P_(s+1)");
+            let scalar_span = spcg_obs::span(tr.as_ref(), Phase::ScalarWork);
             let d_c = d_op.matvec(&g_c);
             let mu = quad_form(&g_mat, &g_c, &g_c);
             let nu = quad_form(&g_mat, &g_c, &d_c);
@@ -188,6 +196,8 @@ pub(crate) fn capcg3_g<E: Exec>(
                 1.0 / denom
             };
 
+            drop(scalar_span);
+            let update_span = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
             // w = A·u, v = M⁻¹A·u via GEMV with the stored blocks (eq. 10).
             gemv_concat(&pk, &r_old, &w_mat, &d_c, &mut w_vec);
             gemv_concat(&pk, &u_old, &v_mat, &d_c, &mut v_vec);
@@ -205,6 +215,7 @@ pub(crate) fn capcg3_g<E: Exec>(
             std::mem::swap(&mut u_prev, &mut u);
             std::mem::swap(&mut u, &mut next);
             counters.blas1_flops += 15 * nw;
+            drop(update_span);
 
             // Coordinate recurrence for the next g.
             let mut g_next = vec![0.0; dim];

@@ -38,6 +38,7 @@ use spcg_basis::poly::BasisParams;
 use spcg_basis::{DistMpk, Mpk};
 use spcg_dist::executor::run_ranks;
 use spcg_dist::{Counters, GatherPlan, ThreadComm, VectorBoard};
+use spcg_obs::{Phase, Track};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
 use spcg_sparse::{CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels};
@@ -101,6 +102,12 @@ pub(crate) trait Exec {
     /// rank). Solver bodies route their row-local BLAS1/BLAS3 work through
     /// it; every kernel is bitwise deterministic in the thread count.
     fn kernels(&self) -> &ParKernels;
+    /// This rank's trace track ([`SolveOptions::trace`]); `None` when
+    /// tracing is off. Solver bodies clone it once (`Track` is an `Rc`
+    /// handle) and open [`Phase`] spans around their Gram/scalar/update
+    /// work; the `Exec` implementations own the SpMV, preconditioner,
+    /// MPK, and exchange spans.
+    fn track(&self) -> Option<&Track>;
 }
 
 /// Packs Gram matrices (and loose scalars) into one buffer, allreduces it,
@@ -138,17 +145,20 @@ pub(crate) struct SerialExec<'a> {
     b: &'a [f64],
     mpk: Mpk<'a>,
     pk: ParKernels,
+    track: Option<Track>,
 }
 
 impl<'a> SerialExec<'a> {
-    pub(crate) fn new(problem: &Problem<'a>, threads: usize) -> Self {
-        let pk = ParKernels::new(threads);
+    pub(crate) fn new(problem: &Problem<'a>, opts: &SolveOptions) -> Self {
+        let pk = ParKernels::new(opts.threads);
+        let track = opts.trace.as_ref().map(|t| t.track(0));
         SerialExec {
             a: problem.a,
             m: problem.m,
             b: problem.b,
-            mpk: Mpk::new_par(problem.a, problem.m, pk.clone()),
+            mpk: Mpk::new_par(problem.a, problem.m, pk.clone()).with_track(track.clone()),
             pk,
+            track,
         }
     }
 }
@@ -170,9 +180,11 @@ impl Exec for SerialExec<'_> {
         self.b
     }
     fn spmv(&mut self, x: &[f64], y: &mut [f64], _counters: &mut Counters) {
+        let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
         self.pk.spmv(self.a, x, y);
     }
     fn precond(&mut self, r: &[f64], z: &mut [f64], _counters: &mut Counters) {
+        let _s = spcg_obs::span(self.track.as_ref(), Phase::Precond);
         self.m.apply_par(&self.pk, r, z);
     }
     fn mpk(
@@ -192,6 +204,9 @@ impl Exec for SerialExec<'_> {
     fn allreduce(&mut self, _buf: &mut [f64]) {}
     fn kernels(&self) -> &ParKernels {
         &self.pk
+    }
+    fn track(&self) -> Option<&Track> {
+        self.track.as_ref()
     }
 }
 
@@ -215,21 +230,27 @@ fn dist_spmv(
     x: &[f64],
     y: &mut [f64],
     counters: &mut Counters,
+    track: Option<&Track>,
 ) {
     let nl = gz1.n_owned();
     ext_buf.resize(gz1.ext_len(), 0.0);
-    board.post(comm, x);
+    board.post_traced(comm, x, track);
     ext_buf[..nl].copy_from_slice(x);
     if overlap {
         // Interior rows read only the owned prefix; the stale ghost tail
         // is never touched.
-        gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y);
-        board.complete_into(comm, plan, &mut ext_buf[nl..]);
+        {
+            let _s = spcg_obs::span(track, Phase::Spmv);
+            gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y);
+        }
+        board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
+        let _f = spcg_obs::span(track, Phase::Frontier);
         gz1.spmv_rows_list_par(pk, gz1.frontier_rows(nl), ext_buf, y);
     } else {
-        board.complete_into(comm, plan, &mut ext_buf[nl..]);
+        board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
+        let _s = spcg_obs::span(track, Phase::Spmv);
         gz1.spmv_prefix_par(pk, nl, ext_buf, y);
     }
 }
@@ -268,6 +289,9 @@ pub(crate) struct RankExec<'a> {
     ext_buf: Vec<f64>,
     ext_buf2: Vec<f64>,
     full_buf: Vec<f64>,
+    /// This rank's trace track, created on the rank's own thread (the
+    /// handle is deliberately not `Send`) — `None` when tracing is off.
+    track: Option<Track>,
 }
 
 impl<'a> RankExec<'a> {
@@ -282,20 +306,24 @@ impl<'a> RankExec<'a> {
         mpk_depth: Option<usize>,
         threads: usize,
         overlap: bool,
+        track: Option<Track>,
     ) -> Self {
         let pk = ParKernels::new(threads);
         let gz1 = GhostZone::new(problem.a, lo, hi, 1);
         let plan1 = board.plan(gz1.ghost_indices());
         let dist_mpk = match (mpk_depth, problem.m.dist_form()) {
-            (Some(depth), DistForm::Pointwise(w)) => Some(DistMpk::new_par(
-                problem.a,
-                lo,
-                hi,
-                depth,
-                w,
-                problem.m.flops_per_apply(),
-                pk.clone(),
-            )),
+            (Some(depth), DistForm::Pointwise(w)) => Some(
+                DistMpk::new_par(
+                    problem.a,
+                    lo,
+                    hi,
+                    depth,
+                    w,
+                    problem.m.flops_per_apply(),
+                    pk.clone(),
+                )
+                .with_track(track.clone()),
+            ),
             _ => None,
         };
         let rank_local_ok = match problem.m.dist_form() {
@@ -326,6 +354,7 @@ impl<'a> RankExec<'a> {
             ext_buf: Vec::new(),
             ext_buf2: Vec::new(),
             full_buf: Vec::new(),
+            track,
         }
     }
 
@@ -336,8 +365,10 @@ impl<'a> RankExec<'a> {
     /// completion directly follows the post regardless of the overlap mode
     /// (counters therefore cannot differ between modes here either).
     fn precond_replicated(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
-        self.board.post(&self.comm, r);
-        let r_full = self.board.complete_snapshot(&self.comm);
+        self.board.post_traced(&self.comm, r, self.track.as_ref());
+        let r_full = self
+            .board
+            .complete_snapshot_traced(&self.comm, self.track.as_ref());
         counters.record_halo_exchange((r_full.len() - (self.hi - self.lo)) as u64);
         self.full_buf.resize(r_full.len(), 0.0);
         self.m.apply_par(&self.pk, &r_full, &mut self.full_buf);
@@ -371,14 +402,26 @@ impl Exec for RankExec<'_> {
             overlap,
             pk,
             ext_buf,
+            track,
             ..
         } = self;
         dist_spmv(
-            board, comm, gz1, plan1, pk, *overlap, ext_buf, x, y, counters,
+            board,
+            comm,
+            gz1,
+            plan1,
+            pk,
+            *overlap,
+            ext_buf,
+            x,
+            y,
+            counters,
+            track.as_ref(),
         );
     }
 
     fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
+        let _p = spcg_obs::span(self.track.as_ref(), Phase::Precond);
         // Detach the preconditioner borrow from `self` so the dispatch can
         // still use the mutable exchange state.
         let m: &dyn Preconditioner = self.m;
@@ -400,11 +443,22 @@ impl Exec for RankExec<'_> {
                     overlap,
                     pk,
                     ext_buf,
+                    track,
                     ..
                 } = self;
                 op.apply_with_spmv(r, z, &mut |xv, yv| {
                     dist_spmv(
-                        board, comm, gz1, plan1, pk, *overlap, ext_buf, xv, yv, counters,
+                        board,
+                        comm,
+                        gz1,
+                        plan1,
+                        pk,
+                        *overlap,
+                        ext_buf,
+                        xv,
+                        yv,
+                        counters,
+                        track.as_ref(),
                     );
                 });
             }
@@ -436,8 +490,10 @@ impl Exec for RankExec<'_> {
                 overlap,
                 ext_buf,
                 ext_buf2,
+                track,
                 ..
             } = self;
+            let track = track.as_ref();
             let dk = dist_mpk.as_mut().unwrap();
             let plan = plan_s.as_ref().unwrap();
             let vectors = if known_mw.is_some() { 2 } else { 1 };
@@ -446,28 +502,28 @@ impl Exec for RankExec<'_> {
                 // Post the seed(s), run the interior rows of the first
                 // basis product inside the exchange window, complete the
                 // exchange from the kernel's callback, finish frontier.
-                board.post(comm, w);
+                board.post_traced(comm, w, track);
                 if let Some(mw) = known_mw {
-                    board2.post(comm, mw);
+                    board2.post_traced(comm, mw, track);
                 }
                 dk.run_overlapped(w, known_mw, params, v, mv, counters, &mut |wg, mwg| {
-                    board.complete_into(comm, plan, wg);
+                    board.complete_into_traced(comm, plan, wg, track);
                     if let Some(mwg) = mwg {
-                        board2.complete_into(comm, plan, mwg);
+                        board2.complete_into_traced(comm, plan, mwg, track);
                     }
                 });
             } else {
                 // Blocking schedule: gather the extended seed(s) up front.
                 let nl = dk.ghost().n_owned();
                 ext_buf.resize(dk.ghost().ext_len(), 0.0);
-                board.post(comm, w);
+                board.post_traced(comm, w, track);
                 ext_buf[..nl].copy_from_slice(w);
-                board.complete_into(comm, plan, &mut ext_buf[nl..]);
+                board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
                 if let Some(mw) = known_mw {
                     ext_buf2.resize(dk.ghost().ext_len(), 0.0);
-                    board2.post(comm, mw);
+                    board2.post_traced(comm, mw, track);
                     ext_buf2[..nl].copy_from_slice(mw);
-                    board2.complete_into(comm, plan, &mut ext_buf2[nl..]);
+                    board2.complete_into_traced(comm, plan, &mut ext_buf2[nl..], track);
                 }
                 dk.run(
                     ext_buf,
@@ -487,26 +543,32 @@ impl Exec for RankExec<'_> {
             // both overlap modes take this identical path.
             let n = self.a.nrows();
             let nl = self.hi - self.lo;
-            self.board.post(&self.comm, w);
-            let w_full = self.board.complete_snapshot(&self.comm);
+            self.board.post_traced(&self.comm, w, self.track.as_ref());
+            let w_full = self
+                .board
+                .complete_snapshot_traced(&self.comm, self.track.as_ref());
             let mut words = (n - nl) as u64;
             let mw_full = known_mw.map(|mw| {
-                self.board2.post(&self.comm, mw);
-                let full = self.board2.complete_snapshot(&self.comm);
+                self.board2.post_traced(&self.comm, mw, self.track.as_ref());
+                let full = self
+                    .board2
+                    .complete_snapshot_traced(&self.comm, self.track.as_ref());
                 words += (n - nl) as u64;
                 full
             });
             counters.record_halo_exchange(words);
             let mut v_full = MultiVector::zeros(n, v.k());
             let mut mv_full = MultiVector::zeros(n, mv.k());
-            Mpk::new_par(self.a, self.m, self.pk.clone()).run(
-                &w_full,
-                mw_full.as_deref(),
-                params,
-                &mut v_full,
-                &mut mv_full,
-                counters,
-            );
+            Mpk::new_par(self.a, self.m, self.pk.clone())
+                .with_track(self.track.clone())
+                .run(
+                    &w_full,
+                    mw_full.as_deref(),
+                    params,
+                    &mut v_full,
+                    &mut mv_full,
+                    counters,
+                );
             for j in 0..v.k() {
                 v.col_mut(j)
                     .copy_from_slice(&v_full.col(j)[self.lo..self.hi]);
@@ -528,6 +590,10 @@ impl Exec for RankExec<'_> {
 
     fn kernels(&self) -> &ParKernels {
         &self.pk
+    }
+
+    fn track(&self) -> Option<&Track> {
+        self.track.as_ref()
     }
 }
 
@@ -558,6 +624,10 @@ pub(crate) fn run_ranked(
     };
 
     let results = run_ranks(ranks, |comm: ThreadComm| {
+        // The track must be created (and dropped) on the rank's own
+        // thread: it is a thread-local buffer that drains into the shared
+        // tracer when the rank exits.
+        let track = opts.trace.as_ref().map(|t| t.track(comm.rank()));
         let (lo, hi) = part.range(comm.rank());
         let mut exec = RankExec::new(
             problem,
@@ -569,6 +639,7 @@ pub(crate) fn run_ranked(
             mpk_depth,
             opts.threads,
             opts.overlap,
+            track,
         );
         dispatch(method, &mut exec, opts)
     });

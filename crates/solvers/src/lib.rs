@@ -24,7 +24,6 @@ pub mod capcg3;
 pub mod engine;
 pub mod method;
 pub mod options;
-pub mod par;
 pub mod pcg;
 pub mod pcg3;
 pub mod setup;
@@ -40,8 +39,6 @@ pub use options::{
     Outcome, Problem, ProblemError, SolveOptions, SolveOptionsBuilder, SolveResult,
     StoppingCriterion,
 };
-#[allow(deprecated)]
-pub use par::{par_pcg, par_spcg, ParSolveResult};
 pub use pcg::pcg;
 pub use pcg3::pcg3;
 pub use setup::{chebyshev_basis, newton_basis};

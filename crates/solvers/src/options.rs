@@ -1,6 +1,7 @@
 //! Problem definition, solver options, and results.
 
 use spcg_dist::Counters;
+use spcg_obs::Tracer;
 use spcg_precond::Preconditioner;
 use spcg_sparse::CsrMatrix;
 
@@ -164,6 +165,17 @@ pub struct SolveOptions {
     /// `0` to default it off. Ignored by [`crate::Engine::Serial`], which
     /// has no exchanges to hide.
     pub overlap: bool,
+    /// Span tracer recording a per-rank phase timeline of the solve (see
+    /// `spcg_obs`). `None` (the default) disables tracing entirely: every
+    /// instrumentation site branches on the `Option` and takes no
+    /// timestamp, and results and [`Counters`] are bitwise identical with
+    /// tracing on, off, or absent — spans only observe. The default
+    /// honours the `SPCG_TRACE` environment variable (any value but `0`
+    /// enables a fresh tracer; `SPCG_TRACE_CAP` bounds per-rank events),
+    /// so `SPCG_TRACE=1 cargo test` traces a whole suite without code
+    /// changes. Read the timeline back from this handle after the solve
+    /// (`tracer.export_json(...)`).
+    pub trace: Option<Tracer>,
 }
 
 /// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
@@ -193,6 +205,7 @@ impl Default for SolveOptions {
             residual_replacement: None,
             threads: default_threads(),
             overlap: default_overlap(),
+            trace: Tracer::from_env(),
         }
     }
 }
@@ -255,6 +268,12 @@ impl SolveOptions {
     /// Builder-style halo-exchange overlap (see [`SolveOptions::overlap`]).
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Builder-style span tracer (see [`SolveOptions::trace`]).
+    pub fn with_trace(mut self, trace: Option<Tracer>) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -333,6 +352,14 @@ impl SolveOptionsBuilder {
     /// [`SolveOptions::overlap`]).
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.opts.overlap = overlap;
+        self
+    }
+
+    /// Span tracer for a per-rank phase timeline (see
+    /// [`SolveOptions::trace`]). Pass `None` to force tracing off even
+    /// when `SPCG_TRACE` is set.
+    pub fn trace(mut self, trace: Option<Tracer>) -> Self {
+        self.opts.trace = trace;
         self
     }
 

@@ -9,10 +9,11 @@ use crate::engine::{Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 
 /// Solves `A x = b` with standard PCG (zero initial guess).
 pub fn pcg(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    pcg_g(&mut SerialExec::new(problem, opts.threads), opts)
+    pcg_g(&mut SerialExec::new(problem, opts), opts)
 }
 
 /// PCG over any execution substrate (see [`crate::engine`]).
@@ -20,6 +21,7 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
     let n = exec.nl();
     let nw = exec.n_global();
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
@@ -36,7 +38,10 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
     // rtu = rᵀu (reduced globally together with the first pᵀs next
     // iteration in real MPI; charged as part of the 2 collectives/iter).
     let mut red = [exec.dot(&r, &u)];
-    exec.allreduce(&mut red);
+    {
+        let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+        exec.allreduce(&mut red);
+    }
     let mut rtu = red[0];
     counters.record_dots(1, nw);
     counters.record_collective(1);
@@ -58,7 +63,10 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
         exec.spmv(&p, &mut s, &mut counters);
         counters.record_spmv(exec.spmv_flops());
         let mut red = [exec.dot(&p, &s)];
-        exec.allreduce(&mut red);
+        {
+            let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+            exec.allreduce(&mut red);
+        }
         let pts = red[0];
         counters.record_dots(1, nw);
         counters.record_collective(1);
@@ -82,13 +90,19 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
             return finish(x, outcome, iterations, stop, counters);
         }
         let alpha = rtu / pts;
-        pk.axpy(alpha, &p, &mut x);
-        pk.axpy(-alpha, &s, &mut r);
+        {
+            let _v = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
+            pk.axpy(alpha, &p, &mut x);
+            pk.axpy(-alpha, &s, &mut r);
+        }
         counters.blas1_flops += 4 * nw;
         exec.precond(&r, &mut u, &mut counters);
         counters.record_precond(exec.m_flops());
         let mut red = [exec.dot(&r, &u)];
-        exec.allreduce(&mut red);
+        {
+            let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+            exec.allreduce(&mut red);
+        }
         let rtu_new = red[0];
         counters.record_dots(1, nw);
         counters.record_collective(1);
@@ -97,7 +111,10 @@ pub(crate) fn pcg_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult {
         }
         let beta = rtu_new / rtu;
         rtu = rtu_new;
-        pk.xpby(&u, beta, &mut p);
+        {
+            let _v = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
+            pk.xpby(&u, beta, &mut p);
+        }
         counters.blas1_flops += 2 * nw;
 
         iterations += 1;

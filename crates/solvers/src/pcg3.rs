@@ -20,10 +20,11 @@ use crate::engine::{Exec, SerialExec};
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 
 /// Solves `A x = b` with three-term-recurrence PCG (zero initial guess).
 pub fn pcg3(problem: &Problem<'_>, opts: &SolveOptions) -> SolveResult {
-    pcg3_g(&mut SerialExec::new(problem, opts.threads), opts)
+    pcg3_g(&mut SerialExec::new(problem, opts), opts)
 }
 
 /// PCG3 over any execution substrate (see [`crate::engine`]).
@@ -31,6 +32,7 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
     let n = exec.nl();
     let nw = exec.n_global();
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch = Vec::new();
@@ -50,7 +52,10 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
     let mut rho_prev = 1.0f64;
 
     let mut red = [exec.dot(&r, &u)];
-    exec.allreduce(&mut red);
+    {
+        let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+        exec.allreduce(&mut red);
+    }
     let mu0 = red[0];
     counters.record_dots(1, nw);
     counters.record_collective(1);
@@ -70,7 +75,10 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
         exec.spmv(&u, &mut au, &mut counters);
         counters.record_spmv(exec.spmv_flops());
         let mut red = [exec.dot(&r, &u), exec.dot(&u, &au)];
-        exec.allreduce(&mut red);
+        {
+            let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+            exec.allreduce(&mut red);
+        }
         let (mu, nu) = (red[0], red[1]);
         counters.record_dots(2, nw);
         counters.record_collective(2); // both dots fused in one reduction
@@ -100,14 +108,17 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
             1.0 / denom
         };
 
-        // x_{i+1} = ρ(x + γu) + (1−ρ)x_prev
-        pk.three_term(rho, gamma, &x, &u, &x_prev, &mut next);
-        std::mem::swap(&mut x_prev, &mut x);
-        std::mem::swap(&mut x, &mut next);
-        // r_{i+1} = ρ(r − γ·Au) + (1−ρ)r_prev; `+(−γ)` is bitwise `−γ·`.
-        pk.three_term(rho, -gamma, &r, &au, &r_prev, &mut next);
-        std::mem::swap(&mut r_prev, &mut r);
-        std::mem::swap(&mut r, &mut next);
+        {
+            let _v = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
+            // x_{i+1} = ρ(x + γu) + (1−ρ)x_prev
+            pk.three_term(rho, gamma, &x, &u, &x_prev, &mut next);
+            std::mem::swap(&mut x_prev, &mut x);
+            std::mem::swap(&mut x, &mut next);
+            // r_{i+1} = ρ(r − γ·Au) + (1−ρ)r_prev; `+(−γ)` is bitwise `−γ·`.
+            pk.three_term(rho, -gamma, &r, &au, &r_prev, &mut next);
+            std::mem::swap(&mut r_prev, &mut r);
+            std::mem::swap(&mut r, &mut next);
+        }
         counters.blas1_flops += 10 * nw;
 
         exec.precond(&r, &mut u, &mut counters);
@@ -121,7 +132,10 @@ pub(crate) fn pcg3_g<E: Exec>(exec: &mut E, opts: &SolveOptions) -> SolveResult 
         counters.outer_iterations += 1;
 
         let mut red = [exec.dot(&r, &u)]; // for the M-norm criterion
-        exec.allreduce(&mut red);
+        {
+            let _g = spcg_obs::span(tr.as_ref(), Phase::Gram);
+            exec.allreduce(&mut red);
+        }
         let rtu = red[0];
         counters.record_dots(1, nw);
         counters.piggyback_words(1);

@@ -27,6 +27,7 @@ use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::cob::{apply_b_to_columns_par, b_small};
 use spcg_basis::BasisType;
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
 use spcg_sparse::{DenseMat, MultiVector};
 
@@ -41,7 +42,7 @@ pub fn spcg(
     basis: &BasisType,
     opts: &SolveOptions,
 ) -> SolveResult {
-    spcg_g(&mut SerialExec::new(problem, opts.threads), s, basis, opts)
+    spcg_g(&mut SerialExec::new(problem, opts), s, basis, opts)
 }
 
 /// sPCG over any execution substrate (see [`crate::engine`]).
@@ -56,6 +57,7 @@ pub(crate) fn spcg_g<E: Exec>(
     let nw = exec.n_global();
     let sw = s as u64;
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -83,6 +85,7 @@ pub(crate) fn spcg_g<E: Exec>(
         exec.mpk(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
 
         // --- the single global reduction: [UᵀS ; PᵀS] ---
+        let gram_span = spcg_obs::span(tr.as_ref(), Phase::Gram);
         let mut g1 = pk.gram(&u_mat, &s_mat); // s × (s+1)
         counters.record_dots(sw * (sw + 1), nw);
         let mut words = sw * (sw + 1);
@@ -99,6 +102,7 @@ pub(crate) fn spcg_g<E: Exec>(
             Some(g2) => allreduce_gram(exec, &mut [&mut g1, g2], &mut []),
             None => allreduce_gram(exec, &mut [&mut g1], &mut []),
         }
+        drop(gram_span);
         let (g1, g2) = (g1, g2);
 
         // --- convergence check every s steps ---
@@ -124,6 +128,7 @@ pub(crate) fn spcg_g<E: Exec>(
         }
 
         // --- Scalar Work (Alg. 6), replicated O(s³) on each rank ---
+        let scalar_span = spcg_obs::span(tr.as_ref(), Phase::ScalarWork);
         let m_vec = g1.col(0); // Rᵀu
         let uau = g1.matmul(&b_cob); // UᵀAU = (UᵀS)·B, s × s
         let (b_k, mut w) = match (&w_prev, &g2) {
@@ -131,7 +136,11 @@ pub(crate) fn spcg_g<E: Exec>(
                 let d = g2.matmul(&b_cob); // P^(k-1)ᵀAU
                 let mut rhs = d.clone();
                 rhs.scale(-1.0);
-                let b_k = match solve_spd_mat_with_fallback(wp, &rhs) {
+                let solved = {
+                    let _ss = spcg_obs::span(tr.as_ref(), Phase::SmallSolve);
+                    solve_spd_mat_with_fallback(wp, &rhs)
+                };
+                let b_k = match solved {
                     Ok(b) => b,
                     Err(e) => {
                         final_verdict = Outcome::Breakdown(format!("W^(k-1) solve failed: {e}"));
@@ -151,17 +160,23 @@ pub(crate) fn spcg_g<E: Exec>(
             final_verdict = Outcome::Breakdown("non-finite Gram data".into());
             break;
         }
-        let a_vec = match solve_spd_with_fallback(&w, &m_vec) {
+        let solved = {
+            let _ss = spcg_obs::span(tr.as_ref(), Phase::SmallSolve);
+            solve_spd_with_fallback(&w, &m_vec)
+        };
+        let a_vec = match solved {
             Ok(a) => a,
             Err(e) => {
                 final_verdict = Outcome::Breakdown(format!("W^(k) solve failed: {e}"));
                 break;
             }
         };
+        drop(scalar_span);
 
         // --- AU = S·B (local, ≤ (5s−2)n FLOPs, free for monomial) ---
         // The kernel reports FLOPs for its (local) row count; every term is
         // an exact multiple of it, so rescale to the global charge.
+        let update_span = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
         let local_flops = apply_b_to_columns_par(&pk, &s_mat, &params, &mut au_mat);
         counters.blas2_flops += local_flops / n as u64 * nw;
 
@@ -180,6 +195,7 @@ pub(crate) fn spcg_g<E: Exec>(
         pk.gemv_acc(&p_mat, 1.0, &a_vec, &mut x);
         pk.gemv_acc(&ap_mat, -1.0, &a_vec, &mut r);
         counters.blas2_flops += 4 * sw * nw;
+        drop(update_span);
 
         // Residual replacement (Carson & Demmel): once the recursive
         // residual has shrunk far enough, re-anchor it to b − A·x so the

@@ -22,6 +22,7 @@ use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
 use crate::stopping::{criterion_value, StopState, Verdict};
 use spcg_basis::poly::BasisParams;
 use spcg_dist::Counters;
+use spcg_obs::Phase;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
 use spcg_sparse::{DenseMat, MultiVector};
 
@@ -30,7 +31,7 @@ use spcg_sparse::{DenseMat, MultiVector};
 /// # Panics
 /// Panics if `s < 1`.
 pub fn spcg_mon(problem: &Problem<'_>, s: usize, opts: &SolveOptions) -> SolveResult {
-    spcg_mon_g(&mut SerialExec::new(problem, opts.threads), s, opts)
+    spcg_mon_g(&mut SerialExec::new(problem, opts), s, opts)
 }
 
 /// sPCG_mon over any execution substrate (see [`crate::engine`]).
@@ -40,6 +41,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
     let nw = exec.n_global();
     let sw = s as u64;
     let pk = exec.kernels().clone();
+    let tr = exec.track().cloned();
     let mut counters = Counters::new();
     let mut stop = StopState::new(opts);
     let mut scratch_vec = Vec::new();
@@ -63,6 +65,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         exec.mpk(&r, None, &params, &mut s_mat, &mut u_mat, &mut counters);
 
         // --- moments μ_l = rᵀ(M⁻¹A)^l u, l = 0 … 2s−1 (eq. 13) ---
+        let gram_span = spcg_obs::span(tr.as_ref(), Phase::Gram);
         // μ_l = (S col i)ᵀ(U col l−i) for any split; take i = min(l, s).
         let mut moments = vec![0.0; 2 * s];
         for (l, slot) in moments.iter_mut().enumerate() {
@@ -79,6 +82,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
             Some(g2) => allreduce_gram(exec, &mut [g2], &mut moments),
             None => exec.allreduce(&mut moments),
         }
+        drop(gram_span);
 
         // --- convergence check every s steps ---
         let rtu = moments[0];
@@ -102,6 +106,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         }
 
         // --- Scalar Work from moments (monomial Hankel structure) ---
+        let scalar_span = spcg_obs::span(tr.as_ref(), Phase::ScalarWork);
         let m_vec: Vec<f64> = moments[..s].to_vec(); // Rᵀu
         let uau = DenseMat::from_fn(s, s, |i, j| moments[i + j + 1]); // Hankel
         let (b_k, mut w) = match (&w_prev, &g2) {
@@ -110,7 +115,11 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
                 let d = DenseMat::from_fn(s, s, |i, j| g2[(i, j + 1)]);
                 let mut rhs = d.clone();
                 rhs.scale(-1.0);
-                let b_k = match solve_spd_mat_with_fallback(wp, &rhs) {
+                let solved = {
+                    let _ss = spcg_obs::span(tr.as_ref(), Phase::SmallSolve);
+                    solve_spd_mat_with_fallback(wp, &rhs)
+                };
+                let b_k = match solved {
                     Ok(b) => b,
                     Err(e) => {
                         final_verdict = Outcome::Breakdown(format!("W^(k-1) solve failed: {e}"));
@@ -129,14 +138,20 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
             final_verdict = Outcome::Breakdown("non-finite moment data".into());
             break;
         }
-        let a_vec = match solve_spd_with_fallback(&w, &m_vec) {
+        let solved = {
+            let _ss = spcg_obs::span(tr.as_ref(), Phase::SmallSolve);
+            solve_spd_with_fallback(&w, &m_vec)
+        };
+        let a_vec = match solved {
             Ok(a) => a,
             Err(e) => {
                 final_verdict = Outcome::Breakdown(format!("W^(k) solve failed: {e}"));
                 break;
             }
         };
+        drop(scalar_span);
 
+        let update_span = spcg_obs::span(tr.as_ref(), Phase::VecUpdate);
         // --- AU = last s columns of S (monomial: a pure copy) ---
         let au_view = s_mat.head_columns(s + 1); // clone of S
         let mut au_mat = MultiVector::zeros(n, s);
@@ -159,6 +174,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         pk.gemv_acc(&p_mat, 1.0, &a_vec, &mut x);
         pk.gemv_acc(&ap_mat, -1.0, &a_vec, &mut r);
         counters.blas2_flops += 4 * sw * nw;
+        drop(update_span);
 
         w_prev = Some(w);
         iterations += s;

@@ -16,7 +16,8 @@
 //! * [`precond`] — Jacobi, Chebyshev, block-Jacobi, SSOR;
 //! * [`basis`] — polynomial bases, matrix powers kernel, Ritz/Leja shifts;
 //! * [`solvers`] — the six solvers plus rank-parallel variants;
-//! * [`perf`] — Table-1 formulas and the α-β cluster model.
+//! * [`perf`] — Table-1 formulas and the α-β cluster model;
+//! * [`obs`] — span tracer: per-rank phase timelines and Chrome trace export.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 
 pub use spcg_basis as basis;
 pub use spcg_dist as dist;
+pub use spcg_obs as obs;
 pub use spcg_perf as perf;
 pub use spcg_precond as precond;
 pub use spcg_solvers as solvers;

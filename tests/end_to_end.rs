@@ -151,7 +151,6 @@ fn matrix_market_roundtrip_preserves_solve() {
 }
 
 #[test]
-#[allow(deprecated)] // the shims must keep working until removal
 fn parallel_and_serial_agree_end_to_end() {
     let a = poisson_2d(20);
     let b = paper_rhs(&a);
@@ -159,13 +158,22 @@ fn parallel_and_serial_agree_end_to_end() {
     let problem = Problem::new(&a, &m, &b);
     let opts = SolveOptions::default()
         .with_criterion(StoppingCriterion::RecursiveResidual2Norm)
-        .with_tol(1e-8);
+        .with_tol(1e-8)
+        .with_max_iters(12_000);
     let serial = spcg::solvers::pcg(&problem, &opts);
-    let par = spcg::solvers::par_pcg(&a, &b, 6, 1e-8, 12_000);
+    let par = solve(&Method::Pcg, &problem, &opts, Engine::Ranked { ranks: 6 });
     assert!(serial.converged() && par.converged());
     assert_eq!(serial.iterations, par.iterations);
     let basis = spcg::solvers::chebyshev_basis(&problem, 25, 0.1);
-    let par_s = spcg::solvers::par_spcg(&a, &b, 5, &basis, 6, 1e-8, 12_000);
+    let par_s = solve(
+        &Method::SPcg {
+            s: 5,
+            basis: basis.clone(),
+        },
+        &problem,
+        &opts,
+        Engine::Ranked { ranks: 6 },
+    );
     assert!(par_s.converged());
     for (p, q) in par_s.x.iter().zip(&serial.x) {
         assert!((p - q).abs() < 1e-5);
