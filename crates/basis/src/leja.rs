@@ -5,7 +5,7 @@
 //! equal, so consecutive basis vectors become nearly parallel. Leja ordering
 //! picks each next shift to maximize the product of distances to all
 //! previously chosen shifts, which keeps the Newton basis well conditioned
-//! (Hoemmen [14], §7.3). Products are accumulated in log space to avoid
+//! (Hoemmen \[14\], §7.3). Products are accumulated in log space to avoid
 //! overflow for large shift sets.
 
 /// Orders `candidates` by the (real) Leja rule, returning a new vector with

@@ -1,0 +1,124 @@
+//! Validates freshly emitted benchmark JSON against committed baselines.
+//!
+//! Usage: `benchcheck <fresh.json> <baseline.json> [<fresh> <baseline> ...]`
+//!
+//! For each pair the check fails when
+//!
+//! * the fresh file is missing or unparsable,
+//! * a key present in the baseline is missing from the fresh output
+//!   (schema drift — a renamed or dropped metric), or
+//! * a numeric leaf under a `gflops` object differs from the baseline by
+//!   more than [`MAX_RATIO`]× in either direction (a timing anomaly: a
+//!   broken kernel, a misconfigured run, or a unit change).
+//!
+//! Only `gflops` subtrees get the ratio check — iteration counts, sizes,
+//! and thread lists are schema-checked but machines legitimately differ in
+//! absolute throughput, and quick-mode runs legitimately subsample sweeps,
+//! so arrays are compared over their common prefix. Exit status is the
+//! number of failing pairs (0 = all good), capped at process-exit range.
+
+use spcg_obs::json::{parse, Value};
+use std::process::ExitCode;
+
+/// Allowed fresh/baseline throughput ratio (either direction). Generous on
+/// purpose: CI runners are slow and noisy, but a >10× swing means the
+/// benchmark is measuring something else entirely.
+const MAX_RATIO: f64 = 10.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() % 2 != 0 {
+        eprintln!("usage: benchcheck <fresh.json> <baseline.json> [...more pairs]");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0u8;
+    for pair in args.chunks(2) {
+        let (fresh_path, base_path) = (&pair[0], &pair[1]);
+        let mut errors = Vec::new();
+        match (load(fresh_path), load(base_path)) {
+            (Ok(fresh), Ok(base)) => {
+                compare(&base, &fresh, "$", false, &mut errors);
+            }
+            (fresh, base) => {
+                if let Err(e) = fresh {
+                    errors.push(format!("{fresh_path}: {e}"));
+                }
+                if let Err(e) = base {
+                    errors.push(format!("{base_path}: {e}"));
+                }
+            }
+        }
+        if errors.is_empty() {
+            eprintln!("benchcheck: OK   {fresh_path} vs {base_path}");
+        } else {
+            eprintln!("benchcheck: FAIL {fresh_path} vs {base_path}");
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            failures = failures.saturating_add(1);
+        }
+    }
+    ExitCode::from(failures)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    parse(&text).map_err(|e| format!("invalid JSON: {e}"))
+}
+
+/// Walks the baseline, requiring each key in the fresh value and ratio-
+/// checking numeric leaves once inside a `gflops` subtree.
+fn compare(base: &Value, fresh: &Value, path: &str, in_gflops: bool, errors: &mut Vec<String>) {
+    match (base, fresh) {
+        (Value::Object(fields), _) => {
+            for (key, bv) in fields {
+                match fresh.get(key) {
+                    Some(fv) => {
+                        let sub = format!("{path}.{key}");
+                        compare(bv, fv, &sub, in_gflops || key == "gflops", errors);
+                    }
+                    None => errors.push(format!("{path}.{key}: missing from fresh output")),
+                }
+            }
+        }
+        (Value::Array(bitems), Value::Array(fitems)) => {
+            // Quick-mode sweeps subsample: compare the common prefix, but an
+            // empty fresh array for a non-empty baseline is schema drift.
+            if fitems.is_empty() && !bitems.is_empty() {
+                errors.push(format!("{path}: fresh array is empty"));
+            }
+            for (i, (bv, fv)) in bitems.iter().zip(fitems).enumerate() {
+                compare(bv, fv, &format!("{path}[{i}]"), in_gflops, errors);
+            }
+        }
+        (Value::Array(_), other) => {
+            errors.push(format!("{path}: expected array, found {}", kind(other)));
+        }
+        (Value::Number(b), Value::Number(f)) if in_gflops => {
+            if !f.is_finite() || *f <= 0.0 {
+                errors.push(format!("{path}: non-positive throughput {f}"));
+            } else if *b > 0.0 && (f / b > MAX_RATIO || b / f > MAX_RATIO) {
+                errors.push(format!(
+                    "{path}: throughput {f} vs baseline {b} exceeds {MAX_RATIO}x"
+                ));
+            }
+        }
+        (Value::Number(_), Value::Number(_)) => {}
+        (Value::Number(_), other) => {
+            errors.push(format!("{path}: expected number, found {}", kind(other)));
+        }
+        // Strings/booleans/null: presence is all the baseline demands.
+        _ => {}
+    }
+}
+
+fn kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}

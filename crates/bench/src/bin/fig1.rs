@@ -203,7 +203,7 @@ fn main() {
                 cells.push(format!("{:.2}", pcg_one_node / p.time.total()));
             }
         } else {
-            cells.extend(std::iter::repeat_n("-".to_string(), NODES.len()));
+            cells.extend((0..NODES.len()).map(|_| "-".to_string()));
         }
         t.row(cells);
     }

@@ -37,6 +37,13 @@ impl Barrier {
     }
 
     fn wait(&self) {
+        // Watchdog slice: long enough that a healthy barrier (even under
+        // injected exchange stalls, which sleep milliseconds) never trips
+        // it, short enough to turn a genuine deadlock — a dead rank or
+        // diverged SPMD control flow — into a diagnosable panic instead
+        // of a silent wedge.
+        const WATCHDOG_SLICE: std::time::Duration = std::time::Duration::from_secs(5);
+        const WATCHDOG_SLICES: u32 = 6;
         let mut st = self.lock.lock().unwrap();
         let gen = st.generation;
         st.count += 1;
@@ -45,8 +52,20 @@ impl Barrier {
             st.generation = st.generation.wrapping_add(1);
             self.cvar.notify_all();
         } else {
+            let mut slices = 0;
             while st.generation == gen {
-                st = self.cvar.wait(st).unwrap();
+                let (next, timeout) = self.cvar.wait_timeout(st, WATCHDOG_SLICE).unwrap();
+                st = next;
+                if timeout.timed_out() && st.generation == gen {
+                    slices += 1;
+                    assert!(
+                        slices < WATCHDOG_SLICES,
+                        "barrier stuck: {}/{} ranks arrived after {:?}",
+                        st.count,
+                        self.total,
+                        WATCHDOG_SLICE * slices,
+                    );
+                }
             }
         }
     }

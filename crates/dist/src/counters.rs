@@ -50,6 +50,10 @@ pub struct Counters {
     pub halo_exchanges: u64,
     /// Remote words (f64 values) this rank read across all halo exchanges.
     pub halo_words: u64,
+    /// Residual-replacement restarts the resilience layer took (recovery
+    /// from breakdown, non-finite iterates, or injected faults). Zero for
+    /// undisturbed solves.
+    pub restarts: u64,
 }
 
 impl Counters {
@@ -120,6 +124,7 @@ impl Counters {
         self.outer_iterations += other.outer_iterations;
         self.halo_exchanges += other.halo_exchanges;
         self.halo_words += other.halo_words;
+        self.restarts += other.restarts;
     }
 
     /// All FLOPs on length-n vectors beyond SpMV and preconditioner — the
@@ -153,7 +158,7 @@ impl Counters {
              \"global_collectives\":{},\"allreduce_words\":{},\"dot_count\":{},\
              \"local_reduction_flops\":{},\"blas1_flops\":{},\"blas2_flops\":{},\
              \"blas3_flops\":{},\"small_flops\":{},\"iterations\":{},\"outer_iterations\":{},\
-             \"halo_exchanges\":{},\"halo_words\":{}}}",
+             \"halo_exchanges\":{},\"halo_words\":{},\"restarts\":{}}}",
             self.spmv_count,
             self.spmv_flops,
             self.precond_count,
@@ -170,6 +175,7 @@ impl Counters {
             self.outer_iterations,
             self.halo_exchanges,
             self.halo_words,
+            self.restarts,
         )
     }
 }
@@ -224,6 +230,7 @@ mod tests {
         c.small_flops = 4;
         c.iterations = 5;
         c.outer_iterations = 6;
+        c.restarts = 7;
         let json = c.to_json();
         let v = spcg_obs::json::parse(&json).expect("counters JSON parses");
         let field = |k: &str| v.get(k).and_then(spcg_obs::json::Value::as_f64).unwrap();
@@ -236,6 +243,7 @@ mod tests {
         assert_eq!(field("blas3_flops"), 3.0);
         assert_eq!(field("halo_words"), 12.0);
         assert_eq!(field("outer_iterations"), 6.0);
+        assert_eq!(field("restarts"), 7.0);
     }
 
     #[test]

@@ -33,8 +33,26 @@
 //! and the board asserts it.
 
 use crate::comm::ThreadComm;
+use crate::fault::{FaultPlan, FaultSite, STALL};
 use spcg_obs::{Phase, Track};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::Duration;
+
+/// Wait slice of the retry protocol when the board carries an active fault
+/// plan: short, so injected stalls (which sleep [`STALL`]) are observed as
+/// expired slices and the retry path actually runs.
+const ARMED_WAIT_SLICE: Duration = Duration::from_millis(2);
+
+/// Wait slice without a fault plan. Long enough that healthy runs — where
+/// a neighbour is merely slow, not failed — essentially never expire a
+/// slice, so the retry accounting stays silent.
+const CLEAN_WAIT_SLICE: Duration = Duration::from_millis(250);
+
+/// Total wait budget per exchange before the board declares the run wedged
+/// and panics with flag-state diagnostics. A genuine deadlock (a rank that
+/// died or SPMD control-flow divergence) is the only way to spend this.
+const WAIT_BUDGET: Duration = Duration::from_secs(30);
 
 /// One contiguous source run of a [`GatherPlan`].
 #[derive(Debug, Clone, Copy)]
@@ -108,6 +126,14 @@ pub struct VectorBoard {
     data: Arc<RwLock<Vec<f64>>>,
     offsets: Arc<Vec<usize>>,
     flags: Arc<Flags>,
+    /// Fault-injection plan, when this board participates in one.
+    faults: Option<FaultPlan>,
+    /// Decorrelation salt mixed into the plan's decisions, so the two
+    /// boards of a ranked solve draw distinct injection streams.
+    salt: u64,
+    /// Expired wait slices across all ranks — the retry protocol's
+    /// diagnostic odometer. Timing-dependent; never part of [`crate::Counters`].
+    retries: Arc<AtomicU64>,
 }
 
 impl VectorBoard {
@@ -133,7 +159,29 @@ impl VectorBoard {
                 }),
                 cvar: Condvar::new(),
             }),
+            faults: None,
+            salt: 0,
+            retries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Attaches a fault plan to the board (`None` detaches). `salt`
+    /// decorrelates this board's injection stream from other boards
+    /// sharing the plan (give each board of a solve a distinct salt).
+    /// With an inactive plan the board behaves exactly like an unfaulted
+    /// one, except that its wait slices shorten to the armed setting.
+    pub fn with_faults(mut self, plan: Option<FaultPlan>, salt: u64) -> Self {
+        self.faults = plan;
+        self.salt = salt;
+        self
+    }
+
+    /// Expired wait slices observed so far across all ranks of this board
+    /// — nonzero only when some completion or post actually had to wait
+    /// past a slice (a stalled neighbour). Timing-dependent diagnostics;
+    /// results and [`crate::Counters`] never depend on it.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Clones a handle for another rank's thread.
@@ -142,6 +190,9 @@ impl VectorBoard {
             data: Arc::clone(&self.data),
             offsets: Arc::clone(&self.offsets),
             flags: Arc::clone(&self.flags),
+            faults: self.faults.clone(),
+            salt: self.salt,
+            retries: Arc::clone(&self.retries),
         }
     }
 
@@ -204,6 +255,7 @@ impl VectorBoard {
         let me = comm.rank();
         let (lo, hi) = self.range(me);
         assert_eq!(chunk.len(), hi - lo, "post: chunk length mismatch");
+        let faults = self.injector(comm);
         let round = {
             let mut st = self.flags.state.lock().unwrap();
             assert_eq!(
@@ -211,18 +263,56 @@ impl VectorBoard {
                 "post: previous round not completed on rank {me}"
             );
             let round = st.published[me] + 1;
-            while !st.consumed.iter().all(|&c| c + 1 >= round) {
-                st = self.flags.cvar.wait(st).unwrap();
-            }
+            st = self.wait_while(
+                st,
+                |st| !st.consumed.iter().all(|&c| c + 1 >= round),
+                track,
+                "post",
+                me,
+            );
+            drop(st);
             round
         };
+        let poisoned = faults
+            .map(|p| p.fire(FaultSite::PoisonHalo, self.salt, me, round))
+            .unwrap_or(false);
         {
             let mut board = self.data.write().unwrap();
             board[lo..hi].copy_from_slice(chunk);
+            if poisoned && hi > lo {
+                // Corrupt the board copy only — the owner's local data
+                // stays clean, so only gathered halos see the NaN.
+                board[hi - 1] = f64::NAN;
+            }
         }
-        let mut st = self.flags.state.lock().unwrap();
-        st.published[me] = round;
-        self.flags.cvar.notify_all();
+        if faults
+            .map(|p| p.fire(FaultSite::PostStall, self.salt, me, round))
+            .unwrap_or(false)
+        {
+            // Hold the readiness flag back: neighbours completing this
+            // round see the stall and exercise the retry path.
+            std::thread::sleep(STALL);
+        }
+        {
+            let mut st = self.flags.state.lock().unwrap();
+            st.published[me] = round;
+            self.flags.cvar.notify_all();
+        }
+        if faults
+            .map(|p| p.fire(FaultSite::PublishDuplicate, self.salt, me, round))
+            .unwrap_or(false)
+        {
+            // A redundant second publish of the identical payload (poison
+            // included) plus a spurious wakeup — the protocol must absorb
+            // the duplicate without corrupting the round.
+            let mut board = self.data.write().unwrap();
+            board[lo..hi].copy_from_slice(chunk);
+            if poisoned && hi > lo {
+                board[hi - 1] = f64::NAN;
+            }
+            drop(board);
+            self.flags.cvar.notify_all();
+        }
     }
 
     /// Completes the round this rank posted: waits for the readiness flags
@@ -249,7 +339,7 @@ impl VectorBoard {
         let _span = spcg_obs::span(track, Phase::ExchangeWait);
         assert_eq!(out.len(), plan.total, "complete_into: out length mismatch");
         let me = comm.rank();
-        let round = self.begin_complete(me, plan.src_ranks.iter().copied());
+        let round = self.begin_complete(comm, plan.src_ranks.iter().copied(), track);
         {
             let board = self.data.read().unwrap();
             let mut pos = 0;
@@ -276,7 +366,7 @@ impl VectorBoard {
     pub fn complete_snapshot_traced(&self, comm: &ThreadComm, track: Option<&Track>) -> Vec<f64> {
         let _span = spcg_obs::span(track, Phase::ExchangeWait);
         let me = comm.rank();
-        let round = self.begin_complete(me, 0..comm.nranks());
+        let round = self.begin_complete(comm, 0..comm.nranks(), track);
         let full = self.data.read().unwrap().clone();
         self.end_complete(me, round);
         full
@@ -284,18 +374,89 @@ impl VectorBoard {
 
     /// Waits until every rank in `sources` has published this rank's
     /// current round, returning the round number.
-    fn begin_complete(&self, me: usize, sources: impl Iterator<Item = usize> + Clone) -> u64 {
-        let mut st = self.flags.state.lock().unwrap();
-        let round = st.published[me];
-        assert_eq!(
-            st.consumed[me] + 1,
-            round,
-            "complete: rank {me} has not posted this round"
-        );
-        while !sources.clone().all(|src| st.published[src] >= round) {
-            st = self.flags.cvar.wait(st).unwrap();
+    fn begin_complete(
+        &self,
+        comm: &ThreadComm,
+        sources: impl Iterator<Item = usize> + Clone,
+        track: Option<&Track>,
+    ) -> u64 {
+        let me = comm.rank();
+        let round = {
+            let st = self.flags.state.lock().unwrap();
+            let round = st.published[me];
+            assert_eq!(
+                st.consumed[me] + 1,
+                round,
+                "complete: rank {me} has not posted this round"
+            );
+            round
+        };
+        if self
+            .injector(comm)
+            .map(|p| p.fire(FaultSite::CompleteStall, self.salt, me, round))
+            .unwrap_or(false)
+        {
+            // Consumer-side stall: this rank is late to read, which holds
+            // every neighbour's *next* post back.
+            std::thread::sleep(STALL);
         }
+        let st = self.flags.state.lock().unwrap();
+        let st = self.wait_while(
+            st,
+            |st| !sources.clone().all(|src| st.published[src] >= round),
+            track,
+            "complete",
+            me,
+        );
+        drop(st);
         round
+    }
+
+    /// The board's fault plan, when it is active and the run actually has
+    /// neighbours — single-rank boards never inject (there is nothing
+    /// distributed to fail), preserving ranks=1-versus-serial parity.
+    fn injector(&self, comm: &ThreadComm) -> Option<&FaultPlan> {
+        self.faults
+            .as_ref()
+            .filter(|p| p.active() && comm.nranks() > 1)
+    }
+
+    /// Timeout/retry wait loop shared by the post and completion sides:
+    /// waits in slices while `pending` holds, counting each expired slice
+    /// as a retry (and recording it as a [`Retry`](Phase) span), and
+    /// panics with flag-state diagnostics once [`WAIT_BUDGET`] is spent —
+    /// bounded waiting instead of a silent wedge.
+    fn wait_while<'a>(
+        &self,
+        mut st: MutexGuard<'a, FlagState>,
+        pending: impl Fn(&FlagState) -> bool,
+        track: Option<&Track>,
+        what: &str,
+        me: usize,
+    ) -> MutexGuard<'a, FlagState> {
+        let slice = if self.faults.is_some() {
+            ARMED_WAIT_SLICE
+        } else {
+            CLEAN_WAIT_SLICE
+        };
+        let mut waited = Duration::ZERO;
+        while pending(&st) {
+            let (next, timeout) = self.flags.cvar.wait_timeout(st, slice).unwrap();
+            st = next;
+            if timeout.timed_out() && pending(&st) {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                let _retry = spcg_obs::span(track, Phase::Retry);
+                waited += slice;
+                assert!(
+                    waited < WAIT_BUDGET,
+                    "{what}: rank {me} wedged after {waited:?} \
+                     (published {:?}, consumed {:?})",
+                    st.published,
+                    st.consumed,
+                );
+            }
+        }
+        st
     }
 
     /// Marks this rank's round consumed, releasing the next `post`.
@@ -450,6 +611,142 @@ mod tests {
     #[should_panic(expected = "offsets must be monotone")]
     fn rejects_bad_offsets() {
         VectorBoard::new(vec![0, 5, 3]);
+    }
+
+    /// A board with stall-only faults at rate 1 must still deliver every
+    /// round's data exactly — stalls move waits around, never values.
+    #[test]
+    fn stall_faults_preserve_exchange_data() {
+        let g = CommGroup::new(2);
+        let plan =
+            FaultPlan::new(7, 1.0).with_sites(&[FaultSite::PostStall, FaultSite::CompleteStall]);
+        let board = VectorBoard::new(vec![0, 2, 4]).with_faults(Some(plan.clone()), 0);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    let gather = b.plan(if r == 0 { &[2, 3] } else { &[0, 1] });
+                    let mut halo = vec![0.0; 2];
+                    for round in 0..8 {
+                        let v = (round * 2 + r) as f64;
+                        b.post(&c, &[v, v]);
+                        b.complete_into(&c, &gather, &mut halo);
+                        let other = (round * 2 + (1 - r)) as f64;
+                        assert_eq!(halo, vec![other, other], "rank {r} round {round}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(plan.counts().site(FaultSite::PostStall) > 0);
+        assert!(plan.counts().site(FaultSite::CompleteStall) > 0);
+        assert_eq!(plan.counts().site(FaultSite::PoisonHalo), 0);
+    }
+
+    /// A rank that posts late is absorbed by the timeout/retry protocol:
+    /// the waiting rank spins expired slices (visible via `retries()`)
+    /// and still gathers the correct data.
+    #[test]
+    fn late_post_is_absorbed_with_retries() {
+        let g = CommGroup::new(2);
+        // An inactive plan still arms the short wait slice.
+        let plan = FaultPlan::new(1, 0.0);
+        let board = VectorBoard::new(vec![0, 1, 2]).with_faults(Some(plan), 0);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    if r == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    let gather = b.plan(&[1 - r]);
+                    let mut halo = [0.0];
+                    b.post(&c, &[r as f64 + 10.0]);
+                    b.complete_into(&c, &gather, &mut halo);
+                    assert_eq!(halo[0], (1 - r) as f64 + 10.0);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(board.retries() > 0, "the waiting rank should have retried");
+    }
+
+    /// Poisoned halos corrupt only the board copy: the gathering side
+    /// sees NaN, the owner's local chunk stays clean.
+    #[test]
+    fn poison_halo_corrupts_gathered_copy_only() {
+        let g = CommGroup::new(2);
+        let plan = FaultPlan::new(3, 1.0).with_sites(&[FaultSite::PoisonHalo]);
+        let board = VectorBoard::new(vec![0, 2, 4]).with_faults(Some(plan.clone()), 0);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    // Each rank gathers the other's *last* entry — the
+                    // poisoned position.
+                    let gather = b.plan(if r == 0 { &[3] } else { &[1] });
+                    let chunk = [r as f64, r as f64 + 0.5];
+                    let mut halo = [0.0];
+                    b.post(&c, &chunk);
+                    b.complete_into(&c, &gather, &mut halo);
+                    assert!(halo[0].is_nan(), "rank {r} should gather poison");
+                    // The local chunk the rank posted is untouched.
+                    assert_eq!(chunk, [r as f64, r as f64 + 0.5]);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(plan.counts().site(FaultSite::PoisonHalo), 2);
+    }
+
+    /// Duplicate publishes are idempotent: rounds keep their isolation
+    /// and values under rate-1 duplication.
+    #[test]
+    fn duplicate_publish_is_idempotent() {
+        let g = CommGroup::new(2);
+        let plan = FaultPlan::new(11, 1.0).with_sites(&[FaultSite::PublishDuplicate]);
+        let board = VectorBoard::new(vec![0, 1, 2]).with_faults(Some(plan.clone()), 0);
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = g.rank_comm(r);
+                let b = board.handle();
+                std::thread::spawn(move || {
+                    let gather = b.plan(&[1 - r]);
+                    let mut halo = [0.0];
+                    for round in 0..12 {
+                        b.post(&c, &[(round * 2 + r) as f64]);
+                        b.complete_into(&c, &gather, &mut halo);
+                        assert_eq!(halo[0], (round * 2 + (1 - r)) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(plan.counts().site(FaultSite::PublishDuplicate) > 0);
+    }
+
+    /// Single-rank boards never inject, whatever the plan says.
+    #[test]
+    fn single_rank_boards_do_not_inject() {
+        let g = CommGroup::new(1);
+        let c = g.rank_comm(0);
+        let plan = FaultPlan::new(5, 1.0);
+        let board = VectorBoard::new(vec![0, 3]).with_faults(Some(plan.clone()), 0);
+        board.post(&c, &[1.0, 2.0, 3.0]);
+        let snap = board.complete_snapshot(&c);
+        assert_eq!(snap, vec![1.0, 2.0, 3.0]);
+        assert_eq!(plan.counts().total(), 0);
     }
 
     #[test]

@@ -19,9 +19,11 @@ pub mod comm;
 pub mod counters;
 pub mod exchange;
 pub mod executor;
+pub mod fault;
 pub mod topology;
 
 pub use comm::{CommGroup, ThreadComm};
 pub use counters::Counters;
 pub use exchange::{GatherPlan, VectorBoard};
+pub use fault::{faults_armed, FaultCounts, FaultPlan, FaultSite};
 pub use topology::MachineTopology;

@@ -77,11 +77,18 @@ pub enum Phase {
     Frontier,
     /// Small `s×s` solves (Cholesky with eigendecomposition fallback).
     SmallSolve,
+    /// Residual-replacement restart of the resilience layer: recomputing
+    /// the true residual and re-seeding the next solve stage.
+    Restart,
+    /// One expired wait slice inside a split-phase exchange — the
+    /// timeout/retry protocol noticing a stalled neighbour and re-arming
+    /// its wait.
+    Retry,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Spmv,
         Phase::MpkLevel,
         Phase::Precond,
@@ -92,6 +99,8 @@ impl Phase {
         Phase::ExchangeWait,
         Phase::Frontier,
         Phase::SmallSolve,
+        Phase::Restart,
+        Phase::Retry,
     ];
 
     /// Stable snake_case name used in every export.
@@ -107,6 +116,8 @@ impl Phase {
             Phase::ExchangeWait => "exchange_wait",
             Phase::Frontier => "frontier",
             Phase::SmallSolve => "small_solve",
+            Phase::Restart => "restart",
+            Phase::Retry => "retry",
         }
     }
 
@@ -264,7 +275,7 @@ impl Tracer {
     /// total/min/max/mean wall-clock (spans include their nested
     /// children's time). Phases with no spans are omitted.
     pub fn phase_summary(&self) -> Vec<PhaseSummary> {
-        let mut agg: [Option<PhaseSummary>; 10] = Default::default();
+        let mut agg: [Option<PhaseSummary>; 12] = Default::default();
         for track in self.tracks() {
             for s in &track.spans {
                 let d = s.duration_s();

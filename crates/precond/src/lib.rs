@@ -10,7 +10,7 @@
 //! All preconditioners are *fixed linear operators* `M⁻¹` (a requirement for
 //! plain PCG and for the s-step basis construction, where `M⁻¹` is applied
 //! inside a polynomial recurrence) and report their FLOP cost per
-//! application so solvers can charge [`spcg_dist::Counters`] accurately.
+//! application so solvers can charge `spcg_dist::Counters` accurately.
 
 pub mod block_jacobi;
 pub mod chebyshev;

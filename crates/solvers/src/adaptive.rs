@@ -1,5 +1,5 @@
 //! Adaptive-s sPCG — an extension beyond the paper (inspired by Carson's
-//! adaptive s-step CG [2]).
+//! adaptive s-step CG \[2\]).
 //!
 //! When the s-step basis breaks down (singular scalar-work system, lost
 //! positive definiteness) the solver restarts from the current iterate with
@@ -45,6 +45,7 @@ pub fn adaptive_spcg(
     let mut s = s_max;
     let mut iterations_left = opts.max_iters;
     let mut tol_left = opts.tol;
+    let mut zero_streak = 0u32;
 
     let mut result = loop {
         let stage_opts = SolveOptions {
@@ -56,7 +57,8 @@ pub fn adaptive_spcg(
         let res = spcg(&stage_problem, s, basis, &stage_opts);
         counters.merge(&res.counters);
         stages.push((s, res.iterations));
-        iterations_left = iterations_left.saturating_sub(res.iterations.max(1));
+        iterations_left =
+            crate::resilience::charge_budget(iterations_left, res.iterations, &mut zero_streak);
         // A diverged stage's iterate is garbage — discard it and retry with
         // smaller s from the previous accumulated solution; a breakdown
         // stage's partial progress is kept.

@@ -1,4 +1,4 @@
-//! CA-PCG — communication-avoiding PCG (Toledo [21], paper Algorithm 3).
+//! CA-PCG — communication-avoiding PCG (Toledo \[21\], paper Algorithm 3).
 //!
 //! Transforms the PCG vectors into a `(2s+1)`-dimensional coordinate space
 //! spanned by `Y^(k) = [Q^(k), R̂^(k)]` and runs s inner PCG steps entirely
@@ -178,6 +178,9 @@ pub(crate) fn capcg_g<E: Exec>(
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

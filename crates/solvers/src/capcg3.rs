@@ -1,4 +1,4 @@
-//! CA-PCG3 — communication-avoiding three-term PCG (Hoemmen [14], paper
+//! CA-PCG3 — communication-avoiding three-term PCG (Hoemmen \[14\], paper
 //! Algorithm 4).
 //!
 //! Built on PCG3's three-term recurrence. Per outer iteration it extends
@@ -249,6 +249,9 @@ pub(crate) fn capcg3_g<E: Exec>(
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

@@ -2,7 +2,7 @@
 //! rank-parallel execution.
 //!
 //! Every solver body in this crate is written once, generically over an
-//! [`Exec`] — the small set of operations whose *implementation* differs
+//! `Exec` — the small set of operations whose *implementation* differs
 //! between serial and distributed execution: SpMV, preconditioner
 //! application, the Matrix Powers Kernel, local dot partials, and the
 //! allreduce combining them. The bodies record all [`Counters`] charges
@@ -11,10 +11,10 @@
 //! the `Exec` implementations only *perform* the work (and additionally
 //! count halo traffic, which exists only under ranking).
 //!
-//! * [`SerialExec`] delegates straight to `CsrMatrix::spmv`,
+//! * `SerialExec` delegates straight to `CsrMatrix::spmv`,
 //!   `Preconditioner::apply`, `Mpk::run`, and `blas::dot`, with a no-op
 //!   allreduce — bitwise identical to the pre-engine serial solvers.
-//! * [`RankExec`] owns a block of rows `[lo, hi)` on one
+//! * `RankExec` owns a block of rows `[lo, hi)` on one
 //!   [`ThreadComm`] rank. SpMV gathers a depth-1 ghost zone through a
 //!   [`VectorBoard`]'s split-phase exchange; the MPK gathers a depth-s
 //!   ghost zone **once per s-step block** and runs [`DistMpk`] — the PA1
@@ -34,10 +34,11 @@
 
 use crate::method::Method;
 use crate::options::{Problem, SolveOptions, SolveResult};
+use crate::resilience::{solve_resilient, Resilience};
 use spcg_basis::poly::BasisParams;
 use spcg_basis::{DistMpk, Mpk};
 use spcg_dist::executor::run_ranks;
-use spcg_dist::{Counters, GatherPlan, ThreadComm, VectorBoard};
+use spcg_dist::{Counters, FaultPlan, FaultSite, GatherPlan, ThreadComm, VectorBoard};
 use spcg_obs::{Phase, Track};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
@@ -292,6 +293,13 @@ pub(crate) struct RankExec<'a> {
     /// This rank's trace track, created on the rank's own thread (the
     /// handle is deliberately not `Send`) — `None` when tracing is off.
     track: Option<Track>,
+    /// Active fault plan of a faulted run (`None` otherwise): the
+    /// `PoisonReduce` site corrupts this rank's allreduce contribution.
+    faults: Option<FaultPlan>,
+    /// Deterministic allreduce-call sequence number for `PoisonReduce`
+    /// decisions — identical across ranks (SPMD control flow) and across
+    /// schedule-equivalent runs.
+    reduce_calls: u64,
 }
 
 impl<'a> RankExec<'a> {
@@ -307,6 +315,7 @@ impl<'a> RankExec<'a> {
         threads: usize,
         overlap: bool,
         track: Option<Track>,
+        faults: Option<FaultPlan>,
     ) -> Self {
         let pk = ParKernels::new(threads);
         let gz1 = GhostZone::new(problem.a, lo, hi, 1);
@@ -355,6 +364,8 @@ impl<'a> RankExec<'a> {
             ext_buf2: Vec::new(),
             full_buf: Vec::new(),
             track,
+            faults,
+            reduce_calls: 0,
         }
     }
 
@@ -585,6 +596,17 @@ impl Exec for RankExec<'_> {
     }
 
     fn allreduce(&mut self, buf: &mut [f64]) {
+        if let Some(plan) = &self.faults {
+            let seq = self.reduce_calls;
+            self.reduce_calls += 1;
+            // Salt 2: the two exchange boards use 0 and 1.
+            if !buf.is_empty() && plan.fire(FaultSite::PoisonReduce, 2, self.comm.rank(), seq) {
+                // Corrupt this rank's contribution; the deterministic
+                // rank-order sum hands every rank the same NaN, driving
+                // consensus breakdown detection rather than rank drift.
+                buf[0] = f64::NAN;
+            }
+        }
         self.comm.allreduce_sum(buf);
     }
 
@@ -616,12 +638,22 @@ pub(crate) fn run_ranked(
     let offsets: Vec<usize> = (0..=ranks)
         .map(|p| if p == 0 { 0 } else { part.range(p - 1).1 })
         .collect();
-    let board = VectorBoard::new(offsets.clone());
-    let board2 = VectorBoard::new(offsets);
+    // Single-rank runs have no exchange or reduction traffic worth
+    // faulting; keeping them clean preserves ranks=1 ↔ serial parity.
+    let plan = opts.faults.clone().filter(|p| p.active() && ranks > 1);
+    let board = VectorBoard::new(offsets.clone()).with_faults(plan.clone(), 0);
+    let board2 = VectorBoard::new(offsets).with_faults(plan.clone(), 1);
     let mpk_depth = match method {
         Method::Pcg | Method::Pcg3 => None,
         _ => Some(method.s()),
     };
+    // A faulted run needs self-healing to absorb poisoned payloads, so an
+    // active plan arms the default policy unless the caller chose one.
+    let resilience = opts
+        .resilience
+        .clone()
+        .or_else(|| plan.as_ref().map(|_| Resilience::default()));
+    let before = plan.as_ref().map(|p| p.counts());
 
     let results = run_ranks(ranks, |comm: ThreadComm| {
         // The track must be created (and dropped) on the rank's own
@@ -640,8 +672,9 @@ pub(crate) fn run_ranked(
             opts.threads,
             opts.overlap,
             track,
+            plan.clone(),
         );
-        dispatch(method, &mut exec, opts)
+        solve_resilient(method, &mut exec, opts, resilience.as_ref())
     });
 
     let mut x = Vec::with_capacity(n);
@@ -651,6 +684,9 @@ pub(crate) fn run_ranked(
     let mut out = results.into_iter().next().unwrap();
     out.collectives_per_rank = Some(out.counters.global_collectives);
     out.x = x;
+    if let (Some(plan), Some(before)) = (&plan, &before) {
+        out.faults_absorbed = plan.counts().since(before).total();
+    }
     out
 }
 

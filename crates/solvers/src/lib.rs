@@ -4,12 +4,12 @@
 //!
 //! | Solver | Paper | Module | Notes |
 //! |---|---|---|---|
-//! | PCG | Alg. 1 | [`pcg`] | two-term baseline, 2 reductions/iter |
-//! | PCG3 | Rutishauser [17] | [`pcg3`] | three-term baseline behind CA-PCG3 |
-//! | sPCG_mon | Alg. 2, Chronopoulos/Gear [7] | [`spcg_mon`] | monomial-only s-step method |
-//! | **sPCG** | **Alg. 5 + Alg. 6 (the contribution)** | [`spcg`] | s-step method with arbitrary bases |
-//! | CA-PCG | Alg. 3, Toledo [21] | [`capcg`] | coordinate-space inner loop, 2s−1 MV/precond |
-//! | CA-PCG3 | Alg. 4, Hoemmen [14] | [`capcg3`] | three-term s-step method, BLAS1 updates |
+//! | PCG | Alg. 1 | [`mod@pcg`] | two-term baseline, 2 reductions/iter |
+//! | PCG3 | Rutishauser \[17\] | [`mod@pcg3`] | three-term baseline behind CA-PCG3 |
+//! | sPCG_mon | Alg. 2, Chronopoulos/Gear \[7\] | [`mod@spcg_mon`] | monomial-only s-step method |
+//! | **sPCG** | **Alg. 5 + Alg. 6 (the contribution)** | [`mod@spcg`] | s-step method with arbitrary bases |
+//! | CA-PCG | Alg. 3, Toledo \[21\] | [`mod@capcg`] | coordinate-space inner loop, 2s−1 MV/precond |
+//! | CA-PCG3 | Alg. 4, Hoemmen \[14\] | [`mod@capcg3`] | three-term s-step method, BLAS1 updates |
 //!
 //! All s-step solvers perform **one global reduction per s steps**; every
 //! solver charges `spcg_dist::Counters` with the operation classes of the
@@ -26,6 +26,7 @@ pub mod method;
 pub mod options;
 pub mod pcg;
 pub mod pcg3;
+pub mod resilience;
 pub mod setup;
 pub mod spcg;
 pub mod spcg_mon;
@@ -41,6 +42,7 @@ pub use options::{
 };
 pub use pcg::pcg;
 pub use pcg3::pcg3;
+pub use resilience::Resilience;
 pub use setup::{chebyshev_basis, newton_basis};
 pub use spcg::spcg;
 pub use spcg_mon::spcg_mon;

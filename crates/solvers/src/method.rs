@@ -44,6 +44,31 @@ impl Method {
             | Method::CaPcg3 { s, .. } => *s,
         }
     }
+
+    /// The same method with its block size replaced, clamped to the
+    /// method's minimum (2 for CA-PCG and CA-PCG3, whose coordinate-space
+    /// recurrences need it; 1 for the other s-step methods). The
+    /// non-blocked baselines have no block size and return themselves —
+    /// the resilience driver's s-reduction policy is a no-op for them.
+    pub fn with_s(&self, s: usize) -> Method {
+        match self {
+            Method::Pcg => Method::Pcg,
+            Method::Pcg3 => Method::Pcg3,
+            Method::SPcg { basis, .. } => Method::SPcg {
+                s: s.max(1),
+                basis: basis.clone(),
+            },
+            Method::SPcgMon { .. } => Method::SPcgMon { s: s.max(1) },
+            Method::CaPcg { basis, .. } => Method::CaPcg {
+                s: s.max(2),
+                basis: basis.clone(),
+            },
+            Method::CaPcg3 { basis, .. } => Method::CaPcg3 {
+                s: s.max(2),
+                basis: basis.clone(),
+            },
+        }
+    }
 }
 
 /// Runs the selected method on the chosen execution [`Engine`].
@@ -60,14 +85,14 @@ pub fn solve(
     engine: Engine,
 ) -> SolveResult {
     match engine {
-        Engine::Serial => match method {
-            Method::Pcg => crate::pcg::pcg(problem, opts),
-            Method::Pcg3 => crate::pcg3::pcg3(problem, opts),
-            Method::SPcg { s, basis } => crate::spcg::spcg(problem, *s, basis, opts),
-            Method::SPcgMon { s } => crate::spcg_mon::spcg_mon(problem, *s, opts),
-            Method::CaPcg { s, basis } => crate::capcg::capcg(problem, *s, basis, opts),
-            Method::CaPcg3 { s, basis } => crate::capcg3::capcg3(problem, *s, basis, opts),
-        },
+        Engine::Serial => {
+            // Serial execution has no distributed substrate to fault, so
+            // the resilience driver runs only when explicitly configured;
+            // with the default `resilience: None` this is exactly the
+            // direct `pcg(problem, opts)`-style call it always was.
+            let mut exec = crate::engine::SerialExec::new(problem, opts);
+            crate::resilience::solve_resilient(method, &mut exec, opts, opts.resilience.as_ref())
+        }
         Engine::Ranked { ranks } => crate::engine::run_ranked(method, problem, opts, ranks),
     }
 }

@@ -1,6 +1,7 @@
 //! Problem definition, solver options, and results.
 
-use spcg_dist::Counters;
+use crate::resilience::Resilience;
+use spcg_dist::{Counters, FaultPlan};
 use spcg_obs::Tracer;
 use spcg_precond::Preconditioner;
 use spcg_sparse::CsrMatrix;
@@ -140,7 +141,7 @@ pub struct SolveOptions {
     pub stall_checks: usize,
     /// Record the criterion value at every check into the result's history.
     pub keep_history: bool,
-    /// Residual replacement (Carson & Demmel [3]) for the s-step solvers:
+    /// Residual replacement (Carson & Demmel \[3\]) for the s-step solvers:
     /// when the recursive residual has shrunk by this factor since the last
     /// replacement, recompute `r = b − A·x` explicitly (one extra SpMV).
     /// `None` disables replacement (the paper's configuration).
@@ -176,6 +177,23 @@ pub struct SolveOptions {
     /// changes. Read the timeline back from this handle after the solve
     /// (`tracer.export_json(...)`).
     pub trace: Option<Tracer>,
+    /// Deterministic fault-injection plan for the distributed substrate
+    /// (see `spcg_dist::fault`): seeded rank stalls at exchange
+    /// boundaries, duplicated epoch publishes, and NaN payload poisoning.
+    /// `None` (the default) injects nothing and leaves every code path
+    /// bitwise identical to an unfaulted build. The default honours the
+    /// `SPCG_FAULTS=<seed>:<rate>` environment variable, so
+    /// `SPCG_FAULTS=101:0.05 cargo test` fault-sweeps a whole suite.
+    /// Single-rank and serial runs never inject regardless of the plan.
+    pub faults: Option<FaultPlan>,
+    /// Self-healing policy (see [`Resilience`]): breakdown detection with
+    /// residual-replacement restart, generalized from `adaptive_spcg` to
+    /// all six methods. `None` (the default) disables the resilient
+    /// driver **explicitly configured here** — ranked solves with an
+    /// active fault plan arm [`Resilience::default`] on their own, since
+    /// injected poison must be survivable. Serial solves only restart
+    /// when this is `Some`.
+    pub resilience: Option<Resilience>,
 }
 
 /// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
@@ -206,6 +224,8 @@ impl Default for SolveOptions {
             threads: default_threads(),
             overlap: default_overlap(),
             trace: Tracer::from_env(),
+            faults: FaultPlan::from_env(),
+            resilience: None,
         }
     }
 }
@@ -274,6 +294,19 @@ impl SolveOptions {
     /// Builder-style span tracer (see [`SolveOptions::trace`]).
     pub fn with_trace(mut self, trace: Option<Tracer>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style fault plan (see [`SolveOptions::faults`]). Pass
+    /// `None` to force faults off even when `SPCG_FAULTS` is set.
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style resilience policy (see [`SolveOptions::resilience`]).
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 }
@@ -363,6 +396,19 @@ impl SolveOptionsBuilder {
         self
     }
 
+    /// Fault-injection plan (see [`SolveOptions::faults`]). Pass `None`
+    /// to force faults off even when `SPCG_FAULTS` is set.
+    pub fn faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.opts.faults = faults;
+        self
+    }
+
+    /// Resilience policy (see [`SolveOptions::resilience`]).
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.opts.resilience = Some(resilience);
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> SolveOptions {
         self.opts
@@ -413,6 +459,19 @@ pub struct SolveResult {
     /// participates in every collective, so this is also the per-rank
     /// synchronization count the paper's Table 1 models.
     pub collectives_per_rank: Option<u64>,
+    /// Residual-replacement restarts the resilience driver took. Zero for
+    /// undisturbed solves and whenever [`SolveOptions::resilience`] was
+    /// off (also mirrored into `counters.restarts`).
+    pub restarts: usize,
+    /// The `s` parameter of each stage the resilience driver ran, in
+    /// order — `[8, 4]` records one restart that halved s. A single entry
+    /// (or empty, when the driver was off) means no breakdown forced a
+    /// reduction. Standard PCG records its stages with `s = 1`.
+    pub s_schedule: Vec<usize>,
+    /// Faults the active [`SolveOptions::faults`] plan injected during
+    /// this solve (all sites, all ranks) — every one of them absorbed,
+    /// since the solve returned. Zero without a plan.
+    pub faults_absorbed: u64,
 }
 
 impl SolveResult {

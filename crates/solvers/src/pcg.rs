@@ -149,6 +149,9 @@ fn finish(
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

@@ -1,4 +1,4 @@
-//! Three-term recurrence PCG (Rutishauser [17]), the method underlying
+//! Three-term recurrence PCG (Rutishauser \[17\]), the method underlying
 //! CA-PCG3.
 //!
 //! PCG3 eliminates the search directions of standard PCG and updates the
@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Mathematically equivalent to PCG, but its rounding behaviour is worse
-//! (Gutknecht & Strakoš [13]) — the reason the paper flags CA-PCG3's
+//! (Gutknecht & Strakoš \[13\]) — the reason the paper flags CA-PCG3's
 //! three-term foundation as a stability liability. Both dot products of an
 //! iteration reduce in a single collective.
 
@@ -168,6 +168,9 @@ fn finish(
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

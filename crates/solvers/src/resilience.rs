@@ -1,0 +1,360 @@
+//! Self-healing solves: breakdown detection with residual-replacement
+//! restart, generalized from [`crate::adaptive`] to all six methods and
+//! both execution engines.
+//!
+//! The driver runs a method in *stages*. Each stage solves the residual
+//! system `A·d = b − A·x_acc` from a zero guess; restarting is exact
+//! because the remaining error `e = x* − x_acc` satisfies `A·e = r`, so
+//! correcting `x_acc += d` loses nothing — the same argument behind
+//! Carson & Demmel residual replacement, applied at stage granularity.
+//! A stage ends in one of three ways:
+//!
+//! * **accepted** — converged (or out of budget/stalled) with a finite
+//!   iterate: the driver returns;
+//! * **breakdown** — singular scalar work, lost positive definiteness, or
+//!   a non-positive curvature: partial progress is kept, `s` is halved
+//!   (down to the method's minimum) per the policy, and the residual is
+//!   recomputed for the next stage;
+//! * **poisoned/diverged** — a non-finite iterate or criterion (e.g. an
+//!   injected NaN payload, see `spcg_dist::fault`): the stage's iterate
+//!   is discarded and the stage reruns from the last good `x_acc`.
+//!
+//! Whether an iterate is finite is decided by **consensus**: every rank
+//! contributes a bad-flag through the deterministic allreduce, and the
+//! reduced flag is tested NaN-safely (`!(sum == 0.0)`), so even a poisoned
+//! reduction sends all ranks down the same restart branch — SPMD control
+//! flow never diverges.
+//!
+//! With the policy `None` the driver is a transparent passthrough, and
+//! even with a policy armed, a solve whose first stage converges returns
+//! that stage's result object unchanged — the zero-fault path is bitwise
+//! identical (solution, outcome, counters) to an undriven solve.
+
+use crate::engine::{dispatch, Exec};
+use crate::method::Method;
+use crate::options::{Outcome, SolveOptions, SolveResult};
+use spcg_basis::poly::BasisParams;
+use spcg_dist::Counters;
+use spcg_obs::{Phase, Track};
+use spcg_sparse::{MultiVector, ParKernels};
+
+/// Self-healing policy (see [`SolveOptions::resilience`]
+/// (crate::SolveOptions::resilience) and the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Resilience {
+    /// Restarts allowed before the driver returns whatever it has. Each
+    /// injected-fault recovery or breakdown consumes one.
+    pub max_restarts: usize,
+    /// Halve `s` (down to the method's minimum) when a stage ends in a
+    /// basis breakdown or divergence — the adaptive-s policy of
+    /// [`crate::adaptive::adaptive_spcg`]. Faulted-but-numerically-healthy
+    /// stages (poisoned payloads) rerun at full `s` either way.
+    pub shrink_s: bool,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            // A restart costs one SpMV, and the iteration budget (every
+            // stage charges at least an escalating minimum) is what really
+            // bounds the stage loop — the cap only guards pathological
+            // configurations. It errs high because injected faults scale
+            // with ranks × sites: a multi-site plan on many ranks can
+            // poison most of its injection window's rounds, each needing
+            // its own recovery stage.
+            max_restarts: 256,
+            shrink_s: true,
+        }
+    }
+}
+
+impl Resilience {
+    /// Builder-style restart cap.
+    pub fn with_max_restarts(mut self, max_restarts: usize) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Builder-style s-reduction toggle.
+    pub fn with_shrink_s(mut self, shrink_s: bool) -> Self {
+        self.shrink_s = shrink_s;
+        self
+    }
+}
+
+/// Charges one stage's iterations against the remaining budget.
+///
+/// Productive stages charge exactly what they ran — a solve that
+/// legitimately needs all of `max_iters` across stages keeps every
+/// iteration it is owed. Zero-progress stages (immediate breakdown)
+/// charge an escalating minimum (1, 2, 4, …) so a stage that can never
+/// advance exhausts the budget in logarithmically many attempts instead
+/// of looping forever.
+pub(crate) fn charge_budget(left: usize, ran: usize, zero_streak: &mut u32) -> usize {
+    if ran > 0 {
+        *zero_streak = 0;
+        left.saturating_sub(ran)
+    } else {
+        let charge = 1usize << (*zero_streak).min(16);
+        *zero_streak += 1;
+        left.saturating_sub(charge)
+    }
+}
+
+/// Consensus finiteness test: allreduces a per-rank bad-flag and tests it
+/// NaN-safely, so a poisoned reduction also reads as bad — on every rank.
+fn nonfinite_consensus<E: Exec>(exec: &mut E, x: &[f64]) -> bool {
+    let local_bad = if x.iter().any(|v| !v.is_finite()) {
+        1.0
+    } else {
+        0.0
+    };
+    let mut buf = [local_bad];
+    exec.allreduce(&mut buf);
+    !(buf[0] == 0.0)
+}
+
+/// An [`Exec`] view with the right-hand side overridden — the residual
+/// system of one restart stage. Everything else delegates to the wrapped
+/// substrate, so arithmetic, exchanges, and counter charges are those of
+/// a plain solve of `A·d = rhs`.
+struct RhsOverride<'e, E: Exec> {
+    inner: &'e mut E,
+    rhs: &'e [f64],
+}
+
+impl<E: Exec> Exec for RhsOverride<'_, E> {
+    fn nl(&self) -> usize {
+        self.inner.nl()
+    }
+    fn n_global(&self) -> u64 {
+        self.inner.n_global()
+    }
+    fn spmv_flops(&self) -> u64 {
+        self.inner.spmv_flops()
+    }
+    fn m_flops(&self) -> u64 {
+        self.inner.m_flops()
+    }
+    fn b_local(&self) -> &[f64] {
+        self.rhs
+    }
+    fn spmv(&mut self, x: &[f64], y: &mut [f64], counters: &mut Counters) {
+        self.inner.spmv(x, y, counters);
+    }
+    fn precond(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
+        self.inner.precond(r, z, counters);
+    }
+    fn mpk(
+        &mut self,
+        w: &[f64],
+        known_mw: Option<&[f64]>,
+        params: &BasisParams,
+        v: &mut MultiVector,
+        mv: &mut MultiVector,
+        counters: &mut Counters,
+    ) {
+        self.inner.mpk(w, known_mw, params, v, mv, counters);
+    }
+    fn dot(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.inner.dot(a, b)
+    }
+    fn allreduce(&mut self, buf: &mut [f64]) {
+        self.inner.allreduce(buf);
+    }
+    fn kernels(&self) -> &ParKernels {
+        self.inner.kernels()
+    }
+    fn track(&self) -> Option<&Track> {
+        self.inner.track()
+    }
+}
+
+/// Runs `method` on `exec` under the given resilience policy; with `None`
+/// this is exactly [`dispatch`]. See the module docs for the stage
+/// protocol and the bitwise passthrough guarantee.
+pub(crate) fn solve_resilient<E: Exec>(
+    method: &Method,
+    exec: &mut E,
+    opts: &SolveOptions,
+    resilience: Option<&Resilience>,
+) -> SolveResult {
+    let Some(pol) = resilience else {
+        return dispatch(method, exec, opts);
+    };
+    // Static per-run property, identical on every rank — safe to branch on.
+    let fault_tolerant = opts.faults.as_ref().is_some_and(|p| p.active());
+    let nl = exec.nl();
+    let nw = exec.n_global();
+    let b_orig = exec.b_local().to_vec();
+    let mut stage_rhs = b_orig.clone();
+    let mut x_acc = vec![0.0; nl];
+    let mut total = Counters::new();
+    let mut history: Vec<(usize, f64)> = Vec::new();
+    let mut s_schedule: Vec<usize> = Vec::new();
+    let mut method_now = method.clone();
+    let mut tol_left = opts.tol;
+    let mut iters_left = opts.max_iters;
+    let mut iterations_total = 0usize;
+    let mut restarts = 0usize;
+    let mut zero_streak = 0u32;
+
+    loop {
+        // History is forced on: the tolerance handoff between stages needs
+        // the stage's reduction factor. It never changes arithmetic or
+        // counters — only the recorded (iteration, value) pairs.
+        let stage_opts = SolveOptions {
+            tol: tol_left,
+            max_iters: iters_left,
+            keep_history: true,
+            ..opts.clone()
+        };
+        let res = {
+            let mut staged = RhsOverride {
+                inner: exec,
+                rhs: &stage_rhs,
+            };
+            dispatch(&method_now, &mut staged, &stage_opts)
+        };
+        s_schedule.push(method_now.s());
+        let bad = nonfinite_consensus(exec, &res.x);
+        total.merge(&res.counters);
+        let stage_base = iterations_total;
+        iterations_total += res.iterations;
+        iters_left = if fault_tolerant {
+            // Under an armed fault plan zero-progress stages are expected
+            // — a poisoned first exchange breaks a stage before any
+            // iteration completes — and their number is bounded by the
+            // plan's injection window, so charge the flat minimum. The
+            // escalating charge is for genuine numerical breakdown loops.
+            iters_left.saturating_sub(res.iterations.max(1))
+        } else {
+            charge_budget(iters_left, res.iterations, &mut zero_streak)
+        };
+
+        let accepted = !bad
+            && matches!(
+                res.outcome,
+                Outcome::Converged | Outcome::Stagnated | Outcome::MaxIterations
+            );
+        if accepted && restarts == 0 {
+            // First stage succeeded: return its result object unchanged —
+            // the bitwise zero-fault passthrough (x_acc accumulation could
+            // flip -0.0 signs; handing the stage's own iterate back cannot).
+            let mut out = res;
+            if !opts.keep_history {
+                out.history = Vec::new();
+            }
+            out.s_schedule = s_schedule;
+            return out;
+        }
+
+        // A diverged or non-finite stage iterate is garbage — discard it;
+        // breakdown stages keep their partial progress (adaptive.rs
+        // semantics).
+        let discard = bad || matches!(res.outcome, Outcome::Diverged);
+        if !discard {
+            for (xi, di) in x_acc.iter_mut().zip(&res.x) {
+                *xi += di;
+            }
+            // Stage reduced the criterion by some factor f; later stages
+            // only owe tol/f more (guarded against non-finite history
+            // under payload poisoning).
+            if let (Some(first), Some(last)) = (res.history.first(), res.history.last()) {
+                if first.1.is_finite() && last.1.is_finite() && first.1 > 0.0 {
+                    let f = (last.1 / first.1).clamp(1e-16, 1.0);
+                    tol_left = (tol_left / f).min(1.0);
+                }
+            }
+        }
+        history.extend(res.history.iter().map(|&(it, v)| (stage_base + it, v)));
+
+        if accepted || restarts >= pol.max_restarts || iters_left == 0 {
+            let outcome = if bad && res.outcome.converged() {
+                // "Converged" onto a non-finite iterate is a lie told by a
+                // poisoned criterion; out of restarts, call it divergence.
+                Outcome::Diverged
+            } else {
+                res.outcome
+            };
+            total.restarts = restarts as u64;
+            return SolveResult {
+                x: x_acc,
+                outcome,
+                iterations: iterations_total,
+                history: if opts.keep_history {
+                    history
+                } else {
+                    Vec::new()
+                },
+                counters: total,
+                collectives_per_rank: None,
+                restarts,
+                s_schedule,
+                faults_absorbed: 0,
+            };
+        }
+
+        // Restart: shrink s on a genuine numerical breakdown, then
+        // re-anchor the next stage to the true residual of x_acc.
+        restarts += 1;
+        if pol.shrink_s && matches!(res.outcome, Outcome::Breakdown(_) | Outcome::Diverged) {
+            method_now = method_now.with_s(method_now.s() / 2);
+        }
+        let tr = exec.track().cloned();
+        let _sp = spcg_obs::span(tr.as_ref(), Phase::Restart);
+        let mut ax = vec![0.0; nl];
+        exec.spmv(&x_acc, &mut ax, &mut total);
+        total.record_spmv(exec.spmv_flops());
+        for i in 0..nl {
+            stage_rhs[i] = b_orig[i] - ax[i];
+        }
+        total.blas1_flops += nw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_charges_actual_iterations_when_productive() {
+        let mut streak = 0;
+        assert_eq!(charge_budget(100, 37, &mut streak), 63);
+        assert_eq!(streak, 0);
+        assert_eq!(charge_budget(63, 63, &mut streak), 0);
+    }
+
+    #[test]
+    fn budget_escalates_on_zero_progress() {
+        let mut streak = 0;
+        let mut left = 100;
+        left = charge_budget(left, 0, &mut streak); // −1
+        assert_eq!(left, 99);
+        left = charge_budget(left, 0, &mut streak); // −2
+        assert_eq!(left, 97);
+        left = charge_budget(left, 0, &mut streak); // −4
+        assert_eq!(left, 93);
+        // Progress resets the escalation.
+        left = charge_budget(left, 10, &mut streak);
+        assert_eq!(left, 83);
+        assert_eq!(charge_budget(left, 0, &mut streak), 82);
+    }
+
+    #[test]
+    fn budget_saturates_at_zero() {
+        let mut streak = 20; // escalation is capped, no overflow
+        assert_eq!(charge_budget(3, 0, &mut streak), 0);
+    }
+
+    #[test]
+    fn policy_builders() {
+        let p = Resilience::default()
+            .with_max_restarts(3)
+            .with_shrink_s(false);
+        assert_eq!(p.max_restarts, 3);
+        assert!(!p.shrink_s);
+        assert!(Resilience::default().shrink_s);
+        assert!(Resilience::default().max_restarts >= 1);
+    }
+}

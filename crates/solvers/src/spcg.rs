@@ -233,6 +233,9 @@ pub(crate) fn spcg_g<E: Exec>(
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

@@ -1,7 +1,7 @@
 //! sPCG_mon — the original monomial-only s-step PCG of Chronopoulos & Gear
 //! (paper Algorithm 2).
 //!
-//! Structurally identical to [`crate::spcg`] with the monomial basis, but
+//! Structurally identical to [`mod@crate::spcg`] with the monomial basis, but
 //! its "Scalar Work" builds the small matrices from the **moment vector**
 //! (eq. 13): the 2s scalars `μ_l = rᵀ(M⁻¹A)^l u` are the only local
 //! reductions, and `UᵀAU` is assembled as the Hankel matrix
@@ -26,7 +26,7 @@ use spcg_obs::Phase;
 use spcg_sparse::smallsolve::{solve_spd_mat_with_fallback, solve_spd_with_fallback};
 use spcg_sparse::{DenseMat, MultiVector};
 
-/// Solves `A x = b` with the monomial-basis s-step PCG of [7] (Alg. 2).
+/// Solves `A x = b` with the monomial-basis s-step PCG of \[7\] (Alg. 2).
 ///
 /// # Panics
 /// Panics if `s < 1`.
@@ -189,6 +189,9 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         history: stop.history,
         counters,
         collectives_per_rank: None,
+        restarts: 0,
+        s_schedule: Vec::new(),
+        faults_absorbed: 0,
     }
 }
 

@@ -170,6 +170,14 @@ fn overlap_parity_holds_for_non_pointwise_preconditioners() {
 /// s-step methods still do one halo exchange per s-block.
 #[test]
 fn overlap_keeps_one_exchange_per_s_block() {
+    if spcg::dist::faults_armed() {
+        // Restart stages of the self-healing driver re-anchor the residual
+        // with extra exchanges; the exact per-block count holds fault-free.
+        // (The bitwise overlap-parity tests above stay armed: injection
+        // decisions depend only on board rounds and reduce sequence
+        // numbers, which the two schedules share.)
+        return;
+    }
     let a = poisson_2d(12);
     let b = paper_rhs(&a);
     let m = Jacobi::new(&a);

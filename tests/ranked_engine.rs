@@ -33,6 +33,14 @@ fn all_methods(problem: &Problem<'_>) -> Vec<Method> {
     ]
 }
 
+/// True when `SPCG_FAULTS` arms deterministic fault injection (the CI
+/// fault job): ranked solves then self-heal through restarts, so the
+/// exact-equality and exact-count assertions stand down — convergence and
+/// residual quality are what a faulted run owes.
+fn faulted() -> bool {
+    spcg::dist::faults_armed()
+}
+
 fn assert_ranked_matches_serial(a: &CsrMatrix, opts: &SolveOptions, x_tol: f64) {
     let b = paper_rhs(a);
     let m = Jacobi::new(a);
@@ -55,6 +63,17 @@ fn assert_ranked_matches_serial(a: &CsrMatrix, opts: &SolveOptions, x_tol: f64) 
                 ranked.outcome
             );
             assert!(ranked.collectives_per_rank.is_some(), "{}", method.name());
+            if faulted() {
+                // Under injected faults the solve restarts its way to the
+                // answer; iteration counts and counters legitimately differ,
+                // but the solution must still be genuine.
+                assert!(
+                    ranked.true_relative_residual(a, &b) < 1e-6,
+                    "{} ranks={ranks}: faulted residual too large",
+                    method.name()
+                );
+                continue;
+            }
             // Rank-partitioned reductions round differently from the serial
             // accumulation, which can flip the stopping test by an s-block
             // or two. sPCG_mon's Hankel moment matrices amplify the
@@ -117,6 +136,11 @@ fn assert_ranked_matches_serial(a: &CsrMatrix, opts: &SolveOptions, x_tol: f64) 
 /// engine demonstrably walks the *same iterate sequence* as the serial
 /// solver (not merely converging to the same limit).
 fn assert_iterate_sequence_matches(a: &CsrMatrix) {
+    if faulted() {
+        // Truncated runs leave no room to restart within budget; the
+        // sequence comparison is meaningful only fault-free.
+        return;
+    }
     let b = paper_rhs(a);
     let m = Jacobi::new(a);
     let problem = Problem::new(a, &m, &b);
@@ -174,6 +198,10 @@ fn ranked_matches_serial_on_random_spd_property() {
 
 #[test]
 fn spcg_collectives_are_one_per_s_block() {
+    if faulted() {
+        // Restart stages add collectives; the exact count holds fault-free.
+        return;
+    }
     // sPCG's collective count under ranked execution is ⌈iters/s⌉ blocks
     // plus the final check round — one fused allreduce per s steps.
     let a = poisson_2d(14);
@@ -199,6 +227,11 @@ fn spcg_collectives_are_one_per_s_block() {
 
 #[test]
 fn s_step_methods_do_one_halo_exchange_per_block() {
+    if faulted() {
+        // Restart stages re-anchor the residual with extra exchanges; the
+        // per-block accounting holds fault-free.
+        return;
+    }
     // The MPK runs on depth-s ghost zones: one ghost exchange per s-block,
     // not one per SpMV. PCG by contrast exchanges once per iteration.
     let a = poisson_3d(8);
@@ -283,6 +316,9 @@ fn ranked_works_with_non_pointwise_preconditioners() {
         for ranks in [1usize, 3] {
             let ranked = solve(&method, &problem, &opts, Engine::Ranked { ranks });
             assert!(ranked.converged(), "ranks={ranks}: {:?}", ranked.outcome);
+            if faulted() {
+                continue;
+            }
             assert_eq!(ranked.iterations, serial.iterations, "ranks={ranks}");
             for (p, q) in ranked.x.iter().zip(&serial.x) {
                 assert!((p - q).abs() <= 1e-11, "ranks={ranks}: {p} vs {q}");
