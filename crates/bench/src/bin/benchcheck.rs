@@ -16,6 +16,13 @@
 //! absolute throughput, and quick-mode runs legitimately subsample sweeps,
 //! so arrays are compared over their common prefix. Exit status is the
 //! number of failing pairs (0 = all good), capped at process-exit range.
+//!
+//! Fitted calibration constants (the `calibration` blocks of
+//! `BENCH_scale.json`) get a *range* check instead of a baseline ratio:
+//! machines differ wildly in absolute transport cost, but an α outside
+//! nanoseconds-to-centiseconds, a β outside the plausible inverse-bandwidth
+//! band, or a γ outside 10 kFLOP/s–10 TFLOP/s means the fit ingested
+//! garbage (empty traces, a unit mix-up, hard-coded constants).
 
 use spcg_obs::json::{parse, Value};
 use std::process::ExitCode;
@@ -24,6 +31,14 @@ use std::process::ExitCode;
 /// purpose: CI runners are slow and noisy, but a >10× swing means the
 /// benchmark is measuring something else entirely.
 const MAX_RATIO: f64 = 10.0;
+
+/// Plausibility ranges for fitted calibration constants, `(key, lo, hi)`
+/// exclusive on both ends.
+const CALIB_RANGES: [(&str, f64, f64); 3] = [
+    ("alpha_seconds", 1e-9, 1e-1),
+    ("beta_seconds_per_word", 1e-13, 1e-4),
+    ("gamma_flops", 1e4, 1e13),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +90,11 @@ fn compare(base: &Value, fresh: &Value, path: &str, in_gflops: bool, errors: &mu
                 match fresh.get(key) {
                     Some(fv) => {
                         let sub = format!("{path}.{key}");
+                        if let Some(&(_, lo, hi)) =
+                            CALIB_RANGES.iter().find(|(name, _, _)| name == key)
+                        {
+                            check_range(fv, &sub, lo, hi, errors);
+                        }
                         compare(bv, fv, &sub, in_gflops || key == "gflops", errors);
                     }
                     None => errors.push(format!("{path}.{key}: missing from fresh output")),
@@ -109,6 +129,18 @@ fn compare(base: &Value, fresh: &Value, path: &str, in_gflops: bool, errors: &mu
         }
         // Strings/booleans/null: presence is all the baseline demands.
         _ => {}
+    }
+}
+
+/// Requires a fitted constant to be a finite number strictly inside
+/// `(lo, hi)` — see [`CALIB_RANGES`].
+fn check_range(fresh: &Value, path: &str, lo: f64, hi: f64, errors: &mut Vec<String>) {
+    match fresh {
+        Value::Number(f) if f.is_finite() && *f > lo && *f < hi => {}
+        Value::Number(f) => errors.push(format!(
+            "{path}: fitted constant {f} outside plausible range ({lo:e}, {hi:e})"
+        )),
+        other => errors.push(format!("{path}: expected number, found {}", kind(other))),
     }
 }
 

@@ -32,7 +32,7 @@
 //! on every rank — the SPMD control flow of the solvers guarantees this,
 //! and the board asserts it.
 
-use crate::comm::ThreadComm;
+use crate::backend::Comm;
 use crate::fault::{FaultPlan, FaultSite, STALL};
 use spcg_obs::{Phase, Track};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,10 +44,18 @@ use std::time::Duration;
 /// expired slices and the retry path actually runs.
 const ARMED_WAIT_SLICE: Duration = Duration::from_millis(2);
 
-/// Wait slice without a fault plan. Long enough that healthy runs — where
-/// a neighbour is merely slow, not failed — essentially never expire a
-/// slice, so the retry accounting stays silent.
-const CLEAN_WAIT_SLICE: Duration = Duration::from_millis(250);
+/// First wait slice without a fault plan: a near-spin park. Clean waits
+/// start here and double per expiry (up to [`CLEAN_WAIT_MAX`]), so a rank
+/// whose neighbour publishes microseconds later wakes immediately instead
+/// of serializing on a quarter-second timer — the adaptive spin-then-park
+/// the proc backend's request/reply hub depends on.
+const CLEAN_WAIT_MIN: Duration = Duration::from_micros(50);
+
+/// Ceiling of the clean-run wait slice, and the cumulative-wait mark at
+/// which a clean wait starts counting retries. Long enough that healthy
+/// runs — where a neighbour is merely slow, not failed — essentially never
+/// reach it, so the retry accounting stays silent.
+const CLEAN_WAIT_MAX: Duration = Duration::from_millis(250);
 
 /// Total wait budget per exchange before the board declares the run wedged
 /// and panics with flag-state diagnostics. A genuine deadlock (a rank that
@@ -84,6 +92,39 @@ pub struct GatherPlan {
 }
 
 impl GatherPlan {
+    /// Compresses `indices` (global vector positions) into a plan against
+    /// the partition described by `offsets` (length `nranks + 1`) — the
+    /// shared constructor every [`crate::backend::Exchange`] backend's
+    /// `plan` delegates to, so thread and proc solves gather identically.
+    ///
+    /// # Panics
+    /// Panics if an index is out of the partition's range.
+    pub fn build(offsets: &[usize], indices: &[usize]) -> GatherPlan {
+        let n = *offsets.last().unwrap();
+        let owner = |idx: usize| offsets.partition_point(|&o| o <= idx) - 1;
+        let mut runs: Vec<Run> = Vec::new();
+        for &idx in indices {
+            assert!(idx < n, "GatherPlan: index {idx} out of range");
+            let src = owner(idx);
+            match runs.last_mut() {
+                Some(run) if run.start + run.len == idx && run.src == src => run.len += 1,
+                _ => runs.push(Run {
+                    src,
+                    start: idx,
+                    len: 1,
+                }),
+            }
+        }
+        let mut src_ranks: Vec<usize> = runs.iter().map(|r| r.src).collect();
+        src_ranks.sort_unstable();
+        src_ranks.dedup();
+        GatherPlan {
+            runs,
+            src_ranks,
+            total: indices.len(),
+        }
+    }
+
     /// Total words the plan gathers (the halo volume of one exchange of
     /// one vector — the number [`crate::Counters::record_halo_exchange`]
     /// is charged with).
@@ -105,6 +146,21 @@ impl GatherPlan {
     /// True if the plan gathers nothing (single-rank runs).
     pub fn is_empty(&self) -> bool {
         self.total == 0
+    }
+
+    /// Copies the plan's runs out of a full-length `board` slice into
+    /// `out`, in plan order — the gather kernel shared by every backend's
+    /// completion path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.words()` or a run exceeds `board`.
+    pub fn gather(&self, board: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.total, "gather: out length mismatch");
+        let mut pos = 0;
+        for run in &self.runs {
+            out[pos..pos + run.len].copy_from_slice(&board[run.start..run.start + run.len]);
+            pos += run.len;
+        }
     }
 }
 
@@ -201,6 +257,11 @@ impl VectorBoard {
         (self.offsets[rank], self.offsets[rank + 1])
     }
 
+    /// The partition offsets (length `nranks + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Compresses `indices` (board positions, e.g. a ghost zone's global
     /// ghost indices) into a reusable [`GatherPlan`]. Runs never cross a
     /// rank boundary, so each run has a single source whose readiness flag
@@ -209,29 +270,7 @@ impl VectorBoard {
     /// # Panics
     /// Panics if an index is out of the board's range.
     pub fn plan(&self, indices: &[usize]) -> GatherPlan {
-        let n = *self.offsets.last().unwrap();
-        let owner = |idx: usize| self.offsets.partition_point(|&o| o <= idx) - 1;
-        let mut runs: Vec<Run> = Vec::new();
-        for &idx in indices {
-            assert!(idx < n, "GatherPlan: index {idx} out of range");
-            let src = owner(idx);
-            match runs.last_mut() {
-                Some(run) if run.start + run.len == idx && run.src == src => run.len += 1,
-                _ => runs.push(Run {
-                    src,
-                    start: idx,
-                    len: 1,
-                }),
-            }
-        }
-        let mut src_ranks: Vec<usize> = runs.iter().map(|r| r.src).collect();
-        src_ranks.sort_unstable();
-        src_ranks.dedup();
-        GatherPlan {
-            runs,
-            src_ranks,
-            total: indices.len(),
-        }
+        GatherPlan::build(&self.offsets, indices)
     }
 
     /// Posts this rank's chunk for the next round: waits until every rank
@@ -243,14 +282,14 @@ impl VectorBoard {
     /// # Panics
     /// Panics on a chunk-length mismatch or if the previous round was
     /// never completed on this rank.
-    pub fn post(&self, comm: &ThreadComm, chunk: &[f64]) {
+    pub fn post(&self, comm: &dyn Comm, chunk: &[f64]) {
         self.post_traced(comm, chunk, None);
     }
 
     /// [`VectorBoard::post`] wrapped in an [`ExchangePost`](Phase) span
     /// when a trace track is given. Instrumentation only — the protocol is
     /// identical with `None`.
-    pub fn post_traced(&self, comm: &ThreadComm, chunk: &[f64], track: Option<&Track>) {
+    pub fn post_traced(&self, comm: &dyn Comm, chunk: &[f64], track: Option<&Track>) {
         let _span = spcg_obs::span(track, Phase::ExchangePost);
         let me = comm.rank();
         let (lo, hi) = self.range(me);
@@ -322,7 +361,7 @@ impl VectorBoard {
     /// # Panics
     /// Panics if `out.len() != plan.words()` or this rank has not posted
     /// the round it is completing.
-    pub fn complete_into(&self, comm: &ThreadComm, plan: &GatherPlan, out: &mut [f64]) {
+    pub fn complete_into(&self, comm: &dyn Comm, plan: &GatherPlan, out: &mut [f64]) {
         self.complete_into_traced(comm, plan, out, None);
     }
 
@@ -331,7 +370,7 @@ impl VectorBoard {
     /// covers both the wait on neighbour readiness and the gather copy.
     pub fn complete_into_traced(
         &self,
-        comm: &ThreadComm,
+        comm: &dyn Comm,
         plan: &GatherPlan,
         out: &mut [f64],
         track: Option<&Track>,
@@ -357,13 +396,13 @@ impl VectorBoard {
     ///
     /// # Panics
     /// Panics if this rank has not posted the round it is completing.
-    pub fn complete_snapshot(&self, comm: &ThreadComm) -> Vec<f64> {
+    pub fn complete_snapshot(&self, comm: &dyn Comm) -> Vec<f64> {
         self.complete_snapshot_traced(comm, None)
     }
 
     /// [`VectorBoard::complete_snapshot`] wrapped in an
     /// [`ExchangeWait`](Phase) span when a trace track is given.
-    pub fn complete_snapshot_traced(&self, comm: &ThreadComm, track: Option<&Track>) -> Vec<f64> {
+    pub fn complete_snapshot_traced(&self, comm: &dyn Comm, track: Option<&Track>) -> Vec<f64> {
         let _span = spcg_obs::span(track, Phase::ExchangeWait);
         let me = comm.rank();
         let round = self.begin_complete(comm, 0..comm.nranks(), track);
@@ -376,7 +415,7 @@ impl VectorBoard {
     /// current round, returning the round number.
     fn begin_complete(
         &self,
-        comm: &ThreadComm,
+        comm: &dyn Comm,
         sources: impl Iterator<Item = usize> + Clone,
         track: Option<&Track>,
     ) -> u64 {
@@ -415,17 +454,25 @@ impl VectorBoard {
     /// The board's fault plan, when it is active and the run actually has
     /// neighbours — single-rank boards never inject (there is nothing
     /// distributed to fail), preserving ranks=1-versus-serial parity.
-    fn injector(&self, comm: &ThreadComm) -> Option<&FaultPlan> {
+    fn injector(&self, comm: &dyn Comm) -> Option<&FaultPlan> {
         self.faults
             .as_ref()
             .filter(|p| p.active() && comm.nranks() > 1)
     }
 
     /// Timeout/retry wait loop shared by the post and completion sides:
-    /// waits in slices while `pending` holds, counting each expired slice
-    /// as a retry (and recording it as a [`Retry`](Phase) span), and
-    /// panics with flag-state diagnostics once [`WAIT_BUDGET`] is spent —
-    /// bounded waiting instead of a silent wedge.
+    /// waits in slices while `pending` holds, and panics with flag-state
+    /// diagnostics once [`WAIT_BUDGET`] is spent — bounded waiting instead
+    /// of a silent wedge.
+    ///
+    /// With a fault plan attached, every expired [`ARMED_WAIT_SLICE`]
+    /// counts as a retry (recorded as a [`Retry`](Phase) span) — injected
+    /// stalls outlast several slices, so the retry path visibly engages.
+    /// Without one, the slice is adaptive: it starts near a spin
+    /// ([`CLEAN_WAIT_MIN`]) and doubles per expiry up to
+    /// [`CLEAN_WAIT_MAX`], and a retry is counted only each time the
+    /// *cumulative* wait crosses a [`CLEAN_WAIT_MAX`] mark — so healthy
+    /// runs stay retry-silent while waking at microsecond latency.
     fn wait_while<'a>(
         &self,
         mut st: MutexGuard<'a, FlagState>,
@@ -434,19 +481,30 @@ impl VectorBoard {
         what: &str,
         me: usize,
     ) -> MutexGuard<'a, FlagState> {
-        let slice = if self.faults.is_some() {
+        let armed = self.faults.is_some();
+        let mut slice = if armed {
             ARMED_WAIT_SLICE
         } else {
-            CLEAN_WAIT_SLICE
+            CLEAN_WAIT_MIN
         };
         let mut waited = Duration::ZERO;
+        let mut retry_mark = CLEAN_WAIT_MAX;
         while pending(&st) {
             let (next, timeout) = self.flags.cvar.wait_timeout(st, slice).unwrap();
             st = next;
             if timeout.timed_out() && pending(&st) {
-                self.retries.fetch_add(1, Ordering::Relaxed);
-                let _retry = spcg_obs::span(track, Phase::Retry);
                 waited += slice;
+                if armed {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let _retry = spcg_obs::span(track, Phase::Retry);
+                } else {
+                    slice = (slice * 2).min(CLEAN_WAIT_MAX);
+                    while waited >= retry_mark {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        let _retry = spcg_obs::span(track, Phase::Retry);
+                        retry_mark += CLEAN_WAIT_MAX;
+                    }
+                }
                 assert!(
                     waited < WAIT_BUDGET,
                     "{what}: rank {me} wedged after {waited:?} \

@@ -7,10 +7,17 @@
 //! to validate that the communication structure (one reduction per s steps)
 //! is what the instrumentation claims.
 
+use crate::backend::Comm;
 use crate::comm::{CommGroup, ThreadComm};
 
 /// Runs `f(comm)` once per rank on `nranks` scoped threads and collects the
 /// per-rank results in rank order. Panics in any rank propagate.
+///
+/// The concrete [`ThreadComm`] argument ties callers to the thread
+/// backend; portable SPMD code should take [`run_ranks_dyn`] (or accept
+/// `&dyn Comm` itself) and stay transport-agnostic. This entry point
+/// remains for thread-backend plumbing that genuinely needs the concrete
+/// type — e.g. binding a `VectorBoard` handle into a `ThreadBoard`.
 pub fn run_ranks<R, F>(nranks: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -31,6 +38,18 @@ where
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     })
+}
+
+/// Backend-agnostic variant of [`run_ranks`]: each rank receives its
+/// communicator as a boxed [`Comm`] trait object, so the rank function is
+/// written once and runs unchanged under any transport that grows an
+/// executor. Preferred over [`run_ranks`] for new SPMD code.
+pub fn run_ranks_dyn<R, F>(nranks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Box<dyn Comm>) -> R + Sync,
+{
+    run_ranks(nranks, |comm| f(Box::new(comm)))
 }
 
 #[cfg(test)]

@@ -153,6 +153,13 @@ impl FaultPlan {
     /// the retry path without numerical perturbation).
     pub fn with_sites(self, sites: &[FaultSite]) -> Self {
         let mask = sites.iter().fold(0u8, |m, s| m | 1 << s.index());
+        self.with_sites_mask(mask)
+    }
+
+    /// Restricts the plan by raw bitmask over [`FAULT_SITES`] — the wire
+    /// form the proc backend ships to workers, which rebuild an identical
+    /// plan from `(seed, rate, mask)`. Counters start fresh.
+    pub fn with_sites_mask(self, mask: u8) -> Self {
         FaultPlan {
             inner: Arc::new(PlanInner {
                 seed: self.inner.seed,
@@ -161,6 +168,12 @@ impl FaultPlan {
                 injected: Default::default(),
             }),
         }
+    }
+
+    /// The enabled-site bitmask over [`FAULT_SITES`] (see
+    /// [`FaultPlan::with_sites_mask`]).
+    pub fn sites_mask(&self) -> u8 {
+        self.inner.sites
     }
 
     /// Parses `SPCG_FAULTS=<seed>:<rate>` into a plan; `None` when the
@@ -221,6 +234,17 @@ impl FaultPlan {
             self.inner.injected[site.index()].fetch_add(1, Ordering::Relaxed);
         }
         hit
+    }
+
+    /// Credits `n` injections that fired against `site` in a *remote*
+    /// incarnation of this plan — a proc-backend worker rebuilds the plan
+    /// from `(seed, rate, mask)`, fires locally, and reports per-site
+    /// deltas, which the parent records here so [`FaultPlan::counts`]
+    /// describes the whole solve regardless of backend.
+    pub fn record_remote(&self, site: FaultSite, n: u64) {
+        if n > 0 {
+            self.inner.injected[site.index()].fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of the per-site injection counters.

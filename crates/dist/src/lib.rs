@@ -15,15 +15,18 @@
 //!    laptop scale. Reductions are deterministic: contributions are summed
 //!    in rank order regardless of thread arrival order.
 
+pub mod backend;
 pub mod comm;
 pub mod counters;
 pub mod exchange;
 pub mod executor;
 pub mod fault;
 pub mod topology;
+pub mod wire;
 
+pub use backend::{Backend, Comm, Exchange, ThreadBoard};
 pub use comm::{CommGroup, ThreadComm};
 pub use counters::Counters;
 pub use exchange::{GatherPlan, VectorBoard};
-pub use fault::{faults_armed, FaultCounts, FaultPlan, FaultSite};
+pub use fault::{faults_armed, FaultCounts, FaultPlan, FaultSite, FAULT_SITES};
 pub use topology::MachineTopology;

@@ -121,8 +121,15 @@ impl Phase {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position of this phase in [`Phase::ALL`] — the stable numeric id
+    /// raw-event exports ([`Tracer::raw_tracks`]) use on the wire.
+    pub fn index(self) -> usize {
         Phase::ALL.iter().position(|p| *p == self).unwrap()
+    }
+
+    /// Inverse of [`Phase::index`]; `None` for out-of-range ids.
+    pub fn from_index(i: usize) -> Option<Phase> {
+        Phase::ALL.get(i).copied()
     }
 }
 
@@ -210,6 +217,12 @@ impl Tracer {
             .and_then(|c| c.parse::<usize>().ok())
             .unwrap_or(DEFAULT_EVENT_CAP);
         Some(Tracer::with_capacity(cap))
+    }
+
+    /// The per-track event cap this tracer was built with — forwarded to
+    /// worker-process tracers so remote tracks drop at the same bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.cap
     }
 
     /// Opens the recording track of `rank` (thread 0). Must be created —
@@ -382,6 +395,55 @@ impl Tracer {
         out
     }
 
+    /// Every drained track in raw event form — `(phase index, is-begin,
+    /// nanoseconds since this tracer's epoch)` triples — the
+    /// representation a proc-backend worker ships to its parent, which
+    /// replays it with [`Tracer::import_raw`].
+    pub fn raw_tracks(&self) -> Vec<RawTrack> {
+        let tracks = self.shared.tracks.lock().unwrap();
+        tracks
+            .iter()
+            .map(|t| RawTrack {
+                rank: t.rank,
+                thread: t.thread,
+                events: t
+                    .events
+                    .iter()
+                    .map(|e| (e.phase.index(), e.begin, e.t_ns))
+                    .collect(),
+                dropped: t.dropped,
+            })
+            .collect()
+    }
+
+    /// Imports a track recorded by *another* tracer (typically in a worker
+    /// process) as a drained track of this one. Timestamps stay relative
+    /// to the recording tracer's epoch — they are internally consistent
+    /// per track, which is all the exports require.
+    ///
+    /// # Panics
+    /// Panics on an unknown phase index (a wire-protocol bug).
+    pub fn import_raw(&self, raw: RawTrack) {
+        let events: Vec<Event> = raw
+            .events
+            .iter()
+            .map(|&(phase, begin, t_ns)| Event {
+                phase: Phase::from_index(phase).expect("import_raw: unknown phase index"),
+                begin,
+                t_ns,
+            })
+            .collect();
+        if events.is_empty() && raw.dropped == 0 {
+            return;
+        }
+        self.shared.tracks.lock().unwrap().push(TrackData {
+            rank: raw.rank,
+            thread: raw.thread,
+            events,
+            dropped: raw.dropped,
+        });
+    }
+
     /// The full export written to `results/TRACE_*.json`: the Chrome
     /// trace events plus the per-phase summary (and optional counters) in
     /// one object. Perfetto reads the `traceEvents` key and ignores the
@@ -400,6 +462,20 @@ impl Tracer {
         out.push_str("\n}\n");
         out
     }
+}
+
+/// One track in the raw event form of [`Tracer::raw_tracks`] /
+/// [`Tracer::import_raw`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawTrack {
+    /// Rank that recorded the track.
+    pub rank: usize,
+    /// Thread within the rank.
+    pub thread: usize,
+    /// `(phase index, is-begin, ns since the recording tracer's epoch)`.
+    pub events: Vec<(usize, bool, u64)>,
+    /// Events discarded after the track hit the event cap.
+    pub dropped: u64,
 }
 
 /// A reconstructed span: phase, absolute begin/end (seconds since the
@@ -836,6 +912,38 @@ mod tests {
             {\"name\":\"spmv\",\"ph\":\"B\",\"ts\":5,\"pid\":0,\"tid\":0},\
             {\"name\":\"spmv\",\"ph\":\"E\",\"ts\":2,\"pid\":0,\"tid\":0}]}";
         assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn phase_index_roundtrips() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::from_index(i), Some(*p));
+        }
+        assert_eq!(Phase::from_index(Phase::ALL.len()), None);
+    }
+
+    #[test]
+    fn raw_tracks_roundtrip_through_import() {
+        let worker = Tracer::new();
+        {
+            let track = worker.track_on(1, 2);
+            let _o = track.span(Phase::ExchangeWait);
+            let _i = track.span(Phase::Spmv);
+        }
+        let parent = Tracer::new();
+        for raw in worker.raw_tracks() {
+            parent.import_raw(raw);
+        }
+        let tracks = parent.tracks();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!((tracks[0].rank, tracks[0].thread), (1, 2));
+        assert_eq!(tracks[0].spans.len(), 2);
+        assert_eq!(tracks[0].spans[0].phase, Phase::Spmv);
+        assert_eq!(tracks[0].spans[1].phase, Phase::ExchangeWait);
+        validate_chrome_trace(&parent.chrome_trace_json()).unwrap();
+        // The raw form is faithful: re-exporting reproduces it.
+        assert_eq!(parent.raw_tracks(), worker.raw_tracks());
     }
 
     #[test]

@@ -12,11 +12,13 @@
 //! *structure*, which are exact; absolute seconds are calibrated, not
 //! measured.
 
+pub mod calib;
 pub mod machine;
 pub mod model;
 pub mod scaling;
 pub mod table1;
 
+pub use calib::{CalibSample, Calibration, Calibrator};
 pub use machine::MachineParams;
 pub use model::{predict_time, TimeBreakdown};
 pub use scaling::strong_scaling;

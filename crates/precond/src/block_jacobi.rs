@@ -5,6 +5,7 @@
 //! classic communication-free domain preconditioner; it generalizes Jacobi
 //! (block size 1) and is used in ablation benchmarks.
 
+use crate::spec::PrecondSpec;
 use crate::traits::{DistForm, Preconditioner, RankLocalApply};
 use spcg_sparse::smallsolve::Cholesky;
 use spcg_sparse::{CsrMatrix, DenseMat, ParKernels};
@@ -147,6 +148,18 @@ impl Preconditioner for BlockJacobi {
             offsets: &self.offsets,
             op: self,
         }
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        // Blocks are contiguous and fixed-size from row 0, so the first
+        // boundary recovers the requested block size exactly (the last
+        // block may be smaller, but rebuilding reproduces that too).
+        let block = if self.offsets.len() > 1 {
+            self.offsets[1]
+        } else {
+            1
+        };
+        Some(PrecondSpec::BlockJacobi { block })
     }
 }
 

@@ -13,6 +13,7 @@
 //! few warm-up iterations (see `spcg-basis::ritz`) or Gershgorin circles;
 //! like Trilinos/Ifpack2 the lower bound defaults to `λ_hi / ratio`.
 
+use crate::spec::PrecondSpec;
 use crate::traits::{DistForm, Preconditioner, SpmvPolyApply};
 use spcg_sparse::blas::REDUCE_BLOCK;
 use spcg_sparse::{CsrMatrix, ParKernels};
@@ -180,6 +181,14 @@ impl Preconditioner for ChebyshevPrecond {
 
     fn dist_form(&self) -> DistForm<'_> {
         DistForm::SpmvPolynomial(self)
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        Some(PrecondSpec::Chebyshev {
+            degree: self.degree,
+            lo: self.lambda_lo,
+            hi: self.lambda_hi,
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! (Manteuffel's shifted incomplete factorization) until the factorization
 //! exists.
 
+use crate::spec::PrecondSpec;
 use crate::traits::Preconditioner;
 use spcg_sparse::{CooMatrix, CsrMatrix};
 
@@ -161,6 +162,10 @@ impl Preconditioner for Ic0 {
 
     fn name(&self) -> String {
         "ic0".to_string()
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        Some(PrecondSpec::Ic0)
     }
 }
 

@@ -1,5 +1,6 @@
 //! Identity preconditioner (`M = I`), turning PCG into plain CG.
 
+use crate::spec::PrecondSpec;
 use crate::traits::{DistForm, Preconditioner};
 
 /// The identity operator.
@@ -41,6 +42,10 @@ impl Preconditioner for Identity {
 
     fn dist_form(&self) -> DistForm<'_> {
         DistForm::Pointwise(&self.ones)
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        Some(PrecondSpec::Identity { n: self.n })
     }
 }
 

@@ -3,6 +3,7 @@
 //! The cheapest communication-free preconditioner; used in the paper's
 //! Table 3 (columns 6–9) and Figure 1.
 
+use crate::spec::PrecondSpec;
 use crate::traits::{DistForm, Preconditioner};
 use spcg_sparse::{CsrMatrix, ParKernels};
 
@@ -85,6 +86,12 @@ impl Preconditioner for Jacobi {
 
     fn dist_form(&self) -> DistForm<'_> {
         DistForm::Pointwise(&self.inv_diag)
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        Some(PrecondSpec::Jacobi {
+            inv_diag: self.inv_diag.clone(),
+        })
     }
 }
 

@@ -17,6 +17,7 @@ pub mod chebyshev;
 pub mod ic0;
 pub mod identity;
 pub mod jacobi;
+pub mod spec;
 pub mod ssor;
 pub mod traits;
 
@@ -25,5 +26,6 @@ pub use chebyshev::ChebyshevPrecond;
 pub use ic0::Ic0;
 pub use identity::Identity;
 pub use jacobi::Jacobi;
+pub use spec::PrecondSpec;
 pub use ssor::Ssor;
 pub use traits::{DistForm, Preconditioner, RankLocalApply, SpmvPolyApply};

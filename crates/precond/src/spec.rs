@@ -1,0 +1,143 @@
+//! Serializable preconditioner recipes.
+//!
+//! A `Box<dyn Preconditioner>` cannot cross a process boundary, but every
+//! preconditioner in this crate is a pure function of the system matrix
+//! plus a handful of scalars. [`PrecondSpec`] captures exactly that recipe:
+//! the proc backend ships the spec to its rank workers, each of which
+//! [`PrecondSpec::build`]s an operator **bitwise identical** to the
+//! parent's from its own copy of `A` — the construction paths are
+//! deterministic, so thread and proc solves precondition identically.
+//!
+//! A preconditioner advertises its recipe through
+//! [`Preconditioner::spec`]; operators that cannot be reconstructed
+//! remotely (user-defined, matrix-free with captured state, …) return
+//! `None`, and the proc backend falls back to the thread transport for
+//! them.
+
+use crate::block_jacobi::BlockJacobi;
+use crate::chebyshev::ChebyshevPrecond;
+use crate::ic0::Ic0;
+use crate::identity::Identity;
+use crate::jacobi::Jacobi;
+use crate::ssor::Ssor;
+use crate::traits::Preconditioner;
+use spcg_sparse::CsrMatrix;
+use std::sync::Arc;
+
+/// A recipe that rebuilds one of this crate's preconditioners from the
+/// system matrix. See the module docs for the reconstruction contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecondSpec {
+    /// [`Identity`] of dimension `n`.
+    Identity {
+        /// Operator dimension.
+        n: usize,
+    },
+    /// [`Jacobi`] with an explicit inverse diagonal — shipped verbatim so
+    /// a worker reproduces even a hand-tuned `from_inv_diagonal` operator.
+    Jacobi {
+        /// Elementwise weights (`diag(A)⁻¹` in the common case).
+        inv_diag: Vec<f64>,
+    },
+    /// [`BlockJacobi`] with contiguous blocks of size `block`.
+    BlockJacobi {
+        /// Requested block size (the last block may be smaller).
+        block: usize,
+    },
+    /// [`ChebyshevPrecond`] of the given degree on `[lo, hi]`.
+    Chebyshev {
+        /// Polynomial degree.
+        degree: usize,
+        /// Lower interval bound.
+        lo: f64,
+        /// Upper interval bound.
+        hi: f64,
+    },
+    /// [`Ssor`] with relaxation parameter `omega`.
+    Ssor {
+        /// Relaxation parameter in `(0, 2)`.
+        omega: f64,
+    },
+    /// [`Ic0`] — the shifted factorization is recomputed deterministically
+    /// from `A`, so the recipe carries no state.
+    Ic0,
+}
+
+impl PrecondSpec {
+    /// Rebuilds the operator against `a`. Deterministic: two builds from
+    /// equal inputs produce bitwise-identical operators.
+    ///
+    /// # Panics
+    /// Panics if the recipe does not fit `a` (dimension mismatch, invalid
+    /// parameters) — the same validation the original constructors apply.
+    pub fn build(&self, a: &Arc<CsrMatrix>) -> Box<dyn Preconditioner> {
+        match self {
+            PrecondSpec::Identity { n } => {
+                assert_eq!(*n, a.nrows(), "PrecondSpec::Identity: dimension mismatch");
+                Box::new(Identity::new(*n))
+            }
+            PrecondSpec::Jacobi { inv_diag } => {
+                assert_eq!(
+                    inv_diag.len(),
+                    a.nrows(),
+                    "PrecondSpec::Jacobi: dimension mismatch"
+                );
+                Box::new(Jacobi::from_inv_diagonal(inv_diag.clone()))
+            }
+            PrecondSpec::BlockJacobi { block } => Box::new(BlockJacobi::new(a, *block)),
+            PrecondSpec::Chebyshev { degree, lo, hi } => {
+                Box::new(ChebyshevPrecond::new(Arc::clone(a), *degree, *lo, *hi))
+            }
+            PrecondSpec::Ssor { omega } => Box::new(Ssor::new(a, *omega)),
+            PrecondSpec::Ic0 => Box::new(Ic0::new(a)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcg_sparse::generators::poisson::poisson_2d;
+
+    /// Every built-in preconditioner round-trips through its spec to a
+    /// bitwise-identical operator.
+    #[test]
+    fn spec_roundtrip_is_bitwise() {
+        let a = Arc::new(poisson_2d(7));
+        let n = a.nrows();
+        let originals: Vec<Box<dyn Preconditioner>> = vec![
+            Box::new(Identity::new(n)),
+            Box::new(Jacobi::new(&a)),
+            Box::new(BlockJacobi::new(&a, 6)),
+            Box::new(ChebyshevPrecond::from_matrix(Arc::clone(&a), 3, 30.0)),
+            Box::new(Ssor::new(&a, 1.2)),
+            Box::new(Ic0::new(&a)),
+        ];
+        let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        for m in originals {
+            let spec = m.spec().unwrap_or_else(|| panic!("{}: no spec", m.name()));
+            let rebuilt = spec.build(&a);
+            assert_eq!(rebuilt.name(), m.name());
+            assert_eq!(rebuilt.flops_per_apply(), m.flops_per_apply());
+            assert_eq!(
+                rebuilt.apply_alloc(&r),
+                m.apply_alloc(&r),
+                "{}: rebuilt apply differs",
+                m.name()
+            );
+            assert_eq!(rebuilt.spec(), Some(spec), "{}: spec unstable", m.name());
+        }
+    }
+
+    #[test]
+    fn uneven_block_jacobi_reproduces_offsets() {
+        let a = Arc::new(poisson_2d(5)); // n = 25, blocks of 7 → 7,7,7,4
+        let bj = BlockJacobi::new(&a, 7);
+        let spec = bj.spec().unwrap();
+        assert_eq!(spec, PrecondSpec::BlockJacobi { block: 7 });
+        match spec.build(&a).spec() {
+            Some(PrecondSpec::BlockJacobi { block }) => assert_eq!(block, 7),
+            other => panic!("unexpected spec {other:?}"),
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! paper's s-step setting would not use it at scale — it is included for
 //! ablations and as a stronger serial baseline.
 
+use crate::spec::PrecondSpec;
 use crate::traits::Preconditioner;
 use spcg_sparse::CsrMatrix;
 
@@ -92,6 +93,10 @@ impl Preconditioner for Ssor {
 
     fn name(&self) -> String {
         format!("ssor(omega={})", self.omega)
+    }
+
+    fn spec(&self) -> Option<PrecondSpec> {
+        Some(PrecondSpec::Ssor { omega: self.omega })
     }
 }
 

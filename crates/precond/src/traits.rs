@@ -115,6 +115,15 @@ pub trait Preconditioner: Send + Sync {
     fn dist_form(&self) -> DistForm<'_> {
         DistForm::Coupled
     }
+
+    /// The serializable recipe that rebuilds this operator from the system
+    /// matrix in another process (see [`crate::spec`]), or `None` when the
+    /// operator cannot be reconstructed remotely. Defaults to `None` —
+    /// only proc-backend transport needs it; every built-in
+    /// preconditioner overrides it.
+    fn spec(&self) -> Option<crate::spec::PrecondSpec> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -14,9 +14,11 @@
 //! * `SerialExec` delegates straight to `CsrMatrix::spmv`,
 //!   `Preconditioner::apply`, `Mpk::run`, and `blas::dot`, with a no-op
 //!   allreduce — bitwise identical to the pre-engine serial solvers.
-//! * `RankExec` owns a block of rows `[lo, hi)` on one
-//!   [`ThreadComm`] rank. SpMV gathers a depth-1 ghost zone through a
-//!   [`VectorBoard`]'s split-phase exchange; the MPK gathers a depth-s
+//! * `RankExec` owns a block of rows `[lo, hi)` on one rank of a
+//!   pluggable [`Comm`]/[`Exchange`] transport ([`ThreadComm`] threads by
+//!   default, `spcg-rankd` worker processes under
+//!   [`Backend::Proc`]). SpMV gathers a depth-1 ghost zone through the
+//!   transport's split-phase exchange; the MPK gathers a depth-s
 //!   ghost zone **once per s-step block** and runs [`DistMpk`] — the PA1
 //!   halo amortization the paper's §4.2 communication model assumes. With
 //!   [`SolveOptions::overlap`] (the default) each product's interior rows
@@ -28,9 +30,10 @@
 //!   apply through the distributed SpMV, and anything else falls back to
 //!   a replicated apply.
 //!
-//! Reductions go through `ThreadComm::allreduce_sum`, which sums rank
-//! contributions in rank order — deterministic, so every rank takes the
-//! same branches and a ranked solve is reproducible run to run.
+//! Reductions go through [`Comm::allreduce_sum`], which every backend
+//! implements as a rank-order sum — deterministic, so every rank takes the
+//! same branches and a ranked solve is reproducible run to run *and*
+//! bitwise identical across backends.
 
 use crate::method::Method;
 use crate::options::{Problem, SolveOptions, SolveResult};
@@ -38,7 +41,10 @@ use crate::resilience::{solve_resilient, Resilience};
 use spcg_basis::poly::BasisParams;
 use spcg_basis::{DistMpk, Mpk};
 use spcg_dist::executor::run_ranks;
-use spcg_dist::{Counters, FaultPlan, FaultSite, GatherPlan, ThreadComm, VectorBoard};
+use spcg_dist::{
+    Backend, Comm, Counters, Exchange, FaultPlan, FaultSite, GatherPlan, ThreadBoard, ThreadComm,
+    VectorBoard,
+};
 use spcg_obs::{Phase, Track};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
@@ -221,8 +227,7 @@ impl Exec for SerialExec<'_> {
 /// words per call.
 #[allow(clippy::too_many_arguments)] // internal kernel, three call sites
 fn dist_spmv(
-    board: &VectorBoard,
-    comm: &ThreadComm,
+    board: &dyn Exchange,
     gz1: &GhostZone,
     plan: &GatherPlan,
     pk: &ParKernels,
@@ -235,7 +240,7 @@ fn dist_spmv(
 ) {
     let nl = gz1.n_owned();
     ext_buf.resize(gz1.ext_len(), 0.0);
-    board.post_traced(comm, x, track);
+    board.post(x, track);
     ext_buf[..nl].copy_from_slice(x);
     if overlap {
         // Interior rows read only the owned prefix; the stale ghost tail
@@ -244,12 +249,12 @@ fn dist_spmv(
             let _s = spcg_obs::span(track, Phase::Spmv);
             gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y);
         }
-        board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
+        board.complete_into(plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
         let _f = spcg_obs::span(track, Phase::Frontier);
         gz1.spmv_rows_list_par(pk, gz1.frontier_rows(nl), ext_buf, y);
     } else {
-        board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
+        board.complete_into(plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
         let _s = spcg_obs::span(track, Phase::Spmv);
         gz1.spmv_prefix_par(pk, nl, ext_buf, y);
@@ -262,11 +267,13 @@ pub(crate) struct RankExec<'a> {
     m: &'a dyn Preconditioner,
     /// This rank's slice of the right-hand side.
     b: &'a [f64],
-    comm: ThreadComm,
+    /// Collective transport — [`ThreadComm`] under the in-process backend,
+    /// a socket hub client under the proc backend.
+    comm: Box<dyn Comm>,
     lo: usize,
     hi: usize,
-    board: VectorBoard,
-    board2: VectorBoard,
+    board: Box<dyn Exchange>,
+    board2: Box<dyn Exchange>,
     /// Depth-1 ghost zone for single SpMVs.
     gz1: GhostZone,
     /// Reusable gather plan for `gz1`'s ghosts (contiguous-run compressed,
@@ -306,11 +313,11 @@ impl<'a> RankExec<'a> {
     #[allow(clippy::too_many_arguments)] // internal constructor, one call site
     pub(crate) fn new(
         problem: &Problem<'a>,
-        comm: ThreadComm,
+        comm: Box<dyn Comm>,
         lo: usize,
         hi: usize,
-        board: VectorBoard,
-        board2: VectorBoard,
+        board: Box<dyn Exchange>,
+        board2: Box<dyn Exchange>,
         mpk_depth: Option<usize>,
         threads: usize,
         overlap: bool,
@@ -376,10 +383,8 @@ impl<'a> RankExec<'a> {
     /// completion directly follows the post regardless of the overlap mode
     /// (counters therefore cannot differ between modes here either).
     fn precond_replicated(&mut self, r: &[f64], z: &mut [f64], counters: &mut Counters) {
-        self.board.post_traced(&self.comm, r, self.track.as_ref());
-        let r_full = self
-            .board
-            .complete_snapshot_traced(&self.comm, self.track.as_ref());
+        self.board.post(r, self.track.as_ref());
+        let r_full = self.board.complete_snapshot(self.track.as_ref());
         counters.record_halo_exchange((r_full.len() - (self.hi - self.lo)) as u64);
         self.full_buf.resize(r_full.len(), 0.0);
         self.m.apply_par(&self.pk, &r_full, &mut self.full_buf);
@@ -406,7 +411,6 @@ impl Exec for RankExec<'_> {
 
     fn spmv(&mut self, x: &[f64], y: &mut [f64], counters: &mut Counters) {
         let RankExec {
-            comm,
             board,
             gz1,
             plan1,
@@ -417,8 +421,7 @@ impl Exec for RankExec<'_> {
             ..
         } = self;
         dist_spmv(
-            board,
-            comm,
+            &**board,
             gz1,
             plan1,
             pk,
@@ -447,7 +450,6 @@ impl Exec for RankExec<'_> {
             }
             DistForm::SpmvPolynomial(op) => {
                 let RankExec {
-                    comm,
                     board,
                     gz1,
                     plan1,
@@ -459,8 +461,7 @@ impl Exec for RankExec<'_> {
                 } = self;
                 op.apply_with_spmv(r, z, &mut |xv, yv| {
                     dist_spmv(
-                        board,
-                        comm,
+                        &**board,
                         gz1,
                         plan1,
                         pk,
@@ -493,7 +494,6 @@ impl Exec for RankExec<'_> {
         if self.dist_mpk.is_some() {
             // PA1: one depth-s ghost exchange covers the whole s-step block.
             let RankExec {
-                comm,
                 board,
                 board2,
                 dist_mpk,
@@ -513,28 +513,28 @@ impl Exec for RankExec<'_> {
                 // Post the seed(s), run the interior rows of the first
                 // basis product inside the exchange window, complete the
                 // exchange from the kernel's callback, finish frontier.
-                board.post_traced(comm, w, track);
+                board.post(w, track);
                 if let Some(mw) = known_mw {
-                    board2.post_traced(comm, mw, track);
+                    board2.post(mw, track);
                 }
                 dk.run_overlapped(w, known_mw, params, v, mv, counters, &mut |wg, mwg| {
-                    board.complete_into_traced(comm, plan, wg, track);
+                    board.complete_into(plan, wg, track);
                     if let Some(mwg) = mwg {
-                        board2.complete_into_traced(comm, plan, mwg, track);
+                        board2.complete_into(plan, mwg, track);
                     }
                 });
             } else {
                 // Blocking schedule: gather the extended seed(s) up front.
                 let nl = dk.ghost().n_owned();
                 ext_buf.resize(dk.ghost().ext_len(), 0.0);
-                board.post_traced(comm, w, track);
+                board.post(w, track);
                 ext_buf[..nl].copy_from_slice(w);
-                board.complete_into_traced(comm, plan, &mut ext_buf[nl..], track);
+                board.complete_into(plan, &mut ext_buf[nl..], track);
                 if let Some(mw) = known_mw {
                     ext_buf2.resize(dk.ghost().ext_len(), 0.0);
-                    board2.post_traced(comm, mw, track);
+                    board2.post(mw, track);
                     ext_buf2[..nl].copy_from_slice(mw);
-                    board2.complete_into_traced(comm, plan, &mut ext_buf2[nl..], track);
+                    board2.complete_into(plan, &mut ext_buf2[nl..], track);
                 }
                 dk.run(
                     ext_buf,
@@ -554,16 +554,12 @@ impl Exec for RankExec<'_> {
             // both overlap modes take this identical path.
             let n = self.a.nrows();
             let nl = self.hi - self.lo;
-            self.board.post_traced(&self.comm, w, self.track.as_ref());
-            let w_full = self
-                .board
-                .complete_snapshot_traced(&self.comm, self.track.as_ref());
+            self.board.post(w, self.track.as_ref());
+            let w_full = self.board.complete_snapshot(self.track.as_ref());
             let mut words = (n - nl) as u64;
             let mw_full = known_mw.map(|mw| {
-                self.board2.post_traced(&self.comm, mw, self.track.as_ref());
-                let full = self
-                    .board2
-                    .complete_snapshot_traced(&self.comm, self.track.as_ref());
+                self.board2.post(mw, self.track.as_ref());
+                let full = self.board2.complete_snapshot(self.track.as_ref());
                 words += (n - nl) as u64;
                 full
             });
@@ -634,6 +630,18 @@ pub(crate) fn run_ranked(
     let n = problem.n();
     assert!(ranks >= 1, "Engine::Ranked: need at least one rank");
     assert!(ranks <= n, "Engine::Ranked: {ranks} ranks exceed {n} rows");
+    // Process-level transport: each rank is a `spcg-rankd` worker process
+    // over Unix-domain sockets. Single-rank runs have no communication to
+    // move out of process, so they stay on the (identical) thread path.
+    if opts.backend == Backend::Proc && ranks > 1 {
+        #[cfg(unix)]
+        match crate::procexec::run_proc(method, problem, opts, ranks) {
+            Ok(out) => return out,
+            Err(e) => eprintln!("spcg: proc backend unavailable ({e}); using thread backend"),
+        }
+        #[cfg(not(unix))]
+        eprintln!("spcg: proc backend requires a Unix platform; using thread backend");
+    }
     let part = BlockRowPartition::balanced(n, ranks);
     let offsets: Vec<usize> = (0..=ranks)
         .map(|p| if p == 0 { 0 } else { part.range(p - 1).1 })
@@ -663,11 +671,11 @@ pub(crate) fn run_ranked(
         let (lo, hi) = part.range(comm.rank());
         let mut exec = RankExec::new(
             problem,
-            comm,
+            Box::new(comm.clone()),
             lo,
             hi,
-            board.handle(),
-            board2.handle(),
+            Box::new(ThreadBoard::new(board.handle(), comm.clone())),
+            Box::new(ThreadBoard::new(board2.handle(), comm)),
             mpk_depth,
             opts.threads,
             opts.overlap,

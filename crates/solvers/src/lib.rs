@@ -26,6 +26,8 @@ pub mod method;
 pub mod options;
 pub mod pcg;
 pub mod pcg3;
+#[cfg(unix)]
+pub mod procexec;
 pub mod resilience;
 pub mod setup;
 pub mod spcg;

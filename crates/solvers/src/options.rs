@@ -1,7 +1,7 @@
 //! Problem definition, solver options, and results.
 
 use crate::resilience::Resilience;
-use spcg_dist::{Counters, FaultPlan};
+use spcg_dist::{Backend, Counters, FaultPlan};
 use spcg_obs::Tracer;
 use spcg_precond::Preconditioner;
 use spcg_sparse::CsrMatrix;
@@ -166,6 +166,22 @@ pub struct SolveOptions {
     /// `0` to default it off. Ignored by [`crate::Engine::Serial`], which
     /// has no exchanges to hide.
     pub overlap: bool,
+    /// Communication backend under [`crate::Engine::Ranked`]:
+    /// [`Backend::Thread`] (the default) runs ranks as OS threads over
+    /// shared memory, [`Backend::Proc`] runs each rank as a `spcg-rankd`
+    /// worker process exchanging halos and reductions over Unix-domain
+    /// sockets. Solutions and [`Counters`] are **bitwise identical**
+    /// across backends; the proc transport additionally survives a rank
+    /// process dying mid-solve (the driver respawns the world and
+    /// re-solves, charging a restart). The default honours the
+    /// `SPCG_BACKEND` environment variable (`thread` | `proc`), so
+    /// `SPCG_BACKEND=proc cargo test` moves a whole suite onto the
+    /// process transport. Ranked solves fall back to the thread backend
+    /// — with a diagnostic on stderr — when the proc transport cannot
+    /// run (missing `spcg-rankd` binary, single rank, or a
+    /// preconditioner without a [`spcg_precond::PrecondSpec`] recipe).
+    /// Ignored by [`crate::Engine::Serial`].
+    pub backend: Backend,
     /// Span tracer recording a per-rank phase timeline of the solve (see
     /// `spcg_obs`). `None` (the default) disables tracing entirely: every
     /// instrumentation site branches on the `Option` and takes no
@@ -223,6 +239,7 @@ impl Default for SolveOptions {
             residual_replacement: None,
             threads: default_threads(),
             overlap: default_overlap(),
+            backend: Backend::from_env().unwrap_or_default(),
             trace: Tracer::from_env(),
             faults: FaultPlan::from_env(),
             resilience: None,
@@ -288,6 +305,12 @@ impl SolveOptions {
     /// Builder-style halo-exchange overlap (see [`SolveOptions::overlap`]).
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Builder-style communication backend (see [`SolveOptions::backend`]).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -385,6 +408,13 @@ impl SolveOptionsBuilder {
     /// [`SolveOptions::overlap`]).
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.opts.overlap = overlap;
+        self
+    }
+
+    /// Communication backend under ranked execution (see
+    /// [`SolveOptions::backend`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.opts.backend = backend;
         self
     }
 
@@ -596,6 +626,27 @@ mod tests {
         assert!(!SolveOptions::builder().overlap(false).build().overlap);
         assert!(SolveOptions::builder().overlap(true).build().overlap);
         assert!(!SolveOptions::default().with_overlap(false).overlap);
+    }
+
+    #[test]
+    fn backend_option_defaults_and_builds() {
+        // Default is Thread unless SPCG_BACKEND overrides it (the CI proc
+        // job exports it; tests that need a specific backend set it
+        // explicitly rather than trusting the environment).
+        if std::env::var("SPCG_BACKEND").is_err() {
+            assert_eq!(SolveOptions::default().backend, Backend::Thread);
+        }
+        assert_eq!(
+            SolveOptions::builder()
+                .backend(Backend::Proc)
+                .build()
+                .backend,
+            Backend::Proc
+        );
+        assert_eq!(
+            SolveOptions::default().with_backend(Backend::Proc).backend,
+            Backend::Proc
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use spcg::basis::BasisType;
 use spcg::precond::Jacobi;
-use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions};
+use spcg::prelude::*;
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
 
 fn main() {

@@ -7,7 +7,7 @@
 //! Run: `cargo run --release --example threaded_ranks`
 
 use spcg::precond::Jacobi;
-use spcg::solvers::{solve, Engine, Method, Problem, SolveOptions, SolveResult};
+use spcg::prelude::*;
 use spcg::sparse::generators::{paper_rhs, poisson::poisson_2d};
 
 fn report(label: &str, r: &SolveResult) {

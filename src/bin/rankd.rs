@@ -1,0 +1,19 @@
+//! `spcg-rankd` — one rank of a [`Backend::Proc`](spcg::dist::Backend)
+//! world.
+//!
+//! Spawned by the parent solve (`spcg_solvers::procexec::run_proc`), never
+//! by hand: `spcg-rankd <socket> <rank>` connects to the parent's hub
+//! socket, receives its Setup frame, runs the rank, and ships the result
+//! back. Killing this process mid-solve is the supported way to exercise
+//! real rank-failure recovery.
+
+#[cfg(unix)]
+fn main() -> ! {
+    spcg::solvers::procexec::worker_main()
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("spcg-rankd: the proc backend requires a Unix platform");
+    std::process::exit(2);
+}

@@ -57,3 +57,32 @@ pub use spcg_perf as perf;
 pub use spcg_precond as precond;
 pub use spcg_solvers as solvers;
 pub use spcg_sparse as sparse;
+
+/// The one-import surface for typical solves.
+///
+/// ```
+/// use spcg::prelude::*;
+///
+/// let a = spcg::sparse::generators::poisson::poisson_2d(16);
+/// let b = spcg::sparse::generators::paper_rhs(&a);
+/// let m = spcg::precond::Jacobi::new(&a);
+/// let problem = Problem::try_new(&a, &m, &b).unwrap();
+/// let opts = SolveOptions::builder().tol(1e-8).build().with_faults(None);
+/// let res = solve(&Method::Pcg, &problem, &opts, Engine::Ranked { ranks: 2 });
+/// assert!(res.converged());
+/// ```
+///
+/// Brings in the problem/option/result types, the [`Method`](solvers::Method)
+/// and [`Engine`](solvers::Engine) selectors, the transport abstractions
+/// ([`Comm`](dist::Comm), [`Exchange`](dist::Exchange),
+/// [`Backend`](dist::Backend)) and the [`solve`](solvers::solve) entry
+/// point. Crate-rooted
+/// paths (`spcg::sparse::…`, `spcg::precond::…`) stay the idiom for
+/// matrices and preconditioners — those namespaces are large and solves
+/// touch only a couple of names from each.
+pub mod prelude {
+    pub use crate::dist::{Backend, Comm, Counters, Exchange};
+    pub use crate::solvers::{
+        solve, Engine, Method, Outcome, Problem, SolveOptions, SolveResult, StoppingCriterion,
+    };
+}
