@@ -23,7 +23,7 @@
 use crate::poly::BasisParams;
 use spcg_dist::Counters;
 use spcg_obs::{Phase, Track};
-use spcg_sparse::{CsrMatrix, GhostZone, MultiVector, ParKernels};
+use spcg_sparse::{CsrMatrix, GhostZone, MultiVector, ParKernels, SparseFormat};
 
 /// Exchange-completion callback for [`DistMpk::run_overlapped`]: fills the
 /// ghost segment of the seed (and of `M⁻¹·seed` when present) once the
@@ -45,6 +45,7 @@ pub struct DistMpk {
     v_ext: Vec<Vec<f64>>,
     mv_ext: Vec<Vec<f64>>,
     track: Option<Track>,
+    format: SparseFormat,
 }
 
 impl DistMpk {
@@ -94,8 +95,18 @@ impl DistMpk {
             v_ext: Vec::new(),
             mv_ext: Vec::new(),
             track: None,
+            format: SparseFormat::Csr,
             gz,
         }
+    }
+
+    /// Selects the sparse format for the per-level prefix SpMVs. Under
+    /// [`SparseFormat::Sell`] the ghost zone's cached SELL-C-σ interior and
+    /// frontier operators are used; results are bitwise identical across
+    /// formats (the sliced kernels accumulate in per-row CSR entry order).
+    pub fn with_format(mut self, format: SparseFormat) -> Self {
+        self.format = format;
+        self
     }
 
     /// Attaches a trace track: each recurrence level records an
@@ -192,7 +203,14 @@ impl DistMpk {
             let t = &mut upper[0];
             {
                 let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
-                self.gz.spmv_prefix_par(&self.pk, rows, &self.mv_ext[j], t);
+                match self.format {
+                    SparseFormat::Csr => {
+                        self.gz.spmv_prefix_par(&self.pk, rows, &self.mv_ext[j], t)
+                    }
+                    SparseFormat::Sell => {
+                        self.gz.spmv_prefix_sell(&self.pk, rows, &self.mv_ext[j], t)
+                    }
+                }
             }
             counters.record_spmv(self.spmv_flops);
             // As in the serial kernel, `t += (−θ)·v` is bitwise equal to
@@ -315,12 +333,18 @@ impl DistMpk {
         if s_levels > 0 {
             let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
             let (_, upper) = self.v_ext.split_at_mut(1);
-            self.gz.spmv_rows_list_par(
-                &self.pk,
-                self.gz.interior_rows(),
-                &self.mv_ext[0],
-                &mut upper[0],
-            );
+            match self.format {
+                SparseFormat::Csr => self.gz.spmv_rows_list_par(
+                    &self.pk,
+                    self.gz.interior_rows(),
+                    &self.mv_ext[0],
+                    &mut upper[0],
+                ),
+                SparseFormat::Sell => {
+                    self.gz
+                        .spmv_interior_sell(&self.pk, &self.mv_ext[0], &mut upper[0])
+                }
+            }
         }
 
         // Receive completion: the caller copies the exchanged ghost words
@@ -353,31 +377,48 @@ impl DistMpk {
                 // Interior rows already hold their results; only the
                 // frontier rows (which read ghost operands) remain.
                 let _f = spcg_obs::span(self.track.as_ref(), Phase::Frontier);
-                self.gz.spmv_rows_list_par(
-                    &self.pk,
-                    self.gz.frontier_rows(rows),
-                    &self.mv_ext[j],
-                    t,
-                );
+                match self.format {
+                    SparseFormat::Csr => self.gz.spmv_rows_list_par(
+                        &self.pk,
+                        self.gz.frontier_rows(rows),
+                        &self.mv_ext[j],
+                        t,
+                    ),
+                    SparseFormat::Sell => {
+                        self.gz
+                            .spmv_frontier_sell(&self.pk, rows, &self.mv_ext[j], t)
+                    }
+                }
             } else {
                 // Levels past the first have no exchange to hide, but run
                 // the same split schedule for a uniform execution shape.
                 {
                     let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
-                    self.gz.spmv_rows_list_par(
-                        &self.pk,
-                        self.gz.interior_rows(),
-                        &self.mv_ext[j],
-                        t,
-                    );
+                    match self.format {
+                        SparseFormat::Csr => self.gz.spmv_rows_list_par(
+                            &self.pk,
+                            self.gz.interior_rows(),
+                            &self.mv_ext[j],
+                            t,
+                        ),
+                        SparseFormat::Sell => {
+                            self.gz.spmv_interior_sell(&self.pk, &self.mv_ext[j], t)
+                        }
+                    }
                 }
                 let _f = spcg_obs::span(self.track.as_ref(), Phase::Frontier);
-                self.gz.spmv_rows_list_par(
-                    &self.pk,
-                    self.gz.frontier_rows(rows),
-                    &self.mv_ext[j],
-                    t,
-                );
+                match self.format {
+                    SparseFormat::Csr => self.gz.spmv_rows_list_par(
+                        &self.pk,
+                        self.gz.frontier_rows(rows),
+                        &self.mv_ext[j],
+                        t,
+                    ),
+                    SparseFormat::Sell => {
+                        self.gz
+                            .spmv_frontier_sell(&self.pk, rows, &self.mv_ext[j], t)
+                    }
+                }
             }
             counters.record_spmv(self.spmv_flops);
             let theta = params.theta[j];
@@ -675,6 +716,76 @@ mod tests {
             assert_eq!(mv.col(j), mv_ref.col(j), "mv col {j}");
         }
         assert_eq!(c, c_ref);
+    }
+
+    /// SELL format must reproduce the CSR kernels bitwise on both the
+    /// blocking and the overlapped paths, for every rank and thread count.
+    #[test]
+    fn sell_format_matches_csr_bitwise() {
+        let a = poisson_2d(13);
+        let n = a.nrows();
+        let m = Jacobi::new(&a);
+        let w: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 4.0).collect();
+        let s = 4;
+        let params = BasisParams::newton(&[1.0, 0.5, 2.0, 1.5], s);
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / a.get(i, i)).collect();
+        let part = BlockRowPartition::balanced(n, 3);
+        for p in 0..3 {
+            let (lo, hi) = part.range(p);
+            let mut dk = DistMpk::new(&a, lo, hi, s, &weights, m.flops_per_apply());
+            let w_ext = dk.ghost().extend_from_global(&w);
+            let mut v_ref = MultiVector::zeros(hi - lo, s + 1);
+            let mut mv_ref = MultiVector::zeros(hi - lo, s);
+            let mut c_ref = Counters::new();
+            dk.run(&w_ext, None, &params, &mut v_ref, &mut mv_ref, &mut c_ref);
+
+            for t in [1usize, 2, 4] {
+                let pk = spcg_sparse::ParKernels::new(t);
+                let mut dk = DistMpk::new_par(&a, lo, hi, s, &weights, m.flops_per_apply(), pk)
+                    .with_format(SparseFormat::Sell);
+                let ghosts: Vec<usize> = dk.ghost().ghost_indices().to_vec();
+                let mut v = MultiVector::zeros(hi - lo, s + 1);
+                let mut mv = MultiVector::zeros(hi - lo, s);
+                let mut c = Counters::new();
+                dk.run(&w_ext, None, &params, &mut v, &mut mv, &mut c);
+                for j in 0..=s {
+                    assert_eq!(v.col(j), v_ref.col(j), "rank {p} t {t} v col {j}");
+                }
+                for j in 0..s {
+                    assert_eq!(mv.col(j), mv_ref.col(j), "rank {p} t {t} mv col {j}");
+                }
+                assert_eq!(c, c_ref, "rank {p} t {t}: counters must not change");
+
+                let mut v = MultiVector::zeros(hi - lo, s + 1);
+                let mut mv = MultiVector::zeros(hi - lo, s);
+                let mut c = Counters::new();
+                dk.run_overlapped(
+                    &w[lo..hi],
+                    None,
+                    &params,
+                    &mut v,
+                    &mut mv,
+                    &mut c,
+                    &mut |wg, mwg| {
+                        assert!(mwg.is_none());
+                        for (dst, &g) in wg.iter_mut().zip(&ghosts) {
+                            *dst = w[g];
+                        }
+                    },
+                );
+                for j in 0..=s {
+                    assert_eq!(v.col(j), v_ref.col(j), "overlap rank {p} t {t} v col {j}");
+                }
+                for j in 0..s {
+                    assert_eq!(
+                        mv.col(j),
+                        mv_ref.col(j),
+                        "overlap rank {p} t {t} mv col {j}"
+                    );
+                }
+                assert_eq!(c, c_ref, "overlap rank {p} t {t}: counters must not change");
+            }
+        }
     }
 
     #[test]

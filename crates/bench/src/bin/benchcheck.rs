@@ -23,6 +23,12 @@
 //! nanoseconds-to-centiseconds, a β outside the plausible inverse-bandwidth
 //! band, or a γ outside 10 kFLOP/s–10 TFLOP/s means the fit ingested
 //! garbage (empty traces, a unit mix-up, hard-coded constants).
+//!
+//! The SELL-C-σ format carries its own gate: a fresh `gflops` object that
+//! reports a CSR `spmv` must also report `spmv_sell`, and the
+//! single-thread SELL/CSR throughput ratio must reach [`SELL_MIN_RATIO`] —
+//! the sliced format exists to beat CSR, and a ratio collapse means the
+//! unrolled kernel regressed (or the build lost its SIMD path).
 
 use spcg_obs::json::{parse, Value};
 use std::process::ExitCode;
@@ -40,6 +46,11 @@ const CALIB_RANGES: [(&str, f64, f64); 3] = [
     ("gamma_flops", 1e4, 1e13),
 ];
 
+/// Minimum fresh single-thread `spmv_sell[0] / spmv[0]` ratio. The
+/// measured ratio on the reference runner is ~1.9×; dipping under 1.5×
+/// means the SELL kernel lost its bandwidth/ILP advantage.
+const SELL_MIN_RATIO: f64 = 1.5;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.len() % 2 != 0 {
@@ -53,6 +64,7 @@ fn main() -> ExitCode {
         match (load(fresh_path), load(base_path)) {
             (Ok(fresh), Ok(base)) => {
                 compare(&base, &fresh, "$", false, &mut errors);
+                check_sell_gate(&fresh, &mut errors);
             }
             (fresh, base) => {
                 if let Err(e) = fresh {
@@ -129,6 +141,38 @@ fn compare(base: &Value, fresh: &Value, path: &str, in_gflops: bool, errors: &mu
         }
         // Strings/booleans/null: presence is all the baseline demands.
         _ => {}
+    }
+}
+
+/// The SELL format gate on a fresh result file: wherever a `gflops`
+/// object reports a CSR `spmv`, it must also report `spmv_sell`, and the
+/// single-thread (first-entry) ratio must reach [`SELL_MIN_RATIO`]. This
+/// is a check on the fresh file alone — a baseline predating the SELL
+/// format must not grandfather its absence.
+fn check_sell_gate(fresh: &Value, errors: &mut Vec<String>) {
+    let Some(gflops) = fresh.get("gflops") else {
+        return;
+    };
+    let first = |key: &str| -> Option<f64> {
+        match gflops.get(key) {
+            Some(Value::Array(items)) => match items.first() {
+                Some(Value::Number(v)) => Some(*v),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let Some(csr) = first("spmv") else {
+        return;
+    };
+    let Some(sell) = first("spmv_sell") else {
+        errors.push("$.gflops.spmv_sell: missing SELL leg in fresh output".to_string());
+        return;
+    };
+    if !(csr > 0.0) || !(sell / csr >= SELL_MIN_RATIO) {
+        errors.push(format!(
+            "$.gflops.spmv_sell[0]: SELL/CSR single-thread ratio {sell}/{csr} below {SELL_MIN_RATIO}x"
+        ));
     }
 }
 

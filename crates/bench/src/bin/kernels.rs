@@ -24,13 +24,15 @@
 //! revisions timed the cold call only, which inflated the 1-thread number
 //! by roughly 2× and made the thread-scaling curve look superlinear.
 
+use spcg_basis::{BasisParams, Mpk};
 use spcg_bench::{quick_mode, write_results};
 use spcg_dist::executor::run_ranks;
-use spcg_dist::{ThreadComm, VectorBoard};
+use spcg_dist::{Counters, ThreadComm, VectorBoard};
 use spcg_obs::{Phase, Tracer};
+use spcg_precond::Jacobi;
 use spcg_sparse::generators::poisson::poisson_3d;
 use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::{CsrMatrix, DenseMat, MultiVector, ParKernels};
+use spcg_sparse::{CsrMatrix, DenseMat, MultiVector, ParKernels, SparseFormat};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 const RANKS: [usize; 3] = [1, 2, 4];
@@ -39,6 +41,13 @@ const S: usize = 10;
 /// Cold call goes on this pseudo-thread id so it stays separate from the
 /// warm best-of-reps track of the same kernel.
 const COLD_THREAD: usize = 1;
+/// Pseudo-thread ids for the SELL-C-σ legs: the warm and cold SpMV on the
+/// sliced format, and the cache-fused vs level-by-level matrix powers
+/// sweep (both on SELL storage, so the delta is the fusion alone).
+const SELL_THREAD: usize = 2;
+const SELL_COLD_THREAD: usize = 3;
+const MPK_FUSED_THREAD: usize = 4;
+const MPK_LEVEL_THREAD: usize = 5;
 
 fn filled_multivector(n: usize, k: usize, seed: usize) -> MultiVector {
     let cols: Vec<Vec<f64>> = (0..k)
@@ -160,7 +169,29 @@ fn main() {
     let gram_flops = 2.0 * (k * k) as f64 * n as f64;
     let update_flops = 2.0 * (S * S) as f64 * n as f64;
 
+    // SELL-C-σ leg: one conversion (cached on the matrix), shared across
+    // thread counts. The fused-MPK comparator runs the same SELL storage
+    // level-by-level, so the measured delta is the cache fusion alone.
+    let sell = a.sell();
+    let m_jac = Jacobi::new(&a);
+    let mpk_params = BasisParams::chebyshev(0.1, 11.9, S);
+    // FLOPs of one depth-S sweep, taken from the counters of a probe run
+    // (SpMV + basis corrections + pointwise precond) so the fused and the
+    // level-by-level leg are normalized by the identical total.
+    let mpk_flops: f64 = {
+        let probe = Mpk::new_par(&a, &m_jac, ParKernels::new(1)).with_format(SparseFormat::Sell);
+        let mut v = MultiVector::zeros(n, S + 1);
+        let mut mv = MultiVector::zeros(n, S + 1);
+        let mut c = Counters::new();
+        probe.run(&x, None, &mpk_params, &mut v, &mut mv, &mut c);
+        (c.spmv_flops + c.blas1_flops + c.precond_flops) as f64
+    };
+
     let mut spmv_gf = Vec::new();
+    let mut spmv_sell_gf = Vec::new();
+    let mut spmv_sell_cold_gf = Vec::new();
+    let mut mpk_fused_gf = Vec::new();
+    let mut mpk_level_gf = Vec::new();
     let mut gram_gf = Vec::new();
     let mut update_gf = Vec::new();
     let mut update_cold_gf = Vec::new();
@@ -193,6 +224,49 @@ fn main() {
                 let _s = track.span(Phase::VecUpdate);
                 p_mat.blocked_update_par(&pk, &u_mat, &b_small, &mut scratch);
             }
+
+            // SELL-C-σ SpMV: the cold call pays the slice-schedule build
+            // for this thread count; warm is best-of-reps on the same
+            // cached schedule.
+            let sell_warm = tracer.track_on(t, SELL_THREAD);
+            let sell_cold = tracer.track_on(t, SELL_COLD_THREAD);
+            {
+                let _s = sell_cold.span(Phase::Spmv);
+                pk.spmv_sell(&sell, &x, &mut y);
+            }
+            for _ in 0..reps {
+                let _s = sell_warm.span(Phase::Spmv);
+                pk.spmv_sell(&sell, &x, &mut y);
+            }
+
+            // Matrix powers sweep on SELL storage, cache-fused tile sweep
+            // vs plain level-by-level: same storage, same recurrence, same
+            // counters — the measured delta is the fusion alone.
+            let fused_track = tracer.track_on(t, MPK_FUSED_THREAD);
+            let level_track = tracer.track_on(t, MPK_LEVEL_THREAD);
+            let mpk_fused =
+                Mpk::new_par(&a, &m_jac, ParKernels::new(t)).with_format(SparseFormat::Sell);
+            let mpk_level = Mpk::new_par(&a, &m_jac, ParKernels::new(t))
+                .with_format(SparseFormat::Sell)
+                .with_fused(false);
+            assert!(
+                mpk_fused.fused_applicable(S + 1),
+                "fused MPK gate rejected the bench problem (s = {S})"
+            );
+            let mut v = MultiVector::zeros(n, S + 1);
+            let mut mv = MultiVector::zeros(n, S + 1);
+            let mut c = Counters::new();
+            // One warm-up per leg, then best-of-reps.
+            mpk_fused.run(&x, None, &mpk_params, &mut v, &mut mv, &mut c);
+            for _ in 0..reps {
+                let _s = fused_track.span(Phase::MpkLevel);
+                mpk_fused.run(&x, None, &mpk_params, &mut v, &mut mv, &mut c);
+            }
+            mpk_level.run(&x, None, &mpk_params, &mut v, &mut mv, &mut c);
+            for _ in 0..reps {
+                let _s = level_track.span(Phase::MpkLevel);
+                mpk_level.run(&x, None, &mpk_params, &mut v, &mut mv, &mut c);
+            }
         }
         let tracks = tracer.tracks();
         let min_of = |thread: usize, phase: Phase| -> f64 {
@@ -206,13 +280,24 @@ fn main() {
         let tg = min_of(0, Phase::Gram);
         let tu = min_of(0, Phase::VecUpdate);
         let tu_cold = min_of(COLD_THREAD, Phase::VecUpdate);
+        let ts_sell = min_of(SELL_THREAD, Phase::Spmv);
+        let ts_sell_cold = min_of(SELL_COLD_THREAD, Phase::Spmv);
+        let tm_fused = min_of(MPK_FUSED_THREAD, Phase::MpkLevel);
+        let tm_level = min_of(MPK_LEVEL_THREAD, Phase::MpkLevel);
         spmv_gf.push(spmv_flops / ts / 1e9);
+        spmv_sell_gf.push(spmv_flops / ts_sell / 1e9);
+        spmv_sell_cold_gf.push(spmv_flops / ts_sell_cold / 1e9);
+        mpk_fused_gf.push(mpk_flops / tm_fused / 1e9);
+        mpk_level_gf.push(mpk_flops / tm_level / 1e9);
         gram_gf.push(gram_flops / tg / 1e9);
         update_gf.push(update_flops / tu / 1e9);
         update_cold_gf.push(update_flops / tu_cold / 1e9);
         eprintln!(
-            "[kernels] threads={t}: spmv {:.2} GF/s, gram {:.2} GF/s, update {:.2} GF/s (cold {:.2})",
+            "[kernels] threads={t}: spmv {:.2} GF/s (sell {:.2}), mpk fused {:.2} vs level {:.2} GF/s, gram {:.2} GF/s, update {:.2} GF/s (cold {:.2})",
             spmv_gf.last().unwrap(),
+            spmv_sell_gf.last().unwrap(),
+            mpk_fused_gf.last().unwrap(),
+            mpk_level_gf.last().unwrap(),
             gram_gf.last().unwrap(),
             update_gf.last().unwrap(),
             update_cold_gf.last().unwrap()
@@ -222,13 +307,19 @@ fn main() {
     let speedup = |gf: &[f64]| -> Vec<f64> { gf.iter().map(|g| g / gf[0]).collect() };
     let threads_list: Vec<String> = THREADS.iter().map(|t| t.to_string()).collect();
     let out = format!(
-        "{{\n  \"matrix\": \"poisson3d_{grid}\",\n  \"n\": {n},\n  \"nnz\": {nnz},\n  \"s\": {S},\n  \"gram_columns\": {k},\n  \"reps\": {reps},\n  \"threads\": [{}],\n  \"gflops\": {{\n    \"spmv\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {},\n    \"blocked_update_cold\": {}\n  }},\n  \"speedup_vs_1_thread\": {{\n    \"spmv\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {}\n  }}\n}}\n",
+        "{{\n  \"matrix\": \"poisson3d_{grid}\",\n  \"n\": {n},\n  \"nnz\": {nnz},\n  \"s\": {S},\n  \"gram_columns\": {k},\n  \"reps\": {reps},\n  \"threads\": [{}],\n  \"sell_pad_ratio\": {:.4},\n  \"gflops\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"spmv_sell_cold\": {},\n    \"mpk_fused\": {},\n    \"mpk_levelwise_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {},\n    \"blocked_update_cold\": {}\n  }},\n  \"speedup_vs_1_thread\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {}\n  }}\n}}\n",
         threads_list.join(", "),
+        sell.pad_ratio(),
         json_array(&spmv_gf),
+        json_array(&spmv_sell_gf),
+        json_array(&spmv_sell_cold_gf),
+        json_array(&mpk_fused_gf),
+        json_array(&mpk_level_gf),
         json_array(&gram_gf),
         json_array(&update_gf),
         json_array(&update_cold_gf),
         json_array(&speedup(&spmv_gf)),
+        json_array(&speedup(&spmv_sell_gf)),
         json_array(&speedup(&gram_gf)),
         json_array(&speedup(&update_gf)),
     );

@@ -94,12 +94,15 @@ impl Calibrator {
         &self.samples
     }
 
-    /// Fits the accumulated measurements.
+    /// Fits the accumulated measurements, labelling γ with the sparse
+    /// format the calibration solves ran on (`"csr"` | `"sell"`): the
+    /// compute rate is a property of the kernel that produced it, and the
+    /// scaling replay should say which one it replays.
     ///
     /// # Panics
     /// Panics when nothing was ingested (no samples and no compute time) —
     /// a fit of nothing is a bug in the calling sweep.
-    pub fn fit(&self, backend: &str) -> Calibration {
+    pub fn fit_format(&self, backend: &str, format: &str) -> Calibration {
         assert!(
             !self.samples.is_empty() || self.compute_seconds > 0.0,
             "calibration: no measurements ingested"
@@ -144,11 +147,17 @@ impl Calibrator {
         };
         Calibration {
             backend: backend.to_string(),
+            format: format.to_string(),
             alpha,
             beta,
             gamma,
             samples: self.samples.len(),
         }
+    }
+
+    /// [`Calibrator::fit_format`] with the default CSR format label.
+    pub fn fit(&self, backend: &str) -> Calibration {
+        self.fit_format(backend, "csr")
     }
 }
 
@@ -189,6 +198,10 @@ fn fit_affine(samples: &[CalibSample]) -> (f64, f64) {
 pub struct Calibration {
     /// Backend the constants describe (`"thread"` or `"proc"`).
     pub backend: String,
+    /// Sparse format γ was measured on (`"csr"` or `"sell"`) — the two
+    /// kernels run at different flop rates, so a replay must price
+    /// compute with the matching fit.
+    pub format: String,
     /// Exchange latency floor (seconds): the fitted wait at zero words.
     pub alpha: f64,
     /// Inverse exchange bandwidth (seconds per word).
@@ -289,6 +302,7 @@ mod tests {
     fn machine_params_preserve_default_ratios() {
         let cal = Calibration {
             backend: "thread".into(),
+            format: "csr".into(),
             alpha: 5.0e-7,
             beta: 2.0e-10,
             gamma: 3.0e9,
@@ -319,6 +333,22 @@ mod tests {
         assert_eq!(cal.samples, 0);
         assert!(cal.gamma > 1e4);
         cal.machine_params().validate();
+    }
+
+    #[test]
+    fn fit_carries_backend_and_format_labels() {
+        let mut c = Calibrator::new();
+        c.compute_seconds = 0.5;
+        c.spmv_flops = 2.0e9;
+        let cal = c.fit_format("proc", "sell");
+        assert_eq!(cal.backend, "proc");
+        assert_eq!(cal.format, "sell");
+        assert_eq!(c.fit("proc").format, "csr", "fit() defaults to csr");
+        assert_eq!(
+            cal.gamma,
+            c.fit("proc").gamma,
+            "label does not change the fit"
+        );
     }
 
     #[test]

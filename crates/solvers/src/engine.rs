@@ -48,7 +48,10 @@ use spcg_dist::{
 use spcg_obs::{Phase, Track};
 use spcg_precond::{DistForm, Preconditioner};
 use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::{CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels};
+use spcg_sparse::{
+    CsrMatrix, DenseMat, GhostZone, MultiVector, ParKernels, SellMatrix, SparseFormat,
+};
+use std::sync::Arc;
 
 /// Where a [`solve`](crate::solve) call executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +155,9 @@ pub(crate) struct SerialExec<'a> {
     b: &'a [f64],
     mpk: Mpk<'a>,
     pk: ParKernels,
+    /// The matrix's cached SELL-C-σ form under [`SparseFormat::Sell`];
+    /// `None` keeps the single SpMVs on the CSR kernel.
+    sell: Option<Arc<SellMatrix>>,
     track: Option<Track>,
 }
 
@@ -159,12 +165,19 @@ impl<'a> SerialExec<'a> {
     pub(crate) fn new(problem: &Problem<'a>, opts: &SolveOptions) -> Self {
         let pk = ParKernels::new(opts.threads);
         let track = opts.trace.as_ref().map(|t| t.track(0));
+        let sell = match opts.format {
+            SparseFormat::Csr => None,
+            SparseFormat::Sell => Some(problem.a.sell()),
+        };
         SerialExec {
             a: problem.a,
             m: problem.m,
             b: problem.b,
-            mpk: Mpk::new_par(problem.a, problem.m, pk.clone()).with_track(track.clone()),
+            mpk: Mpk::new_par(problem.a, problem.m, pk.clone())
+                .with_format(opts.format)
+                .with_track(track.clone()),
             pk,
+            sell,
             track,
         }
     }
@@ -188,7 +201,10 @@ impl Exec for SerialExec<'_> {
     }
     fn spmv(&mut self, x: &[f64], y: &mut [f64], _counters: &mut Counters) {
         let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmv);
-        self.pk.spmv(self.a, x, y);
+        match self.sell.as_deref() {
+            Some(sell) => self.pk.spmv_sell(sell, x, y),
+            None => self.pk.spmv(self.a, x, y),
+        }
     }
     fn precond(&mut self, r: &[f64], z: &mut [f64], _counters: &mut Counters) {
         let _s = spcg_obs::span(self.track.as_ref(), Phase::Precond);
@@ -232,6 +248,7 @@ fn dist_spmv(
     plan: &GatherPlan,
     pk: &ParKernels,
     overlap: bool,
+    format: SparseFormat,
     ext_buf: &mut Vec<f64>,
     x: &[f64],
     y: &mut [f64],
@@ -247,17 +264,26 @@ fn dist_spmv(
         // is never touched.
         {
             let _s = spcg_obs::span(track, Phase::Spmv);
-            gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y);
+            match format {
+                SparseFormat::Csr => gz1.spmv_rows_list_par(pk, gz1.interior_rows(), ext_buf, y),
+                SparseFormat::Sell => gz1.spmv_interior_sell(pk, ext_buf, y),
+            }
         }
         board.complete_into(plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
         let _f = spcg_obs::span(track, Phase::Frontier);
-        gz1.spmv_rows_list_par(pk, gz1.frontier_rows(nl), ext_buf, y);
+        match format {
+            SparseFormat::Csr => gz1.spmv_rows_list_par(pk, gz1.frontier_rows(nl), ext_buf, y),
+            SparseFormat::Sell => gz1.spmv_frontier_sell(pk, nl, ext_buf, y),
+        }
     } else {
         board.complete_into(plan, &mut ext_buf[nl..], track);
         counters.record_halo_exchange(plan.words() as u64);
         let _s = spcg_obs::span(track, Phase::Spmv);
-        gz1.spmv_prefix_par(pk, nl, ext_buf, y);
+        match format {
+            SparseFormat::Csr => gz1.spmv_prefix_par(pk, nl, ext_buf, y),
+            SparseFormat::Sell => gz1.spmv_prefix_sell(pk, nl, ext_buf, y),
+        }
     }
 }
 
@@ -288,6 +314,9 @@ pub(crate) struct RankExec<'a> {
     /// Overlap halo exchange with interior compute
     /// ([`SolveOptions::overlap`]).
     overlap: bool,
+    /// Sparse format for the ghost-zone SpMV kernels
+    /// ([`SolveOptions::format`]).
+    format: SparseFormat,
     /// Partition boundaries align with the block-operator boundaries, so a
     /// `DistForm::RankLocal` preconditioner can apply locally.
     rank_local_ok: bool,
@@ -321,6 +350,7 @@ impl<'a> RankExec<'a> {
         mpk_depth: Option<usize>,
         threads: usize,
         overlap: bool,
+        format: SparseFormat,
         track: Option<Track>,
         faults: Option<FaultPlan>,
     ) -> Self {
@@ -338,6 +368,7 @@ impl<'a> RankExec<'a> {
                     problem.m.flops_per_apply(),
                     pk.clone(),
                 )
+                .with_format(format)
                 .with_track(track.clone()),
             ),
             _ => None,
@@ -365,6 +396,7 @@ impl<'a> RankExec<'a> {
             dist_mpk,
             plan_s,
             overlap,
+            format,
             rank_local_ok,
             pk,
             ext_buf: Vec::new(),
@@ -415,6 +447,7 @@ impl Exec for RankExec<'_> {
             gz1,
             plan1,
             overlap,
+            format,
             pk,
             ext_buf,
             track,
@@ -426,6 +459,7 @@ impl Exec for RankExec<'_> {
             plan1,
             pk,
             *overlap,
+            *format,
             ext_buf,
             x,
             y,
@@ -454,6 +488,7 @@ impl Exec for RankExec<'_> {
                     gz1,
                     plan1,
                     overlap,
+                    format,
                     pk,
                     ext_buf,
                     track,
@@ -466,6 +501,7 @@ impl Exec for RankExec<'_> {
                         plan1,
                         pk,
                         *overlap,
+                        *format,
                         ext_buf,
                         xv,
                         yv,
@@ -567,6 +603,7 @@ impl Exec for RankExec<'_> {
             let mut v_full = MultiVector::zeros(n, v.k());
             let mut mv_full = MultiVector::zeros(n, mv.k());
             Mpk::new_par(self.a, self.m, self.pk.clone())
+                .with_format(self.format)
                 .with_track(self.track.clone())
                 .run(
                     &w_full,
@@ -679,6 +716,7 @@ pub(crate) fn run_ranked(
             mpk_depth,
             opts.threads,
             opts.overlap,
+            opts.format,
             track,
             plan.clone(),
         );

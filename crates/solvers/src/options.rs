@@ -4,7 +4,7 @@ use crate::resilience::Resilience;
 use spcg_dist::{Backend, Counters, FaultPlan};
 use spcg_obs::Tracer;
 use spcg_precond::Preconditioner;
-use spcg_sparse::CsrMatrix;
+use spcg_sparse::{CsrMatrix, SparseFormat};
 
 /// The linear system `A x = b` with preconditioner `M⁻¹`.
 pub struct Problem<'a> {
@@ -166,6 +166,20 @@ pub struct SolveOptions {
     /// `0` to default it off. Ignored by [`crate::Engine::Serial`], which
     /// has no exchanges to hide.
     pub overlap: bool,
+    /// Sparse format driving the SpMV and matrix-powers kernels:
+    /// [`SparseFormat::Csr`] (the default) streams rows from the assembled
+    /// CSR arrays, [`SparseFormat::Sell`] converts once to the SELL-C-σ
+    /// sliced layout (cached on the matrix) whose padded column-major
+    /// slices multiply at unit stride with eight-way independent
+    /// accumulators, and enables the cache-fused multi-level matrix powers
+    /// sweep where applicable. Solutions, iteration counts, and
+    /// [`Counters`] are **bitwise identical** across formats for every
+    /// engine, rank count, thread count, and overlap setting — the sliced
+    /// kernels accumulate each row's entries in the same CSR order. The
+    /// default honours the `SPCG_FORMAT` environment variable
+    /// (`csr` | `sell`), so `SPCG_FORMAT=sell cargo test` moves a whole
+    /// suite onto the sliced layout.
+    pub format: SparseFormat,
     /// Communication backend under [`crate::Engine::Ranked`]:
     /// [`Backend::Thread`] (the default) runs ranks as OS threads over
     /// shared memory, [`Backend::Proc`] runs each rank as a `spcg-rankd`
@@ -239,6 +253,7 @@ impl Default for SolveOptions {
             residual_replacement: None,
             threads: default_threads(),
             overlap: default_overlap(),
+            format: SparseFormat::from_env().unwrap_or_default(),
             backend: Backend::from_env().unwrap_or_default(),
             trace: Tracer::from_env(),
             faults: FaultPlan::from_env(),
@@ -305,6 +320,12 @@ impl SolveOptions {
     /// Builder-style halo-exchange overlap (see [`SolveOptions::overlap`]).
     pub fn with_overlap(mut self, overlap: bool) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Builder-style sparse format (see [`SolveOptions::format`]).
+    pub fn with_format(mut self, format: SparseFormat) -> Self {
+        self.format = format;
         self
     }
 
@@ -408,6 +429,13 @@ impl SolveOptionsBuilder {
     /// [`SolveOptions::overlap`]).
     pub fn overlap(mut self, overlap: bool) -> Self {
         self.opts.overlap = overlap;
+        self
+    }
+
+    /// Sparse format for the SpMV and matrix-powers kernels (see
+    /// [`SolveOptions::format`]).
+    pub fn format(mut self, format: SparseFormat) -> Self {
+        self.opts.format = format;
         self
     }
 
@@ -646,6 +674,28 @@ mod tests {
         assert_eq!(
             SolveOptions::default().with_backend(Backend::Proc).backend,
             Backend::Proc
+        );
+    }
+
+    #[test]
+    fn format_option_defaults_and_builds() {
+        // Default is Csr unless SPCG_FORMAT overrides it (the CI sell job
+        // exports it; tests needing a specific format set it explicitly).
+        if std::env::var("SPCG_FORMAT").is_err() {
+            assert_eq!(SolveOptions::default().format, SparseFormat::Csr);
+        }
+        assert_eq!(
+            SolveOptions::builder()
+                .format(SparseFormat::Sell)
+                .build()
+                .format,
+            SparseFormat::Sell
+        );
+        assert_eq!(
+            SolveOptions::default()
+                .with_format(SparseFormat::Sell)
+                .format,
+            SparseFormat::Sell
         );
     }
 

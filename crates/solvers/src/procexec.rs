@@ -41,7 +41,7 @@ use spcg_dist::{Backend, Comm, Counters, Exchange, FaultPlan, GatherPlan, FAULT_
 use spcg_obs::{Phase, RawTrack, Tracer, Track};
 use spcg_precond::PrecondSpec;
 use spcg_sparse::partition::BlockRowPartition;
-use spcg_sparse::CsrMatrix;
+use spcg_sparse::{CsrMatrix, SparseFormat};
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -57,7 +57,7 @@ use std::time::{Duration, Instant};
 
 /// Protocol version — bumped on any frame-layout change so a stale
 /// `spcg-rankd` binary fails loudly instead of misparsing.
-const PROTO: u64 = 1;
+const PROTO: u64 = 2;
 
 // Frame tags. Worker → hub: HELLO, POST, WANT, BARRIER, REDUCE, RESULT.
 // Hub → worker: SETUP, BOARD, BARRIER_OK, REDUCE_SUM.
@@ -111,6 +111,7 @@ struct Setup {
     residual_replacement: Option<f64>,
     threads: usize,
     overlap: bool,
+    format: SparseFormat,
     trace_cap: Option<usize>,
     faults: Option<(u64, f64, u8)>,
     resilience: Option<Resilience>,
@@ -274,6 +275,10 @@ impl Setup {
         }
         w.usize(self.threads);
         w.u8(self.overlap as u8);
+        w.u8(match self.format {
+            SparseFormat::Csr => 0,
+            SparseFormat::Sell => 1,
+        });
         match self.trace_cap {
             Some(cap) => {
                 w.u8(1);
@@ -338,6 +343,11 @@ impl Setup {
             residual_replacement: (r.u8() != 0).then(|| r.f64()),
             threads: r.usize(),
             overlap: r.u8() != 0,
+            format: match r.u8() {
+                0 => SparseFormat::Csr,
+                1 => SparseFormat::Sell,
+                k => panic!("setup: unknown sparse format {k}"),
+            },
             trace_cap: (r.u8() != 0).then(|| r.usize()),
             faults: (r.u8() != 0).then(|| (r.u64(), r.f64(), r.u8())),
             resilience: (r.u8() != 0).then(|| Resilience {
@@ -792,6 +802,7 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
         residual_replacement: setup.residual_replacement,
         threads: setup.threads,
         overlap: setup.overlap,
+        format: setup.format,
         backend: Backend::Thread,
         trace: tracer.clone(),
         faults: plan.clone(),
@@ -814,6 +825,7 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
         mpk_depth,
         setup.threads,
         setup.overlap,
+        setup.format,
         track,
         plan.clone(),
     );
@@ -1270,6 +1282,7 @@ pub(crate) fn run_proc(
                 residual_replacement: opts.residual_replacement,
                 threads: opts.threads,
                 overlap: opts.overlap,
+                format: opts.format,
                 trace_cap: opts.trace.as_ref().map(|t| t.capacity()),
                 faults: plan.as_ref().map(|p| (p.seed(), p.rate(), p.sites_mask())),
                 resilience: resilience.clone(),

@@ -8,8 +8,27 @@
 //! estimation.
 
 use crate::coo::CooMatrix;
+use crate::sell::SellMatrix;
 use crate::split::RowSplit;
 use std::sync::{Arc, Mutex};
+
+/// Validates the CSR invariants in debug builds only — the single gate
+/// every trusted ("unchecked") construction path goes through, so hot
+/// paths cannot drift apart in which invariants they skip. Release builds
+/// compile this to nothing; broken invariants there surface as index
+/// panics or wrong products, never memory unsafety (all access is
+/// bounds-checked).
+pub(crate) fn debug_assert_csr_invariants(
+    nrows: usize,
+    ncols: usize,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+) {
+    if cfg!(debug_assertions) {
+        validate_raw(nrows, ncols, row_ptr, col_idx, values);
+    }
+}
 
 /// Validates the CSR invariants, panicking on the first violation.
 fn validate_raw(nrows: usize, ncols: usize, row_ptr: &[usize], col_idx: &[usize], values: &[f64]) {
@@ -63,6 +82,9 @@ pub struct CsrMatrix {
     /// range (see [`CsrMatrix::row_split`]). One entry per distinct range —
     /// in practice one per rank of a block-row partition.
     splits: SplitCache,
+    /// Lazily converted SELL-C-σ sibling of this matrix (see
+    /// [`CsrMatrix::sell`]), built on first request and shared.
+    sell: Mutex<Option<Arc<SellMatrix>>>,
 }
 
 /// Cache of [`RowSplit`]s keyed by owned row range.
@@ -79,6 +101,7 @@ impl Clone for CsrMatrix {
             values: self.values.clone(),
             schedule: Mutex::new(None),
             splits: Mutex::new(Vec::new()),
+            sell: Mutex::new(None),
         }
     }
 }
@@ -99,6 +122,7 @@ impl CsrMatrix {
             values,
             schedule: Mutex::new(None),
             splits: Mutex::new(Vec::new()),
+            sell: Mutex::new(None),
         }
     }
 
@@ -132,9 +156,7 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        if cfg!(debug_assertions) {
-            validate_raw(nrows, ncols, &row_ptr, &col_idx, &values);
-        }
+        debug_assert_csr_invariants(nrows, ncols, &row_ptr, &col_idx, &values);
         Self::assemble(nrows, ncols, row_ptr, col_idx, values)
     }
 
@@ -391,6 +413,19 @@ impl CsrMatrix {
         cache.push(((lo, hi), Arc::clone(&split)));
         split
     }
+
+    /// This matrix converted to SELL-C-σ layout (see
+    /// [`SellMatrix`]), built on first request and cached — every
+    /// executor of a solve shares the one conversion.
+    pub fn sell(&self) -> Arc<SellMatrix> {
+        let mut cache = self.sell.lock().unwrap();
+        if let Some(s) = cache.as_ref() {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SellMatrix::from_csr(self));
+        *cache = Some(Arc::clone(&s));
+        s
+    }
 }
 
 /// Computes nnz-balanced chunk boundaries over `row_ptr[..=nrows]`; shared by
@@ -598,5 +633,35 @@ mod tests {
     #[should_panic(expected = "row_ptr length")]
     fn from_raw_rejects_bad_ptr() {
         CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "columns must be strictly increasing")]
+    fn debug_invariant_helper_rejects_unsorted_columns() {
+        // Regression: every trusted construction path funnels through the
+        // one debug gate, so unsorted input cannot slip past any of them.
+        debug_assert_csr_invariants(1, 3, &[0, 2], &[2, 0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn sell_accessor_converts_once_and_matches() {
+        let a = crate::generators::poisson::poisson_2d(13);
+        let s1 = a.sell();
+        let s2 = a.sell();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut y_csr = vec![0.0; a.nrows()];
+        let mut y_sell = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y_csr);
+        s1.spmv(&x, &mut y_sell);
+        assert!(y_csr
+            .iter()
+            .zip(&y_sell)
+            .all(|(p, q)| p.to_bits() == q.to_bits()));
+        // The clone starts with a fresh (empty) conversion cache.
+        let b = a.clone();
+        let s3 = b.sell();
+        assert!(!Arc::ptr_eq(&s1, &s3));
     }
 }

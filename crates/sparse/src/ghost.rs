@@ -14,9 +14,11 @@
 //! bitwise identical to the global SpMV's.
 
 use crate::csr::CsrMatrix;
+use crate::sell::SellMatrix;
+use std::sync::{Arc, Mutex};
 
 /// The depth-s reachability structure of one rank's row block.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GhostZone {
     lo: usize,
     hi: usize,
@@ -44,6 +46,33 @@ pub struct GhostZone {
     /// columns, plus every ghost row). Ascending; together with `interior`
     /// this partitions `[0, reach_len(depth−1))`.
     frontier: Vec<usize>,
+    /// Lazily packed SELL-C-σ layout of the interior row list (identity
+    /// lane order — no σ-sort, so `perm` is the list itself).
+    sell_interior: Mutex<Option<Arc<SellMatrix>>>,
+    /// Lazily packed SELL-C-σ layout of the frontier row list. The list is
+    /// ascending, so the per-level prefix cut `rows < nrows` is a lane
+    /// prefix.
+    sell_frontier: Mutex<Option<Arc<SellMatrix>>>,
+}
+
+impl Clone for GhostZone {
+    fn clone(&self) -> Self {
+        // The SELL packings are derived data; the clone rebuilds on demand.
+        GhostZone {
+            lo: self.lo,
+            hi: self.hi,
+            depth: self.depth,
+            ext: self.ext.clone(),
+            prefix: self.prefix.clone(),
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.clone(),
+            interior: self.interior.clone(),
+            frontier: self.frontier.clone(),
+            sell_interior: Mutex::new(None),
+            sell_frontier: Mutex::new(None),
+        }
+    }
 }
 
 impl GhostZone {
@@ -125,6 +154,8 @@ impl GhostZone {
             values,
             interior,
             frontier,
+            sell_interior: Mutex::new(None),
+            sell_frontier: Mutex::new(None),
         }
     }
 
@@ -338,6 +369,104 @@ impl GhostZone {
     pub fn extend_from_global(&self, global: &[f64]) -> Vec<f64> {
         self.ext.iter().map(|&g| global[g]).collect()
     }
+
+    /// The interior row list packed into SELL-C-σ layout, built on first
+    /// request and cached (reset on clone). Lane order is the list itself,
+    /// so results scatter to the same `y[r]` positions as the CSR kernel.
+    fn interior_sell(&self) -> Arc<SellMatrix> {
+        let mut cache = self.sell_interior.lock().unwrap();
+        if let Some(s) = cache.as_ref() {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SellMatrix::from_rows(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            &self.interior,
+        ));
+        *cache = Some(Arc::clone(&s));
+        s
+    }
+
+    /// The frontier row list packed into SELL-C-σ layout (cached like
+    /// [`GhostZone::interior_sell`]). Ascending list order makes every
+    /// per-level prefix cut a lane prefix.
+    fn frontier_sell(&self) -> Arc<SellMatrix> {
+        let mut cache = self.sell_frontier.lock().unwrap();
+        if let Some(s) = cache.as_ref() {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SellMatrix::from_rows(
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+            &self.frontier,
+        ));
+        *cache = Some(Arc::clone(&s));
+        s
+    }
+
+    /// SELL-layout twin of running [`GhostZone::spmv_rows_list_par`] over
+    /// [`GhostZone::interior_rows`]: computes the interior rows into
+    /// `y[r]`, bitwise identical for any thread count.
+    pub fn spmv_interior_sell(&self, pk: &crate::par::ParKernels, x_ext: &[f64], y: &mut [f64]) {
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_interior_sell: x_ext too short"
+        );
+        pk.spmv_sell(&self.interior_sell(), x_ext, y);
+    }
+
+    /// SELL-layout twin of running [`GhostZone::spmv_rows_list_par`] over
+    /// [`GhostZone::frontier_rows`]`(nrows)`: computes the frontier rows
+    /// `< nrows` into `y[r]` via a lane-prefix cut of the packed list.
+    ///
+    /// # Panics
+    /// Panics if `nrows < n_owned()` (same contract as
+    /// [`GhostZone::frontier_rows`]).
+    pub fn spmv_frontier_sell(
+        &self,
+        pk: &crate::par::ParKernels,
+        nrows: usize,
+        x_ext: &[f64],
+        y: &mut [f64],
+    ) {
+        assert!(
+            nrows >= self.n_owned(),
+            "frontier_rows: prefix shorter than the owned block"
+        );
+        assert!(
+            x_ext.len() >= self.ext.len(),
+            "spmv_frontier_sell: x_ext too short"
+        );
+        let nlanes = self.frontier.partition_point(|&r| r < nrows);
+        pk.spmv_sell_prefix(&self.frontier_sell(), nlanes, x_ext, y);
+    }
+
+    /// SELL-layout twin of [`GhostZone::spmv_prefix_par`]: interior rows
+    /// plus the frontier prefix cover exactly `[0, nrows)`, and each row
+    /// runs the identical per-row accumulation, so the result is bitwise
+    /// equal to the CSR prefix SpMV (the order-independence proven by the
+    /// split-vs-prefix test).
+    ///
+    /// # Panics
+    /// Panics if `nrows` is not in `[n_owned(), reach_len(depth-1)]` or
+    /// buffers are too short.
+    pub fn spmv_prefix_sell(
+        &self,
+        pk: &crate::par::ParKernels,
+        nrows: usize,
+        x_ext: &[f64],
+        y: &mut [f64],
+    ) {
+        assert!(
+            nrows <= self.prefix[self.depth - 1],
+            "spmv_prefix: row prefix too long"
+        );
+        assert!(y.len() >= nrows, "spmv_prefix: y too short");
+        self.spmv_interior_sell(pk, x_ext, y);
+        self.spmv_frontier_sell(pk, nrows, x_ext, y);
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +586,46 @@ mod tests {
                 assert_eq!(y, reference, "depth {d}, threads {t}");
             }
         }
+    }
+
+    #[test]
+    fn sell_prefix_matches_csr_prefix_bitwise() {
+        use crate::par::ParKernels;
+        let a = crate::generators::poisson::poisson_3d(11);
+        let n = a.nrows();
+        let gz = GhostZone::new(&a, n / 5, 4 * n / 5, 3);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 19) as f64) - 9.0).collect();
+        let x_ext = gz.extend_from_global(&x);
+        for d in [1usize, 2] {
+            let rows = gz.reach_len(d);
+            let mut reference = vec![0.0; rows];
+            gz.spmv_prefix(rows, &x_ext, &mut reference);
+            for t in [1usize, 2, 4] {
+                let pk = ParKernels::new(t);
+                let mut y = vec![f64::NAN; rows];
+                gz.spmv_prefix_sell(&pk, rows, &x_ext, &mut y);
+                assert_eq!(y, reference, "depth {d}, threads {t}");
+                // The split schedule (interior with stale ghosts first,
+                // frontier after) must agree too — the overlap order.
+                let mut ys = vec![f64::NAN; rows];
+                gz.spmv_interior_sell(&pk, &x_ext, &mut ys);
+                gz.spmv_frontier_sell(&pk, rows, &x_ext, &mut ys);
+                assert_eq!(ys, reference, "split, depth {d}, threads {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sell_caches_are_shared_and_reset_on_clone() {
+        let a = poisson_2d(12);
+        let gz = GhostZone::new(&a, 24, 120, 2);
+        let s1 = gz.interior_sell();
+        let s2 = gz.interior_sell();
+        assert!(std::sync::Arc::ptr_eq(&s1, &s2));
+        let gz2 = gz.clone();
+        let s3 = gz2.interior_sell();
+        assert!(!std::sync::Arc::ptr_eq(&s1, &s3));
+        assert_eq!(s1.lanes(), s3.lanes());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`CsrMatrix`] — compressed sparse row storage with symmetric-positive-
 //!   definite (SPD) oriented helpers (diagonal extraction, symmetry checks,
 //!   Gershgorin bounds) and a cache-friendly sparse matrix-vector product.
+//! * [`SellMatrix`] — the same matrices in SELL-C-σ sliced layout: sorted
+//!   slices padded column-major so the SpMV inner loop carries many
+//!   independent rows at unit stride, bitwise identical to the CSR kernel.
 //! * [`CooMatrix`] — a coordinate-format builder used by the generators and
 //!   the Matrix Market reader.
 //! * [`MultiVector`] — a column-major dense block of vectors (`n × k`) used
@@ -34,6 +37,7 @@ pub mod multivector;
 pub mod par;
 pub mod partition;
 pub mod rng;
+pub mod sell;
 pub mod smallsolve;
 pub mod split;
 pub mod tridiag;
@@ -44,6 +48,7 @@ pub use dense::DenseMat;
 pub use ghost::GhostZone;
 pub use multivector::MultiVector;
 pub use par::{ParKernels, ThreadPool};
+pub use sell::{SellMatrix, SparseFormat};
 pub use split::RowSplit;
 
 /// Workspace-wide floating point scalar. The paper's experiments are all in

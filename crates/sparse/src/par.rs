@@ -27,6 +27,7 @@ use crate::blas::{self, pairwise_sum, REDUCE_BLOCK};
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMat;
 use crate::multivector::MultiVector;
+use crate::sell::SellMatrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -335,6 +336,63 @@ impl ParKernels {
         self.for_each_range_mut(y, &bounds, |c, piece| {
             a.spmv_rows(bounds[c], bounds[c + 1], x, piece);
         });
+    }
+
+    /// Sparse matrix-vector product `y ← A·x` on the SELL-C-σ layout,
+    /// over the matrix's cached padded-work-balanced slice schedule.
+    /// Slice-partitioned with an injective output permutation (threads
+    /// write disjoint positions), hence bitwise equal to
+    /// [`SellMatrix::spmv`] — and to the CSR kernels — for any thread
+    /// count.
+    pub fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]) {
+        if self.threads() == 1 || a.nslices() <= 1 {
+            a.spmv(x, y);
+            return;
+        }
+        assert!(x.len() >= a.ncols(), "spmv_sell: x length mismatch");
+        assert!(y.len() >= a.out_len(), "spmv_sell: y length mismatch");
+        let bounds = a.slice_schedule(self.threads());
+        let ptr = SendPtr(y.as_mut_ptr());
+        self.run_indexed(bounds.len() - 1, |c| {
+            // Safety: chunks own disjoint slice ranges, the permutation is
+            // injective, and out_len was bounds-checked above — so every
+            // write lands in `y` and no position is written twice.
+            let mut write = |i: usize, v: f64| unsafe { *ptr.get().add(i) = v };
+            a.spmv_slices_into(bounds[c], bounds[c + 1], x, &mut write);
+        });
+    }
+
+    /// [`ParKernels::spmv_sell`] restricted to the first `nlanes` lane
+    /// positions (the ghost-zone frontier's per-level active prefix).
+    /// Threads split the full slices of the prefix; the final partial
+    /// slice runs inline. Bitwise equal to
+    /// [`SellMatrix::spmv_lanes_prefix`] for any thread count.
+    pub fn spmv_sell_prefix(&self, a: &SellMatrix, nlanes: usize, x: &[f64], y: &mut [f64]) {
+        let full = nlanes / crate::sell::SELL_C;
+        if self.threads() == 1 || full <= 1 {
+            a.spmv_lanes_prefix(nlanes, x, y);
+            return;
+        }
+        assert!(x.len() >= a.ncols(), "spmv_sell_prefix: x length mismatch");
+        let y_len = y.len();
+        let ptr = SendPtr(y.as_mut_ptr());
+        // Per-call bounds over the prefix of full slices — the active
+        // prefix changes per MPK level, so it cannot use the cached
+        // full-matrix schedule (mirrors GhostZone::spmv_prefix_par).
+        let bounds = crate::csr::nnz_balanced_bounds(a.slice_ptr(), full, self.threads());
+        self.run_indexed(bounds.len() - 1, |c| {
+            // Safety: disjoint slice ranges + injective permutation; each
+            // output index is bounds-checked before the raw write.
+            let mut write = |i: usize, v: f64| {
+                assert!(i < y_len, "spmv_sell_prefix: y length mismatch");
+                unsafe { *ptr.get().add(i) = v }
+            };
+            a.spmv_slices_into(bounds[c], bounds[c + 1], x, &mut write);
+        });
+        let rem = nlanes % crate::sell::SELL_C;
+        if rem > 0 {
+            a.spmv_slice_lanes_into(full, rem, x, &mut |i, v| y[i] = v);
+        }
     }
 
     /// `y ← y + a·x`.
@@ -720,6 +778,44 @@ mod tests {
             let mut y = vec![1.0; a.nrows()];
             pk.spmv(&a, &x, &mut y);
             assert_eq!(y, serial, "t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_sell_is_bitwise_identical_across_thread_counts() {
+        let a = poisson_3d(14); // n = 2744 — several slice-schedule chunks
+        let sell = a.sell();
+        let x = random_vec(a.ncols(), 5);
+        let mut serial = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut serial);
+        for t in THREAD_COUNTS {
+            let pk = ParKernels::new(t);
+            let mut y = vec![1.0; a.nrows()];
+            pk.spmv_sell(&sell, &x, &mut y);
+            assert_eq!(y, serial, "t={t}");
+        }
+    }
+
+    #[test]
+    fn spmv_sell_prefix_is_bitwise_identical_across_thread_counts() {
+        let a = poisson_2d(40); // 1600 rows in one ascending list
+        let rows: Vec<usize> = (0..a.nrows()).collect();
+        let sell = SellMatrix::from_rows(a.row_ptr(), a.col_idx(), a.values(), &rows);
+        let x = random_vec(a.ncols(), 17);
+        let mut full = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut full);
+        for cut in [0usize, 31, 32, 33, 500, 1600] {
+            let mut serial = vec![f64::NAN; a.nrows()];
+            sell.spmv_lanes_prefix(cut, &x, &mut serial);
+            for t in THREAD_COUNTS {
+                let pk = ParKernels::new(t);
+                let mut y = vec![f64::NAN; a.nrows()];
+                pk.spmv_sell_prefix(&sell, cut, &x, &mut y);
+                for r in 0..cut {
+                    assert_eq!(y[r].to_bits(), full[r].to_bits(), "t={t} cut={cut} r={r}");
+                    assert_eq!(y[r].to_bits(), serial[r].to_bits(), "t={t} cut={cut} r={r}");
+                }
+            }
         }
     }
 

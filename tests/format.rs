@@ -1,0 +1,195 @@
+//! Sparse-format parity: a solve with the SELL-C-σ format must be
+//! **bitwise identical** to the same solve with CSR — same iterates, same
+//! iteration counts, same operation counters — for every method, engine,
+//! rank count, thread count, and overlap setting. The sliced format is a
+//! pure layout/performance change; any numerical drift is a kernel bug
+//! (re-ordered accumulation, an FMA sneaking into the SIMD path, a
+//! permutation applied to the wrong side).
+//!
+//! Formats are selected explicitly via [`SolveOptions`]'s builder, never
+//! via `SPCG_FORMAT`, so the suite behaves identically under the CI SELL
+//! job's environment.
+
+use spcg::prelude::*;
+use spcg::sparse::generators::paper_rhs;
+use spcg::sparse::generators::poisson::{poisson_1d, poisson_2d};
+use spcg::sparse::{CsrMatrix, SellMatrix, SparseFormat};
+
+fn all_methods(problem: &Problem<'_>) -> Vec<(&'static str, Method)> {
+    let basis = spcg::solvers::chebyshev_basis(problem, 20, 0.05);
+    vec![
+        ("pcg", Method::Pcg),
+        ("pcg3", Method::Pcg3),
+        (
+            "spcg",
+            Method::SPcg {
+                s: 4,
+                basis: basis.clone(),
+            },
+        ),
+        ("spcg_mon", Method::SPcgMon { s: 4 }),
+        (
+            "capcg",
+            Method::CaPcg {
+                s: 4,
+                basis: basis.clone(),
+            },
+        ),
+        ("capcg3", Method::CaPcg3 { s: 4, basis }),
+    ]
+}
+
+fn opts(format: SparseFormat, threads: usize, overlap: bool) -> SolveOptions {
+    SolveOptions::builder()
+        .tol(1e-8)
+        .keep_history(true)
+        .overlap(overlap)
+        .format(format)
+        .build()
+        .with_threads(threads)
+        .with_faults(None)
+}
+
+fn assert_parity(tag: &str, c: &SolveResult, s: &SolveResult) {
+    assert_eq!(c.outcome, s.outcome, "{tag}: outcome");
+    assert_eq!(c.iterations, s.iterations, "{tag}: iterations");
+    assert_eq!(c.x, s.x, "{tag}: solution not bitwise identical");
+    assert_eq!(c.history, s.history, "{tag}: residual history");
+    assert_eq!(c.counters, s.counters, "{tag}: counters");
+    assert!(c.converged(), "{tag}: did not converge");
+}
+
+#[test]
+fn sell_is_bitwise_identical_to_csr_on_the_serial_engine() {
+    let a = poisson_2d(12);
+    let b = paper_rhs(&a);
+    let m = spcg::precond::Jacobi::new(&a);
+    let problem = Problem::try_new(&a, &m, &b).unwrap();
+    for (name, method) in all_methods(&problem) {
+        for threads in [1, 2] {
+            let c = solve(
+                &method,
+                &problem,
+                &opts(SparseFormat::Csr, threads, false),
+                Engine::Serial,
+            );
+            let s = solve(
+                &method,
+                &problem,
+                &opts(SparseFormat::Sell, threads, false),
+                Engine::Serial,
+            );
+            assert_parity(&format!("serial {name} threads={threads}"), &c, &s);
+        }
+    }
+}
+
+#[test]
+fn sell_is_bitwise_identical_to_csr_on_the_ranked_engine() {
+    let a = poisson_2d(12);
+    let b = paper_rhs(&a);
+    let m = spcg::precond::Jacobi::new(&a);
+    let problem = Problem::try_new(&a, &m, &b).unwrap();
+    for (name, method) in all_methods(&problem) {
+        for ranks in [1, 2, 4] {
+            for threads in [1, 2] {
+                for overlap in [false, true] {
+                    let engine = Engine::Ranked { ranks };
+                    let c = solve(
+                        &method,
+                        &problem,
+                        &opts(SparseFormat::Csr, threads, overlap),
+                        engine,
+                    );
+                    let s = solve(
+                        &method,
+                        &problem,
+                        &opts(SparseFormat::Sell, threads, overlap),
+                        engine,
+                    );
+                    let tag =
+                        format!("ranked {name} ranks={ranks} threads={threads} overlap={overlap}");
+                    assert_parity(&tag, &c, &s);
+                }
+            }
+        }
+    }
+}
+
+/// Dense reference product for a CSR matrix, one row at a time in CSR
+/// order — the accumulation order both formats promise to reproduce.
+fn reference_spmv(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; a.nrows()];
+    a.spmv(x, &mut y);
+    y
+}
+
+fn wiggly_x(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + 0.25 * ((i * 2654435761) % 97) as f64 / 97.0)
+        .collect()
+}
+
+#[test]
+fn sell_spmv_matches_csr_on_generators() {
+    // 2D Poisson exercises σ-window sorting across equal-length rows;
+    // the 1D tridiagonal case exercises short rows and narrow slices.
+    for a in [poisson_2d(23), poisson_1d(513)] {
+        let sell = SellMatrix::from_csr(&a);
+        let x = wiggly_x(a.ncols());
+        let mut y = vec![0.0; a.nrows()];
+        sell.spmv(&x, &mut y);
+        assert_eq!(
+            y,
+            reference_spmv(&a, &x),
+            "sell spmv must match csr bitwise"
+        );
+        assert_eq!(sell.nnz(), a.nnz());
+        let pad = sell.pad_ratio();
+        assert!(
+            (0.0..1.0).contains(&pad),
+            "pad fraction out of range: {pad}"
+        );
+    }
+}
+
+#[test]
+fn sell_handles_ragged_and_empty_rows() {
+    // Hand-built CSR with wildly ragged rows, an empty row, and a final
+    // short row — the worst case for slice padding: row lengths
+    // 5, 0, 1, 3, 1 over 5 columns.
+    let row_ptr = vec![0, 5, 5, 6, 9, 10];
+    let col_idx = vec![0, 1, 2, 3, 4, 2, 0, 2, 4, 1];
+    let values = vec![4.0, -1.0, -0.5, -0.25, -0.125, 3.0, -1.0, 5.0, -1.0, 2.0];
+    let a = CsrMatrix::from_raw(5, 5, row_ptr, col_idx, values);
+    let sell = SellMatrix::from_csr(&a);
+    assert_eq!(sell.nnz(), 10);
+    assert!(sell.padded_nnz() >= sell.nnz());
+    let x = wiggly_x(5);
+    let mut y = vec![0.0; 5];
+    sell.spmv(&x, &mut y);
+    assert_eq!(y, reference_spmv(&a, &x));
+    // The empty row contributes exactly zero, untouched by pad entries.
+    assert_eq!(y[1], 0.0);
+}
+
+#[test]
+fn sigma_permutation_is_a_bijection_and_round_trips() {
+    let a = poisson_2d(19);
+    let sell = SellMatrix::from_csr(&a);
+    let perm = sell.perm();
+    assert_eq!(perm.len(), a.nrows());
+    let mut seen = vec![false; a.nrows()];
+    for &p in perm {
+        assert!(p < a.nrows(), "perm entry out of range");
+        assert!(!seen[p], "perm entry {p} repeated");
+        seen[p] = true;
+    }
+    // Window confinement: σ-sorting may only move a row within its
+    // window, so lane p's source row stays within σ of p.
+    let sigma = 256usize;
+    for (lane, &row) in perm.iter().enumerate() {
+        let window = lane / sigma;
+        assert_eq!(row / sigma, window, "row {row} escaped window {window}");
+    }
+}
