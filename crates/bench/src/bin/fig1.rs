@@ -68,10 +68,7 @@ fn main() {
     // Ranked mode runs R real solver threads per solve: default to a grid
     // that keeps the demonstration run short.
     let default_grid = if ranks.is_some() { 32 } else { 128 };
-    let grid: usize = std::env::var("SPCG_GRID")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_grid);
+    let grid: usize = spcg_solvers::env::parsed("SPCG_GRID").unwrap_or(default_grid);
     let machine = MachineParams::default();
 
     eprintln!(

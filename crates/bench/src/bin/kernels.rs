@@ -140,10 +140,7 @@ fn overlap_round(
 fn main() {
     let quick = quick_mode();
     let default_grid = if quick { 24 } else { 48 };
-    let grid: usize = std::env::var("SPCG_GRID")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default_grid);
+    let grid: usize = spcg_solvers::env::parsed("SPCG_GRID").unwrap_or(default_grid);
     let reps = if quick { 2 } else { 5 };
 
     eprintln!(
@@ -306,8 +303,11 @@ fn main() {
 
     let speedup = |gf: &[f64]| -> Vec<f64> { gf.iter().map(|g| g / gf[0]).collect() };
     let threads_list: Vec<String> = THREADS.iter().map(|t| t.to_string()).collect();
+    // The physical core budget, so a reader (and benchcheck) can tell a
+    // kernel that fails to scale from a machine that cannot show scaling.
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
     let out = format!(
-        "{{\n  \"matrix\": \"poisson3d_{grid}\",\n  \"n\": {n},\n  \"nnz\": {nnz},\n  \"s\": {S},\n  \"gram_columns\": {k},\n  \"reps\": {reps},\n  \"threads\": [{}],\n  \"sell_pad_ratio\": {:.4},\n  \"gflops\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"spmv_sell_cold\": {},\n    \"mpk_fused\": {},\n    \"mpk_levelwise_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {},\n    \"blocked_update_cold\": {}\n  }},\n  \"speedup_vs_1_thread\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {}\n  }}\n}}\n",
+        "{{\n  \"matrix\": \"poisson3d_{grid}\",\n  \"n\": {n},\n  \"nnz\": {nnz},\n  \"s\": {S},\n  \"gram_columns\": {k},\n  \"reps\": {reps},\n  \"nproc\": {nproc},\n  \"threads\": [{}],\n  \"sell_pad_ratio\": {:.4},\n  \"gflops\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"spmv_sell_cold\": {},\n    \"mpk_fused\": {},\n    \"mpk_levelwise_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {},\n    \"blocked_update_cold\": {}\n  }},\n  \"speedup_vs_1_thread\": {{\n    \"spmv\": {},\n    \"spmv_sell\": {},\n    \"spmv_sell_cold\": {},\n    \"mpk_fused\": {},\n    \"mpk_levelwise_sell\": {},\n    \"gram_fused\": {},\n    \"blocked_update\": {},\n    \"blocked_update_cold\": {}\n  }}\n}}\n",
         threads_list.join(", "),
         sell.pad_ratio(),
         json_array(&spmv_gf),
@@ -320,8 +320,12 @@ fn main() {
         json_array(&update_cold_gf),
         json_array(&speedup(&spmv_gf)),
         json_array(&speedup(&spmv_sell_gf)),
+        json_array(&speedup(&spmv_sell_cold_gf)),
+        json_array(&speedup(&mpk_fused_gf)),
+        json_array(&speedup(&mpk_level_gf)),
         json_array(&speedup(&gram_gf)),
         json_array(&speedup(&update_gf)),
+        json_array(&speedup(&update_cold_gf)),
     );
     write_results("BENCH_kernels.json", &out);
 

@@ -197,15 +197,12 @@ pub fn tracer_from_args(trace_path: &Option<PathBuf>) -> Option<spcg_obs::Tracer
         return Some(t);
     }
     // Explicit --trace without SPCG_TRACE: on, still honouring the env cap.
-    trace_path.as_ref().map(|_| {
-        match std::env::var("SPCG_TRACE_CAP")
-            .ok()
-            .and_then(|c| c.parse::<usize>().ok())
-        {
+    trace_path.as_ref().map(
+        |_| match spcg_solvers::env::parsed::<usize>("SPCG_TRACE_CAP") {
             Some(cap) => spcg_obs::Tracer::with_capacity(cap),
             None => spcg_obs::Tracer::new(),
-        }
-    })
+        },
+    )
 }
 
 /// Writes the Chrome trace-event export of `tracer` (phase summary and
@@ -247,9 +244,7 @@ pub fn results_dir() -> PathBuf {
 /// Quick-mode toggle (`SPCG_QUICK=1`): subsample heavy sweeps so smoke
 /// runs finish fast.
 pub fn quick_mode() -> bool {
-    std::env::var("SPCG_QUICK")
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false)
+    spcg_solvers::env::flag("SPCG_QUICK", false)
 }
 
 /// A plain-text fixed-width table builder.

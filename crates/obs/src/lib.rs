@@ -84,11 +84,17 @@ pub enum Phase {
     /// timeout/retry protocol noticing a stalled neighbour and re-arming
     /// its wait.
     Retry,
+    /// Sparse matrix–multivector product `Y ← A·X` of the batched solve
+    /// path: one matrix stream serving every right-hand-side column.
+    Spmm,
+    /// Batch admission in the solve service: coalescing queued requests
+    /// that share an operator fingerprint into one multi-RHS solve.
+    BatchAdmit,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Spmv,
         Phase::MpkLevel,
         Phase::Precond,
@@ -101,6 +107,8 @@ impl Phase {
         Phase::SmallSolve,
         Phase::Restart,
         Phase::Retry,
+        Phase::Spmm,
+        Phase::BatchAdmit,
     ];
 
     /// Stable snake_case name used in every export.
@@ -118,6 +126,8 @@ impl Phase {
             Phase::SmallSolve => "small_solve",
             Phase::Restart => "restart",
             Phase::Retry => "retry",
+            Phase::Spmm => "spmm",
+            Phase::BatchAdmit => "batch_admit",
         }
     }
 
@@ -288,7 +298,7 @@ impl Tracer {
     /// total/min/max/mean wall-clock (spans include their nested
     /// children's time). Phases with no spans are omitted.
     pub fn phase_summary(&self) -> Vec<PhaseSummary> {
-        let mut agg: [Option<PhaseSummary>; 12] = Default::default();
+        let mut agg: [Option<PhaseSummary>; 14] = Default::default();
         for track in self.tracks() {
             for s in &track.spans {
                 let d = s.duration_s();

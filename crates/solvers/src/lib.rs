@@ -18,6 +18,7 @@
 //! Chebyshev recovery) is real `f64` arithmetic, not simulation.
 
 pub mod adaptive;
+pub mod batch;
 pub mod blockops;
 pub mod capcg;
 pub mod capcg3;
@@ -34,10 +35,12 @@ pub mod spcg;
 pub mod spcg_mon;
 pub mod stopping;
 
+pub use batch::{solve_batch, BatchRequest};
 pub use capcg::capcg;
 pub use capcg3::capcg3;
 pub use engine::Engine;
 pub use method::{solve, Method};
+pub use options::env;
 pub use options::{
     Outcome, Problem, ProblemError, SolveOptions, SolveOptionsBuilder, SolveResult,
     StoppingCriterion,

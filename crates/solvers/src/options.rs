@@ -228,9 +228,7 @@ pub struct SolveOptions {
 
 /// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
 fn default_threads() -> usize {
-    std::env::var("SPCG_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+    env::parsed::<usize>("SPCG_THREADS")
         .filter(|&t| t > 0)
         .unwrap_or(1)
 }
@@ -238,7 +236,72 @@ fn default_threads() -> usize {
 /// Default overlap mode: on, unless `SPCG_OVERLAP=0` turns it off (the
 /// escape hatch for comparing the blocking schedule without code changes).
 fn default_overlap() -> bool {
-    std::env::var("SPCG_OVERLAP").map_or(true, |v| v != "0")
+    env::flag("SPCG_OVERLAP", true)
+}
+
+/// Centralized `SPCG_*` environment-variable handling — the one table of
+/// every knob the workspace reads from the environment.
+///
+/// All variables are read at **configuration time** (`SolveOptions::
+/// default()`, tool startup), never mid-solve, and every one of them is
+/// optional: unset — or set to something unparseable — always falls back
+/// to the documented default. None of them can change *results* except
+/// `SPCG_FAULTS` (which injects recoverable faults by design); the rest
+/// select execution shape or observation, all covered by the workspace's
+/// bitwise-determinism guarantee.
+///
+/// | Variable | Values | Default | Read by | Effect |
+/// |---|---|---|---|---|
+/// | `SPCG_THREADS` | integer ≥ 1 | `1` | [`SolveOptions::threads`] default | Intra-rank worker threads per rank. |
+/// | `SPCG_OVERLAP` | `0` \| `1` | `1` | [`SolveOptions::overlap`] default | Halo-exchange/compute overlap under ranked execution. |
+/// | `SPCG_FORMAT` | `csr` \| `sell` | `csr` | `spcg_sparse::SparseFormat::from_env` → [`SolveOptions::format`] default | Sparse kernel layout (CSR vs SELL-C-σ). |
+/// | `SPCG_BACKEND` | `thread` \| `proc` | `thread` | `spcg_dist::Backend::from_env` → [`SolveOptions::backend`] default | Ranked transport: OS threads vs worker processes. |
+/// | `SPCG_TRACE` | `0` \| anything else | off | `spcg_obs::Tracer::from_env` → [`SolveOptions::trace`] default | Span tracing (observational only). |
+/// | `SPCG_TRACE_CAP` | integer | tracer default | `spcg_obs::Tracer::from_env`, `spcg-bench` | Per-rank traced-event cap. |
+/// | `SPCG_FAULTS` | `<seed>:<rate>` | none | `spcg_dist::FaultPlan::from_env` → [`SolveOptions::faults`] default | Deterministic fault injection under ranked execution. |
+/// | `SPCG_RANKS` | integer ≥ 1 | suite-specific | integration test suites | Extra rank count added to the test sweeps. |
+/// | `SPCG_RANKD` | path | auto-discovered | `spcg_solvers::procexec` | Explicit location of the `spcg-rankd` worker binary. |
+/// | `SPCG_PROC_KILL` | `<rank>:<nth>` | none | `spcg_solvers::procexec` | Fault drill: the rank exits before its nth allreduce. |
+/// | `SPCG_QUICK` | `0` \| `1` | `0` | `spcg-bench` | Shrink benchmark sweeps for smoke runs. |
+/// | `SPCG_GRID` | integer ≥ 1 | bin-specific | `spcg-bench` bins | Poisson grid edge override. |
+///
+/// Crates below this one in the dependency graph (`spcg_sparse`,
+/// `spcg_dist`, `spcg_obs`) parse their variables locally — they cannot
+/// call up into this module — but every variable is documented here, and
+/// all parsing in this crate and the tools layer goes through
+/// [`parsed`](env::parsed) / [`flag`](env::flag) / [`raw`](env::raw).
+pub mod env {
+    use std::str::FromStr;
+
+    /// `Some(value)` when `name` is set and its trimmed value parses as
+    /// `T`. Unset, empty, or unparseable all yield `None`: a malformed
+    /// setting behaves like an absent one, so the documented default is
+    /// always reachable.
+    pub fn parsed<T: FromStr>(name: &str) -> Option<T> {
+        raw(name)?.trim().parse().ok()
+    }
+
+    /// Boolean knob: unset or empty yields `default`; `0` and `false`
+    /// (case-insensitive) are off; anything else is on.
+    pub fn flag(name: &str, default: bool) -> bool {
+        match raw(name) {
+            None => default,
+            Some(v) => {
+                let v = v.trim();
+                if v.is_empty() {
+                    default
+                } else {
+                    v != "0" && !v.eq_ignore_ascii_case("false")
+                }
+            }
+        }
+    }
+
+    /// The raw string, `None` when unset — for values with their own
+    /// grammar (`SPCG_FAULTS=<seed>:<rate>`, paths).
+    pub fn raw(name: &str) -> Option<String> {
+        std::env::var(name).ok()
+    }
 }
 
 impl Default for SolveOptions {
@@ -488,6 +551,14 @@ pub enum Outcome {
     /// a non-positive curvature/denominator) — the classic s-step basis
     /// breakdown.
     Breakdown(String),
+    /// The request's wall-clock deadline passed before the criterion was
+    /// met. Only produced by the batched solve path
+    /// ([`crate::solve_batch`]) for requests carrying a deadline; the
+    /// iterate is the best one available when the deadline was noticed
+    /// (deadlines are checked at iteration boundaries). Unlike every
+    /// other outcome this one is timing-dependent, so it is excluded
+    /// from the bitwise-determinism guarantee.
+    DeadlineExpired,
 }
 
 impl Outcome {

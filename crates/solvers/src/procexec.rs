@@ -435,6 +435,9 @@ impl WorkerResult {
                 w.u8(4);
                 w.str(msg);
             }
+            // Ranked workers run plain solves, which never report a
+            // deadline; encoded anyway so the codec stays total.
+            Outcome::DeadlineExpired => w.u8(5),
         }
         w.usize(self.iterations);
         w.usizes(&self.history.iter().map(|&(i, _)| i).collect::<Vec<_>>());
@@ -467,6 +470,7 @@ impl WorkerResult {
             2 => Outcome::Diverged,
             3 => Outcome::Stagnated,
             4 => Outcome::Breakdown(r.str()),
+            5 => Outcome::DeadlineExpired,
             k => panic!("result: unknown outcome {k}"),
         };
         let iterations = r.usize();
@@ -861,7 +865,7 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
 /// binaries (in `deps/`) and installed tools. `None` when neither exists;
 /// ranked solves then fall back to the thread backend.
 pub fn rankd_path() -> Option<PathBuf> {
-    if let Ok(p) = std::env::var("SPCG_RANKD") {
+    if let Some(p) = crate::options::env::raw("SPCG_RANKD") {
         let p = PathBuf::from(p);
         return p.is_file().then_some(p);
     }
@@ -944,7 +948,7 @@ fn sock_path() -> PathBuf {
 /// Parses `SPCG_PROC_KILL=<rank>:<nth>` — the fault drill that makes the
 /// targeted rank of incarnation 0 exit just before its nth allreduce.
 fn kill_directive() -> Option<(usize, u64)> {
-    let v = std::env::var("SPCG_PROC_KILL").ok()?;
+    let v = crate::options::env::raw("SPCG_PROC_KILL")?;
     let (rank, nth) = v.split_once(':')?;
     Some((rank.trim().parse().ok()?, nth.trim().parse().ok()?))
 }

@@ -8,9 +8,154 @@
 //! estimation.
 
 use crate::coo::CooMatrix;
+use crate::multivector::MultiVector;
 use crate::sell::SellMatrix;
 use crate::split::RowSplit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Row-block granularity of the SpMM kernels: one block's CSR entries are
+/// streamed once and reused from cache for every right-hand-side column,
+/// which is the whole point of batching — the matrix traffic is paid once
+/// per block instead of once per column.
+pub(crate) const SPMM_ROW_BLOCK: usize = 128;
+
+/// Row-panel granularity of the windowed SpMM operand pack (see
+/// [`CsrMatrix::spmm_windowed`]). For banded matrices each panel's column
+/// reach is `panel + 2·bandwidth` rows, so the interleaved pack of one
+/// panel fits in cache instead of allocating (and streaming) an `n·k`
+/// scratch copy of the whole operand.
+pub(crate) const SPMM_PANEL_ROWS: usize = 8192;
+
+/// A consumer of SpMM results: `put` receives each result as both the
+/// column-major flat index `i = j·nrows + r` (what the plain `write`
+/// closures use) and its `(row, column)` decomposition (so fused sinks
+/// never divide in the hot loop), and `block_done` fires after every
+/// [`SPMM_ROW_BLOCK`] row block so fused post-passes (the true-residual
+/// diff, the pᵀAp Gram fold) can touch the freshly produced slice while
+/// it is still cache-hot. Any `FnMut(usize, f64)` is a sink with a no-op
+/// `block_done`.
+pub(crate) trait SpmmSink {
+    fn put(&mut self, i: usize, r: usize, j: usize, v: f64);
+    fn block_done(&mut self, _lo: usize, _hi: usize) {}
+}
+
+impl<F: FnMut(usize, f64)> SpmmSink for F {
+    #[inline(always)]
+    fn put(&mut self, i: usize, _r: usize, _j: usize, v: f64) {
+        self(i, v)
+    }
+}
+
+/// Sink of [`CsrMatrix::spmm_residual_sq`]: stages each row block of the
+/// product in a [`SPMM_ROW_BLOCK`]`×k` buffer (a few KB, L1-resident) and
+/// folds it straight into the per-column `Σ (b − A·x)²` accumulators —
+/// the product itself never reaches memory, which matters because the
+/// criterion's `A·x` is dead the moment it is diffed. Per column the diff
+/// visits rows `0..nrows` ascending with `acc += d·d`, exactly the serial
+/// pass over a stored product, so the accumulators are bitwise
+/// independent of both the blocking and the skipped store.
+struct CritSink<'a> {
+    bs: &'a [&'a [f64]],
+    /// `SPMM_ROW_BLOCK × k` staging tile, row-major like the pack.
+    buf: Vec<f64>,
+    acc: Vec<f64>,
+    k: usize,
+}
+
+impl SpmmSink for CritSink<'_> {
+    #[inline(always)]
+    fn put(&mut self, _i: usize, r: usize, j: usize, v: f64) {
+        self.buf[(r & (SPMM_ROW_BLOCK - 1)) * self.k + j] = v;
+    }
+
+    fn block_done(&mut self, lo: usize, hi: usize) {
+        for (j, a) in self.acc.iter_mut().enumerate() {
+            let b = self.bs[j];
+            let mut s = *a;
+            for r in lo..hi {
+                let d = b[r] - self.buf[(r & (SPMM_ROW_BLOCK - 1)) * self.k + j];
+                s += d * d;
+            }
+            *a = s;
+        }
+    }
+}
+
+/// Sink of [`CsrMatrix::spmm_dot`]: stores the product `Y = A·X` and folds
+/// each row block into per-column `xᵀ·(A·x)` Gram accumulators while the
+/// block is hot. The fold replicates [`crate::blas::dot`]'s fixed shape
+/// exactly — four accumulator lanes by `index mod 4` within each
+/// [`REDUCE_BLOCK`]-aligned block (plus the serial tail of a final short
+/// block), lanes combined `(a₀+a₁)+(a₂+a₃)+tail` into one partial per
+/// block, partials combined by [`crate::blas::pairwise_sum`] — so the
+/// returned dots are bitwise equal to `blas::dot(x_j, y_j)` on the
+/// finished columns. Row blocks and panels are multiples of
+/// [`REDUCE_BLOCK`] apart, so a reduce block never straddles `block_done`
+/// calls.
+struct DotSink<'a> {
+    data: &'a mut [f64],
+    xs: Vec<&'a [f64]>,
+    /// Live lane accumulators `[a₀..a₃, tail]` of the current reduce
+    /// block, per column.
+    lanes: Vec<[f64; 5]>,
+    /// Finished per-reduce-block partials, per column.
+    partials: Vec<Vec<f64>>,
+    ld: usize,
+    n: usize,
+}
+
+impl SpmmSink for DotSink<'_> {
+    #[inline(always)]
+    fn put(&mut self, i: usize, _r: usize, _j: usize, v: f64) {
+        self.data[i] = v;
+    }
+
+    fn block_done(&mut self, lo: usize, hi: usize) {
+        let rb_lo = lo / crate::blas::REDUCE_BLOCK * crate::blas::REDUCE_BLOCK;
+        let rb_len = crate::blas::REDUCE_BLOCK.min(self.n - rb_lo);
+        let q4 = rb_len / 4 * 4;
+        for (j, xj) in self.xs.iter().enumerate() {
+            let yj = &self.data[j * self.ld..][..self.ld];
+            let lanes = &mut self.lanes[j];
+            for r in lo..hi {
+                let l = r - rb_lo;
+                let p = xj[r] * yj[r];
+                if l < q4 {
+                    lanes[l & 3] += p;
+                } else {
+                    lanes[4] += p;
+                }
+            }
+            if hi == rb_lo + rb_len {
+                self.partials[j].push((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + lanes[4]);
+                *lanes = [0.0; 5];
+            }
+        }
+    }
+}
+
+/// Stored column-index widths the SpMM kernels can stream: the native
+/// `usize` array or the packed `u32` copy from [`CsrMatrix::cols_u32`].
+/// The conversion back to `usize` is free; the win is the halved bytes
+/// per matrix entry in the hot loop.
+pub(crate) trait ColIndex: Copy {
+    fn idx(self) -> usize;
+}
+
+impl ColIndex for usize {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self
+    }
+}
+
+impl ColIndex for u32 {
+    #[inline(always)]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
 
 /// Validates the CSR invariants in debug builds only — the single gate
 /// every trusted ("unchecked") construction path goes through, so hot
@@ -85,7 +230,25 @@ pub struct CsrMatrix {
     /// Lazily converted SELL-C-σ sibling of this matrix (see
     /// [`CsrMatrix::sell`]), built on first request and shared.
     sell: Mutex<Option<Arc<SellMatrix>>>,
+    /// Lazily built `u32` copy of `col_idx` for the SpMM kernels (see
+    /// [`CsrMatrix::cols_u32`]): half the index bytes per matrix entry,
+    /// which matters because the batched solver is bound by how much of
+    /// its working set stays cache-resident.
+    cols_u32: Mutex<Option<Arc<Vec<u32>>>>,
+    /// One-time "every column index is `< ncols`" verification, backing
+    /// the unchecked gathers of the SpMM group kernels (see
+    /// [`CsrMatrix::spmm_rows_into`]).
+    cols_bounded: AtomicBool,
+    /// Lazily computed per-panel column reach `[lo, hi)` for the windowed
+    /// SpMM pack (see [`CsrMatrix::panel_reach`]): panel `p` covers rows
+    /// `[p·SPMM_PANEL_ROWS, (p+1)·SPMM_PANEL_ROWS)` and touches only
+    /// operand rows inside its reach.
+    panel_reach: ReachCache,
 }
+
+/// Lazily filled per-panel column-reach cache (see
+/// [`CsrMatrix::panel_reach`]).
+type ReachCache = Mutex<Option<Arc<Vec<(usize, usize)>>>>;
 
 /// Cache of [`RowSplit`]s keyed by owned row range.
 type SplitCache = Mutex<Vec<((usize, usize), Arc<RowSplit>)>>;
@@ -102,6 +265,9 @@ impl Clone for CsrMatrix {
             schedule: Mutex::new(None),
             splits: Mutex::new(Vec::new()),
             sell: Mutex::new(None),
+            cols_u32: Mutex::new(None),
+            cols_bounded: AtomicBool::new(false),
+            panel_reach: Mutex::new(None),
         }
     }
 }
@@ -123,6 +289,9 @@ impl CsrMatrix {
             schedule: Mutex::new(None),
             splits: Mutex::new(Vec::new()),
             sell: Mutex::new(None),
+            cols_u32: Mutex::new(None),
+            cols_bounded: AtomicBool::new(false),
+            panel_reach: Mutex::new(None),
         }
     }
 
@@ -271,6 +440,495 @@ impl CsrMatrix {
             }
             y[r] += a * acc;
         }
+    }
+
+    /// Sparse matrix–multivector product `Y ← A·X` over k right-hand-side
+    /// columns. Each [`SPMM_ROW_BLOCK`]-row block of the matrix is
+    /// streamed once and serves every column while its entries are hot in
+    /// cache; per column the per-row accumulation order is identical to
+    /// [`CsrMatrix::spmv`], so column `j` of the result is **bitwise
+    /// equal** to `spmv(x.col(j))`.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn spmm(&self, x: &MultiVector, y: &mut MultiVector) {
+        assert_eq!(x.n(), self.ncols, "spmm: x row mismatch");
+        assert_eq!(y.n(), self.nrows, "spmm: y row mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        let data = y.data_mut();
+        self.spmm_rows_into(0, self.nrows, x, &mut |i, v| data[i] = v);
+    }
+
+    /// Per column `j`, the true-residual accumulation
+    /// `Σ_i (bs[j][i] − (A·X)_j[i])²` with the product `A·X` never stored:
+    /// each [`SPMM_ROW_BLOCK`] row block is staged in an L1-resident tile
+    /// and diffed immediately (see [`CritSink`]), so the criterion costs
+    /// one matrix stream and one read of `bs` — no `n·k` scratch write,
+    /// no re-read. Per column the accumulation visits rows `0..nrows` in
+    /// order with `acc += d·d`, exactly the serial diff loop over a
+    /// finished product, so the result is bitwise identical to
+    /// [`CsrMatrix::spmm`] into scratch followed by a separate pass.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn spmm_residual_sq(&self, x: &MultiVector, bs: &[&[f64]]) -> Vec<f64> {
+        assert_eq!(x.n(), self.ncols, "spmm: x row mismatch");
+        assert_eq!(bs.len(), x.k(), "spmm_residual_sq: rhs count mismatch");
+        for b in bs {
+            assert_eq!(b.len(), self.nrows, "spmm_residual_sq: rhs length mismatch");
+        }
+        let k = x.k();
+        let mut sink = CritSink {
+            bs,
+            buf: vec![0.0; SPMM_ROW_BLOCK * k],
+            acc: vec![0.0; k],
+            k,
+        };
+        if k == 1 {
+            // Width 1 runs the direct SpMV loop into the staging tile —
+            // no interleaved pack to amortize.
+            let mut blk = 0;
+            while blk < self.nrows {
+                let blk_end = (blk + SPMM_ROW_BLOCK).min(self.nrows);
+                self.spmm_rows_into(blk, blk_end, x, &mut sink);
+                sink.block_done(blk, blk_end);
+                blk = blk_end;
+            }
+        } else {
+            self.spmm_windowed(0, self.nrows, x, &mut sink);
+        }
+        sink.acc
+    }
+
+    /// `Y ← A·X` plus, per column `j`, the Gram value `xⱼᵀ·(A·x)ⱼ` folded
+    /// in while each row block of the product is cache-hot (see
+    /// [`DotSink`]) — the pᵀAp inner product of a CG iteration without
+    /// re-streaming either vector. The returned dots are bitwise equal to
+    /// `blas::dot(x.col(j), y.col(j))` run on the finished product.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch or if the matrix is not square
+    /// (the Gram fold pairs operand and product rows one-to-one).
+    pub fn spmm_dot(&self, x: &MultiVector, y: &mut MultiVector) -> Vec<f64> {
+        assert_eq!(self.nrows, self.ncols, "spmm_dot: matrix must be square");
+        assert_eq!(x.n(), self.ncols, "spmm: x row mismatch");
+        assert_eq!(y.n(), self.nrows, "spmm: y row mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        let (k, nrows) = (x.k(), self.nrows);
+        let mut sink = DotSink {
+            data: y.data_mut(),
+            xs: (0..k).map(|j| x.col(j)).collect(),
+            lanes: vec![[0.0; 5]; k],
+            partials: vec![Vec::with_capacity(nrows.div_ceil(crate::blas::REDUCE_BLOCK)); k],
+            ld: nrows,
+            n: nrows,
+        };
+        if k == 1 {
+            let mut blk = 0;
+            while blk < nrows {
+                let blk_end = (blk + SPMM_ROW_BLOCK).min(nrows);
+                self.spmm_rows_into(blk, blk_end, x, &mut sink);
+                sink.block_done(blk, blk_end);
+                blk = blk_end;
+            }
+        } else {
+            self.spmm_windowed(0, nrows, x, &mut sink);
+        }
+        sink.partials
+            .iter_mut()
+            .map(|p| crate::blas::pairwise_sum(p))
+            .collect()
+    }
+
+    /// Runs `f` with `x` repacked row-major (element `i·k + j` holds
+    /// `x.col(j)[i]`) in a reused thread-local scratch buffer. The
+    /// interleaved layout puts the `k` operand values of one matrix
+    /// column index on one or two cache lines, which is what lets the
+    /// grouped SpMM kernel issue contiguous vector loads instead of `k`
+    /// scattered gathers.
+    pub(crate) fn with_interleaved<R>(x: &MultiVector, f: impl FnOnce(&[f64]) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let (n, k) = (x.n(), x.k());
+            buf.clear();
+            buf.resize(n * k, 0.0);
+            let cols: Vec<&[f64]> = (0..k).map(|j| x.col(j)).collect();
+            // Row-outer order: writes are sequential and the reads are k
+            // prefetch-friendly unit-stride streams.
+            for (i, row) in buf.chunks_exact_mut(k).enumerate() {
+                for (dst, col) in row.iter_mut().zip(&cols) {
+                    // Safety: every column has exactly `n` elements and
+                    // `chunks_exact(k)` yields exactly `n` rows.
+                    *dst = unsafe { *col.get_unchecked(i) };
+                }
+            }
+            f(&buf)
+        })
+    }
+
+    /// The SpMM row-range kernel behind [`CsrMatrix::spmm`] and the
+    /// threaded [`crate::ParKernels::spmm`]: rows `[row_begin, row_end)`
+    /// across all columns of `x`, handing each result to
+    /// `write(j·nrows + r, acc)` (column-major flat index with leading
+    /// dimension `nrows`). Row-blocked so the block's entries serve all
+    /// columns from cache, and column-grouped ([`spmm_rows_group`]) so
+    /// the scalar gather loop carries several independent accumulator
+    /// chains per matrix entry; per (row, column) the accumulation is
+    /// the CSR entry order of [`CsrMatrix::spmv`].
+    pub(crate) fn spmm_rows_into<S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x: &MultiVector,
+        write: &mut S,
+    ) {
+        let k = x.k();
+        if k == 1 {
+            // Width 1 is exactly SpMV: the fully bounds-checked scalar
+            // loop, with no verification pass to amortize.
+            let xj = x.col(0);
+            for r in row_begin..row_end {
+                let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                let mut acc = 0.0;
+                for e in lo..hi {
+                    acc += self.values[e] * xj[self.col_idx[e]];
+                }
+                write.put(r, r, 0, acc);
+            }
+            return;
+        }
+        self.spmm_windowed(row_begin, row_end, x, write);
+    }
+
+    /// The SpMM row-range kernel over a row-major (interleaved) operand,
+    /// as produced by [`CsrMatrix::with_interleaved`]: `xr[i·k + j]` is
+    /// row `i` of column `j`. Threaded callers repack once and hand every
+    /// chunk the same buffer. Results go to `write(j·nrows + r, acc)`
+    /// exactly like [`CsrMatrix::spmm_rows_into`].
+    pub(crate) fn spmm_rows_interleaved<S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        xr: &[f64],
+        k: usize,
+        write: &mut S,
+    ) {
+        assert!(xr.len() >= self.ncols * k, "spmm: operand too short");
+        self.ensure_cols_bounded();
+        // The narrow index copy halves the bytes of matrix metadata the
+        // kernel streams per entry; on matrices too wide for `u32` the
+        // ladder runs off the original indices unchanged.
+        match self.cols_u32() {
+            Some(cols) => self.spmm_ladder(row_begin, row_end, &cols, xr, k, 0, write),
+            None => self.spmm_ladder(row_begin, row_end, &self.col_idx, xr, k, 0, write),
+        }
+    }
+
+    /// The column-group ladder of [`CsrMatrix::spmm_rows_interleaved`],
+    /// generic over the stored index width. `off` is the flat-index base
+    /// of the operand window: entry column `c` reads `xr[c·k + j − off]`,
+    /// so a full pack passes `off = 0` and the windowed pack passes
+    /// `reach.lo · k` with `xr` holding only rows `[reach.lo, reach.hi)`.
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_ladder<I: ColIndex, S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        cols: &[I],
+        xr: &[f64],
+        k: usize,
+        off: usize,
+        write: &mut S,
+    ) {
+        debug_assert_eq!(cols.len(), self.values.len());
+        let simd = crate::sell::simd_ok();
+        let mut blk = row_begin;
+        while blk < row_end {
+            let blk_end = (blk + SPMM_ROW_BLOCK).min(row_end);
+            let mut j = 0;
+            // Eight is the widest rung: a 16-wide group streams 128 bytes
+            // of operand per matrix entry and measures ~25% slower than
+            // two 8-wide passes over the (cached) row block.
+            while j + 8 <= k {
+                self.group_dispatch::<8, I, S>(simd, blk, blk_end, cols, xr, k, j, off, write);
+                j += 8;
+            }
+            if j + 4 <= k {
+                self.group_dispatch::<4, I, S>(simd, blk, blk_end, cols, xr, k, j, off, write);
+                j += 4;
+            }
+            if j + 2 <= k {
+                self.spmm_rows_group::<2, I, S>(blk, blk_end, cols, xr, k, j, off, write);
+                j += 2;
+            }
+            if j < k {
+                self.spmm_rows_group::<1, I, S>(blk, blk_end, cols, xr, k, j, off, write);
+            }
+            blk = blk_end;
+        }
+    }
+
+    /// Routes one column group to the AVX2 kernel when the CPU has it,
+    /// else to the scalar group. Both compute the identical mul-then-add
+    /// chain per lane, so the choice never changes a single bit of the
+    /// result — it only changes how many lanes one instruction carries.
+    #[allow(unused_variables)]
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn group_dispatch<const G: usize, I: ColIndex, S: SpmmSink>(
+        &self,
+        simd: bool,
+        row_begin: usize,
+        row_end: usize,
+        cols: &[I],
+        xr: &[f64],
+        k: usize,
+        j0: usize,
+        off: usize,
+        write: &mut S,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if simd {
+            // Safety: AVX2 presence was just checked; the operand/index
+            // bounds contract is `spmm_rows_interleaved`'s.
+            unsafe {
+                self.spmm_rows_group_avx2::<G, I, S>(
+                    row_begin, row_end, cols, xr, k, j0, off, write,
+                )
+            };
+            return;
+        }
+        self.spmm_rows_group::<G, I, S>(row_begin, row_end, cols, xr, k, j0, off, write);
+    }
+
+    /// One group of `G` columns over a row range of the interleaved
+    /// operand. Per matrix entry the group's `G` operand values are
+    /// contiguous at `xr[c·k + j0 ..]`, so the inner loop compiles to a
+    /// couple of vector loads and lane-parallel multiply/adds feeding `G`
+    /// *independent* accumulator chains — on one core this, not cache
+    /// reuse, is where batched SpMM beats `G` separate SpMV calls: the
+    /// single-vector kernel is latency-bound on its one `acc += v·x[c]`
+    /// recurrence. Lane `g`'s chain is element-for-element the
+    /// [`CsrMatrix::spmv`] order (one multiply, one add per entry, CSR
+    /// entry order), so results stay bitwise equal per column.
+    ///
+    /// Callers must have run [`CsrMatrix::ensure_cols_bounded`] and
+    /// guaranteed that `xr` covers every operand index the row range can
+    /// touch after the `off` rebase (`xr.len() ≥ reach·k − off` for a
+    /// windowed pack, `ncols·k` for a full one), with `j0 + G ≤ k`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn spmm_rows_group<const G: usize, I: ColIndex, S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        cols: &[I],
+        xr: &[f64],
+        k: usize,
+        j0: usize,
+        off: usize,
+        write: &mut S,
+    ) {
+        let ld = self.nrows;
+        for r in row_begin..row_end {
+            let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let mut acc = [0.0f64; G];
+            for e in lo..hi {
+                let v = self.values[e];
+                let c = cols[e].idx();
+                let base = c * k + j0 - off;
+                debug_assert!(c * k + j0 >= off);
+                debug_assert!(base + G <= xr.len());
+                for g in 0..G {
+                    // Safety: `c < ncols` was verified for the whole
+                    // matrix by `ensure_cols_bounded`, and the caller
+                    // guaranteed `xr` covers the rebased index range
+                    // with `j0 + G ≤ k`.
+                    acc[g] += v * unsafe { *xr.get_unchecked(base + g) };
+                }
+            }
+            for g in 0..G {
+                write.put((j0 + g) * ld + r, r, j0 + g, acc[g]);
+            }
+        }
+    }
+
+    /// AVX2 instance of [`CsrMatrix::spmm_rows_group`]: per matrix entry,
+    /// one broadcast of the value and `G/4` contiguous 256-bit loads of
+    /// the interleaved operand feed `G/4` packed multiply/adds — no
+    /// gathers, because the interleaving already placed the group's
+    /// operand values side by side. Lane `g` still performs exactly one
+    /// multiply and one add per entry in CSR entry order, so the result
+    /// is bitwise identical to the scalar group (packed `mul`/`add` are
+    /// lane-wise IEEE operations; no FMA contraction).
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2 is available, `G ∈ {4, 8, 16}`, and the
+    /// bounds contract of [`CsrMatrix::spmm_rows_interleaved`] (columns
+    /// verified `< ncols`, `xr.len() ≥ ncols·k`, `j0 + G ≤ k`).
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    unsafe fn spmm_rows_group_avx2<const G: usize, I: ColIndex, S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        cols: &[I],
+        xr: &[f64],
+        k: usize,
+        j0: usize,
+        off: usize,
+        write: &mut S,
+    ) {
+        use std::arch::x86_64::*;
+        const { assert!(G == 4 || G == 8 || G == 16) };
+        let nv = G / 4;
+        let ld = self.nrows;
+        let xp = xr.as_ptr();
+        for r in row_begin..row_end {
+            let lo = *self.row_ptr.get_unchecked(r);
+            let hi = *self.row_ptr.get_unchecked(r + 1);
+            // Up to four 4-lane accumulators; unused slots fold away once
+            // the `nv` loops unroll.
+            let mut acc = [_mm256_setzero_pd(); 4];
+            for e in lo..hi {
+                let v = _mm256_set1_pd(*self.values.get_unchecked(e));
+                let base = cols.get_unchecked(e).idx() * k + j0 - off;
+                for q in 0..nv {
+                    let x = _mm256_loadu_pd(xp.add(base + 4 * q));
+                    acc[q] = _mm256_add_pd(acc[q], _mm256_mul_pd(v, x));
+                }
+            }
+            let mut out = [0.0f64; G];
+            for q in 0..nv {
+                _mm256_storeu_pd(out.as_mut_ptr().add(4 * q), acc[q]);
+            }
+            for g in 0..G {
+                write.put((j0 + g) * ld + r, r, j0 + g, out[g]);
+            }
+        }
+    }
+
+    /// Per-panel operand reach `[lo, hi)` of the [`SPMM_PANEL_ROWS`] row
+    /// panels, computed once per matrix and cached. Column indices within
+    /// a CSR row are sorted, so each row contributes just its first and
+    /// last entry; an empty panel reports `(0, 0)`.
+    fn panel_reach(&self) -> Arc<Vec<(usize, usize)>> {
+        let mut guard = self.panel_reach.lock().unwrap();
+        if let Some(reach) = guard.as_ref() {
+            return Arc::clone(reach);
+        }
+        let npanels = self.nrows.div_ceil(SPMM_PANEL_ROWS);
+        let mut reach = Vec::with_capacity(npanels);
+        for p in 0..npanels {
+            let r0 = p * SPMM_PANEL_ROWS;
+            let r1 = ((p + 1) * SPMM_PANEL_ROWS).min(self.nrows);
+            let (mut lo, mut hi) = (self.ncols, 0usize);
+            for r in r0..r1 {
+                let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                if s < e {
+                    lo = lo.min(self.col_idx[s]);
+                    hi = hi.max(self.col_idx[e - 1] + 1);
+                }
+            }
+            reach.push(if lo < hi { (lo, hi) } else { (0, 0) });
+        }
+        let reach = Arc::new(reach);
+        *guard = Some(Arc::clone(&reach));
+        reach
+    }
+
+    /// The windowed serial SpMM driver: rows `[row_begin, row_end)` across
+    /// all `k > 1` columns of `x`, packing the operand one row panel at a
+    /// time instead of all at once. Each panel's interleaved pack covers
+    /// only its column reach — for a banded matrix a slab of
+    /// `panel + 2·bandwidth` rows that stays cache-resident — so the
+    /// operand is read from memory once and the `n·k` scratch copy (which
+    /// both inflated the resident set and doubled the operand traffic of
+    /// the full pack) never exists. On matrices whose panel reaches would
+    /// repack more than twice the operand (irregular structure), one full
+    /// pack is used instead. After every [`SPMM_ROW_BLOCK`] row block the
+    /// sink's `block_done` hook fires, enabling fused post-passes over the
+    /// still-hot output slice. The arithmetic per (row, column) is the
+    /// ladder's regardless of windowing — packing changes addressing, not
+    /// values — so results stay bitwise equal to [`CsrMatrix::spmv`] per
+    /// column.
+    pub(crate) fn spmm_windowed<S: SpmmSink>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x: &MultiVector,
+        sink: &mut S,
+    ) {
+        let k = x.k();
+        assert!(x.n() >= self.ncols, "spmm: x row mismatch");
+        self.ensure_cols_bounded();
+        let reach = self.panel_reach();
+        let repacked: usize = reach.iter().map(|&(lo, hi)| hi - lo).sum();
+        let full = repacked > 2 * self.ncols;
+        let u32cols = self.cols_u32();
+        thread_local! {
+            static SLAB: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        SLAB.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let cols: Vec<&[f64]> = (0..k).map(|j| x.col(j)).collect();
+            let mut r = row_begin;
+            while r < row_end {
+                let (panel_end, clo, chi) = if full {
+                    (row_end, 0, self.ncols)
+                } else {
+                    let p = r / SPMM_PANEL_ROWS;
+                    let end = ((p + 1) * SPMM_PANEL_ROWS).min(row_end);
+                    (end, reach[p].0, reach[p].1)
+                };
+                let w = chi - clo;
+                buf.clear();
+                buf.resize(w * k, 0.0);
+                for (i, row) in buf.chunks_exact_mut(k).enumerate() {
+                    for (dst, col) in row.iter_mut().zip(&cols) {
+                        // Safety: `clo + i < chi ≤ ncols ≤ col.len()`.
+                        *dst = unsafe { *col.get_unchecked(clo + i) };
+                    }
+                }
+                let off = clo * k;
+                let mut blk = r;
+                while blk < panel_end {
+                    let end = (blk + SPMM_ROW_BLOCK).min(panel_end);
+                    match &u32cols {
+                        Some(c) => self.spmm_ladder(blk, end, c, &buf, k, off, sink),
+                        None => self.spmm_ladder(blk, end, &self.col_idx, &buf, k, off, sink),
+                    }
+                    sink.block_done(blk, end);
+                    blk = end;
+                }
+                r = panel_end;
+            }
+        });
+    }
+
+    /// One-time verification that every stored column index is `< ncols`,
+    /// backing the unchecked gathers of [`CsrMatrix::spmm_rows_group`].
+    /// [`CsrMatrix::from_raw`] already guarantees the invariant; this
+    /// explicit pass exists so a matrix assembled through
+    /// [`CsrMatrix::from_raw_unchecked`] with broken invariants panics on
+    /// its first SpMM instead of reading out of bounds. Verified once per
+    /// matrix and remembered (relaxed ordering: a racing duplicate check
+    /// is harmless).
+    fn ensure_cols_bounded(&self) {
+        if self.cols_bounded.load(Ordering::Relaxed) {
+            return;
+        }
+        assert!(
+            self.col_idx.iter().all(|&c| c < self.ncols),
+            "spmm: column index out of bounds"
+        );
+        self.cols_bounded.store(true, Ordering::Relaxed);
     }
 
     /// Copies the diagonal into a vector; missing diagonal entries become 0.
@@ -425,6 +1083,26 @@ impl CsrMatrix {
         let s = Arc::new(SellMatrix::from_csr(self));
         *cache = Some(Arc::clone(&s));
         s
+    }
+
+    /// The column indices packed into `u32`, built on first request and
+    /// cached; `None` when the matrix is too wide to pack. The SpMM
+    /// kernels stream this copy instead of the `usize` array — 4 bytes of
+    /// index per entry instead of 8 — which both halves the metadata
+    /// traffic of every matrix pass and shrinks the hot working set a
+    /// wide batch must keep cache-resident. Indices carry no arithmetic,
+    /// so the packed copy cannot change a result bit.
+    fn cols_u32(&self) -> Option<Arc<Vec<u32>>> {
+        if self.ncols > u32::MAX as usize {
+            return None;
+        }
+        let mut cache = self.cols_u32.lock().unwrap();
+        if let Some(c) = cache.as_ref() {
+            return Some(Arc::clone(c));
+        }
+        let c = Arc::new(self.col_idx.iter().map(|&c| c as u32).collect::<Vec<u32>>());
+        *cache = Some(Arc::clone(&c));
+        Some(c)
     }
 }
 

@@ -14,6 +14,7 @@
 //! bitwise identical to the global SpMV's.
 
 use crate::csr::CsrMatrix;
+use crate::multivector::MultiVector;
 use crate::sell::SellMatrix;
 use std::sync::{Arc, Mutex};
 
@@ -266,6 +267,94 @@ impl GhostZone {
         pk.for_each_range_mut(&mut y[..nrows], &bounds, |c, piece| {
             self.spmv_prefix_rows(bounds[c], bounds[c + 1], x_ext, piece);
         });
+    }
+
+    /// Multi-RHS instance of [`GhostZone::spmv_prefix`]: applies the
+    /// remapped operator to rows `0 .. nrows` for every column of
+    /// `x_ext` (each column an extended vector: owned prefix, then
+    /// ghosts). Row-blocked so one pass over a block's entries serves all
+    /// k columns from cache; per column the accumulation is identical to
+    /// the single-vector prefix SpMV, so column `j` of `y` is **bitwise
+    /// equal** to `spmv_prefix(nrows, x_ext.col(j))`.
+    ///
+    /// # Panics
+    /// Panics if `nrows > reach_len(depth-1)` or buffers are too short.
+    pub fn spmm_prefix(&self, nrows: usize, x_ext: &MultiVector, y: &mut MultiVector) {
+        self.assert_spmm_shapes(nrows, x_ext, y);
+        let ld = y.n();
+        let data = y.data_mut();
+        self.spmm_prefix_rows_into(0, nrows, x_ext, ld, &mut |i, v| data[i] = v);
+    }
+
+    /// Threaded [`GhostZone::spmm_prefix`]: the active row prefix is
+    /// split into nnz-balanced chunks on the fly (mirroring
+    /// [`GhostZone::spmv_prefix_par`]); each chunk owns its rows in every
+    /// column, so the result is bitwise equal to the serial multi-RHS
+    /// prefix SpMV for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `nrows > reach_len(depth-1)` or buffers are too short.
+    pub fn spmm_prefix_par(
+        &self,
+        pk: &crate::par::ParKernels,
+        nrows: usize,
+        x_ext: &MultiVector,
+        y: &mut MultiVector,
+    ) {
+        if pk.threads() == 1 {
+            self.spmm_prefix(nrows, x_ext, y);
+            return;
+        }
+        self.assert_spmm_shapes(nrows, x_ext, y);
+        let ld = y.n();
+        let bounds = crate::csr::nnz_balanced_bounds(&self.row_ptr, nrows, pk.threads());
+        let ptr = crate::par::SendPtr(y.data_mut().as_mut_ptr());
+        pk.run_indexed(bounds.len() - 1, |c| {
+            // Safety: chunks own disjoint row ranges in every column and
+            // `j·ld + r` was bounds-checked by `assert_spmm_shapes`.
+            let mut write = |i: usize, v: f64| unsafe { *ptr.get().add(i) = v };
+            self.spmm_prefix_rows_into(bounds[c], bounds[c + 1], x_ext, ld, &mut write);
+        });
+    }
+
+    fn assert_spmm_shapes(&self, nrows: usize, x_ext: &MultiVector, y: &MultiVector) {
+        assert!(
+            nrows <= self.prefix[self.depth - 1],
+            "spmm_prefix: row prefix too long"
+        );
+        assert!(x_ext.n() >= self.ext.len(), "spmm_prefix: x_ext too short");
+        assert!(y.n() >= nrows, "spmm_prefix: y too short");
+        assert_eq!(x_ext.k(), y.k(), "spmm_prefix: column count mismatch");
+    }
+
+    /// Rows `[row_begin, row_end)` across all columns, writing
+    /// `write(j·ld + r, acc)` with the per-row accumulation order of
+    /// [`GhostZone::spmv_prefix`].
+    fn spmm_prefix_rows_into<F: FnMut(usize, f64)>(
+        &self,
+        row_begin: usize,
+        row_end: usize,
+        x_ext: &MultiVector,
+        ld: usize,
+        write: &mut F,
+    ) {
+        let k = x_ext.k();
+        let mut blk = row_begin;
+        while blk < row_end {
+            let blk_end = (blk + crate::csr::SPMM_ROW_BLOCK).min(row_end);
+            for j in 0..k {
+                let xj = x_ext.col(j);
+                for r in blk..blk_end {
+                    let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                    let mut acc = 0.0;
+                    for e in lo..hi {
+                        acc += self.values[e] * xj[self.col_idx[e]];
+                    }
+                    write(j * ld + r, acc);
+                }
+            }
+            blk = blk_end;
+        }
     }
 
     /// Local indices of the owned rows computable without any ghost data
@@ -529,6 +618,41 @@ mod tests {
                 let mut y = vec![1.0; rows];
                 gz.spmv_prefix_par(&pk, rows, &x_ext, &mut y);
                 assert_eq!(y, serial, "depth {d}, threads {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_prefix_columns_match_spmv_prefix_bitwise() {
+        use crate::par::ParKernels;
+        let a = crate::generators::poisson::poisson_3d(14);
+        let n = a.nrows();
+        let gz = GhostZone::new(&a, n / 4, 3 * n / 4, 3);
+        for k in [1usize, 2, 4] {
+            let cols: Vec<Vec<f64>> = (0..k)
+                .map(|j| {
+                    (0..n)
+                        .map(|i| ((i * (7 + j) % 19) as f64) - 9.0)
+                        .collect::<Vec<f64>>()
+                })
+                .collect();
+            let ext_cols: Vec<Vec<f64>> = cols.iter().map(|c| gz.extend_from_global(c)).collect();
+            let x_ext = MultiVector::from_columns(&ext_cols);
+            let rows = gz.reach_len(1);
+            let mut serial = MultiVector::zeros(rows, k);
+            gz.spmm_prefix(rows, &x_ext, &mut serial);
+            for j in 0..k {
+                let mut want = vec![0.0; rows];
+                gz.spmv_prefix(rows, &ext_cols[j], &mut want);
+                assert_eq!(serial.col(j), &want[..], "k={k} col={j}");
+            }
+            for t in [1usize, 2, 4, 8] {
+                let pk = ParKernels::new(t);
+                let mut y = MultiVector::zeros(rows, k);
+                gz.spmm_prefix_par(&pk, rows, &x_ext, &mut y);
+                for j in 0..k {
+                    assert_eq!(y.col(j), serial.col(j), "k={k} t={t} col={j}");
+                }
             }
         }
     }

@@ -395,6 +395,77 @@ impl ParKernels {
         }
     }
 
+    /// Sparse matrix–multivector product `Y ← A·X` over the matrix's
+    /// cached nnz-balanced row schedule — the threaded instance of
+    /// [`CsrMatrix::spmm`]. Row-partitioned (each chunk owns its rows in
+    /// *every* column), hence column `j` of the result is bitwise equal
+    /// to [`ParKernels::spmv`]`(a, x.col(j))` for any thread count.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmm(&self, a: &CsrMatrix, x: &MultiVector, y: &mut MultiVector) {
+        assert_eq!(x.n(), a.ncols(), "spmm: x row mismatch");
+        assert_eq!(y.n(), a.nrows(), "spmm: y row mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        if self.threads() == 1 {
+            a.spmm(x, y);
+            return;
+        }
+        let bounds = a.row_schedule(self.threads());
+        let k = x.k();
+        let ptr = SendPtr(y.data_mut().as_mut_ptr());
+        if k == 1 {
+            self.run_indexed(bounds.len() - 1, |c| {
+                // Safety: chunks own disjoint row ranges, and the flat
+                // index `j·nrows + r` stays inside `y`'s `nrows·k` buffer
+                // for every (row, column) pair — so no position is
+                // written twice.
+                let mut write = |i: usize, v: f64| unsafe { *ptr.get().add(i) = v };
+                a.spmm_rows_into(bounds[c], bounds[c + 1], x, &mut write);
+            });
+            return;
+        }
+        // Repack the operand once on the calling thread; every chunk
+        // reads the same interleaved buffer.
+        CsrMatrix::with_interleaved(x, |xr| {
+            self.run_indexed(bounds.len() - 1, |c| {
+                // Safety: as above — disjoint row ranges, in-bounds flat
+                // indices.
+                let mut write = |i: usize, v: f64| unsafe { *ptr.get().add(i) = v };
+                a.spmm_rows_interleaved(bounds[c], bounds[c + 1], xr, k, &mut write);
+            });
+        });
+    }
+
+    /// Sparse matrix–multivector product `Y ← A·X` on the SELL-C-σ
+    /// layout over the cached padded-work-balanced slice schedule — the
+    /// threaded instance of [`SellMatrix::spmm`]. Slice-partitioned with
+    /// an injective output permutation per column, hence column `j` of
+    /// the result is bitwise equal to [`ParKernels::spmv_sell`] — and to
+    /// the CSR kernels — for any thread count.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmm_sell(&self, a: &SellMatrix, x: &MultiVector, y: &mut MultiVector) {
+        assert!(x.n() >= a.ncols(), "spmm_sell: x row mismatch");
+        assert!(y.n() >= a.out_len(), "spmm_sell: y row mismatch");
+        assert_eq!(x.k(), y.k(), "spmm_sell: column count mismatch");
+        if self.threads() == 1 || a.nslices() <= 1 {
+            a.spmm(x, y);
+            return;
+        }
+        let ld = y.n();
+        let bounds = a.slice_schedule(self.threads());
+        let ptr = SendPtr(y.data_mut().as_mut_ptr());
+        self.run_indexed(bounds.len() - 1, |c| {
+            // Safety: chunks own disjoint slice ranges, the permutation is
+            // injective per column, and `j·ld + row` was bounds-checked by
+            // the `out_len`/`k` asserts above.
+            let mut write = |i: usize, v: f64| unsafe { *ptr.get().add(i) = v };
+            a.spmm_slices_into(bounds[c], bounds[c + 1], x, ld, &mut write);
+        });
+    }
+
     /// `y ← y + a·x`.
     pub fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), y.len(), "axpy: length mismatch");
@@ -453,6 +524,74 @@ impl ParKernels {
                 *zi = w[lo + i] * x[lo + i];
             }
         });
+    }
+
+    /// Fused PCG column step for pointwise preconditioners:
+    /// `x ← x + α·p`, `r ← r − α·s`, `u ← w ∘ r`, returning `r · u` —
+    /// one sweep over the column instead of four. Every element sees the
+    /// identical expression it would see from the separate
+    /// [`ParKernels::axpy`] / [`ParKernels::pointwise_mul`] /
+    /// [`ParKernels::dot`] calls, and the returned dot keeps the
+    /// fixed-shape blocked pairwise reduction (the fusion blocks *are*
+    /// the reduction blocks), so the result is bitwise identical to the
+    /// unfused sequence for any thread count. What changes is traffic:
+    /// `r`'s update, its preconditioned image, and the dot all happen
+    /// while the block is cache-hot, instead of three DRAM round trips.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pcg_step_fused(
+        &self,
+        alpha: f64,
+        p: &[f64],
+        s: &[f64],
+        w: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+        u: &mut [f64],
+    ) -> f64 {
+        let n = x.len();
+        assert_eq!(p.len(), n, "pcg_step_fused: p length mismatch");
+        assert_eq!(s.len(), n, "pcg_step_fused: s length mismatch");
+        assert_eq!(w.len(), n, "pcg_step_fused: w length mismatch");
+        assert_eq!(r.len(), n, "pcg_step_fused: r length mismatch");
+        assert_eq!(u.len(), n, "pcg_step_fused: u length mismatch");
+        let nblocks = n.div_ceil(REDUCE_BLOCK).max(1);
+        let mut partials = vec![0.0f64; nblocks];
+        if self.threads() == 1 {
+            for (b, out) in partials.iter_mut().enumerate() {
+                let lo = b * REDUCE_BLOCK;
+                let hi = (lo + REDUCE_BLOCK).min(n);
+                *out = pcg_fused_block(
+                    alpha,
+                    &p[lo..hi],
+                    &s[lo..hi],
+                    &w[lo..hi],
+                    &mut x[lo..hi],
+                    &mut r[lo..hi],
+                    &mut u[lo..hi],
+                );
+            }
+            return pairwise_sum(&mut partials);
+        }
+        let (px, pr, pu) = (
+            SendPtr(x.as_mut_ptr()),
+            SendPtr(r.as_mut_ptr()),
+            SendPtr(u.as_mut_ptr()),
+        );
+        self.for_each_chunk_mut(&mut partials, 1, |b, _, out| {
+            let lo = b * REDUCE_BLOCK;
+            let hi = (lo + REDUCE_BLOCK).min(n);
+            // Safety: each task owns the disjoint block `[lo, hi)` of
+            // `x`, `r`, and `u`, all of length `n ≥ hi`.
+            let (xs, rs, us) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(px.get().add(lo), hi - lo),
+                    std::slice::from_raw_parts_mut(pr.get().add(lo), hi - lo),
+                    std::slice::from_raw_parts_mut(pu.get().add(lo), hi - lo),
+                )
+            };
+            out[0] = pcg_fused_block(alpha, &p[lo..hi], &s[lo..hi], &w[lo..hi], xs, rs, us);
+        });
+        pairwise_sum(&mut partials)
     }
 
     /// Fused three-term recurrence update
@@ -655,6 +794,28 @@ fn fill_gram_block(n: usize, acols: &[&[f64]], bcols: &[&[f64]], blk: usize, out
     }
 }
 
+/// One [`REDUCE_BLOCK`]-sized block of [`ParKernels::pcg_step_fused`]:
+/// the two AXPYs, the pointwise preconditioner application, and the
+/// block's dot partial, each via the exact per-element expression (and
+/// for the dot, the exact [`blas::dot_block`] kernel) of the unfused
+/// operations.
+fn pcg_fused_block(
+    alpha: f64,
+    p: &[f64],
+    s: &[f64],
+    w: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    u: &mut [f64],
+) -> f64 {
+    blas::axpy(alpha, p, x);
+    blas::axpy(-alpha, s, r);
+    for (i, ui) in u.iter_mut().enumerate() {
+        *ui = w[i] * r[i];
+    }
+    blas::dot_block(r, u)
+}
+
 /// Four simultaneous block dots sharing loads: `(a0·b0, a0·b1, a1·b0,
 /// a1·b1)`. Each product follows the exact four-lane + tail accumulation
 /// order of [`blas::dot_block`], so tiling does not perturb a single bit.
@@ -814,6 +975,45 @@ mod tests {
                 for r in 0..cut {
                     assert_eq!(y[r].to_bits(), full[r].to_bits(), "t={t} cut={cut} r={r}");
                     assert_eq!(y[r].to_bits(), serial[r].to_bits(), "t={t} cut={cut} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_match_spmv_bitwise_for_any_thread_count() {
+        let a = poisson_3d(14);
+        let n = a.nrows();
+        for k in [1usize, 2, 4, 8] {
+            let x = random_mv(n, k, 31 + k as u64);
+            for t in THREAD_COUNTS {
+                let pk = ParKernels::new(t);
+                let mut y = random_mv(n, k, 99);
+                pk.spmm(&a, &x, &mut y);
+                for j in 0..k {
+                    let mut want = vec![0.0; n];
+                    a.spmv(x.col(j), &mut want);
+                    assert_eq!(y.col(j), &want[..], "k={k} t={t} col={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_sell_columns_match_spmv_bitwise_for_any_thread_count() {
+        let a = poisson_3d(14);
+        let sell = a.sell();
+        let n = a.nrows();
+        for k in [1usize, 2, 4, 8] {
+            let x = random_mv(n, k, 53 + k as u64);
+            for t in THREAD_COUNTS {
+                let pk = ParKernels::new(t);
+                let mut y = random_mv(n, k, 7);
+                pk.spmm_sell(&sell, &x, &mut y);
+                for j in 0..k {
+                    let mut want = vec![0.0; n];
+                    a.spmv(x.col(j), &mut want);
+                    assert_eq!(y.col(j), &want[..], "k={k} t={t} col={j}");
                 }
             }
         }

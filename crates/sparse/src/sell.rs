@@ -58,6 +58,7 @@
 //! general-matrix fallback and both may coexist in one matrix.
 
 use crate::csr::{nnz_balanced_bounds, CsrMatrix};
+use crate::multivector::MultiVector;
 use std::sync::{Arc, Mutex};
 
 /// Slice height: rows per slice, and the unit stride of the column-major
@@ -247,15 +248,16 @@ impl ColIx for u16 {
     }
 }
 
-/// Whether the gather-based SIMD block kernel may run. The detection
-/// macro caches its CPUID probe, so this is a relaxed atomic load.
+/// Whether the AVX2 SIMD kernels (the SELL gather blocks and the CSR
+/// SpMM column groups) may run. The detection macro caches its CPUID
+/// probe, so this is a relaxed atomic load.
 #[cfg(target_arch = "x86_64")]
-fn simd_ok() -> bool {
+pub(crate) fn simd_ok() -> bool {
     std::arch::is_x86_feature_detected!("avx2")
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-fn simd_ok() -> bool {
+pub(crate) fn simd_ok() -> bool {
     false
 }
 
@@ -668,6 +670,48 @@ impl SellMatrix {
         write: &mut F,
     ) {
         self.spmv_slice_lanes(s, lane_end, x, write);
+    }
+
+    /// Sparse matrix–multivector product `Y ← A·X` on the sliced layout.
+    /// Each slice's packed entries are read once per column while still
+    /// hot in cache (a slice is `C·width` slots — far below any L1), so
+    /// the matrix stream is amortized over the k right-hand sides; per
+    /// column the lane arithmetic is exactly [`SellMatrix::spmv`], hence
+    /// column `j` of the result is **bitwise equal** to `spmv(x.col(j))`
+    /// — and to the CSR kernels.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn spmm(&self, x: &MultiVector, y: &mut MultiVector) {
+        assert!(x.n() >= self.ncols, "sell spmm: x row mismatch");
+        assert!(y.n() >= self.out_len, "sell spmm: y row mismatch");
+        assert_eq!(x.k(), y.k(), "sell spmm: column count mismatch");
+        let ld = y.n();
+        let data = y.data_mut();
+        self.spmm_slices_into(0, self.nslices(), x, ld, &mut |i, v| data[i] = v);
+    }
+
+    /// Slice-range SpMM kernel for [`SellMatrix::spmm`] and the threaded
+    /// [`crate::ParKernels::spmm_sell`]: slices `[s_begin, s_end)` across
+    /// all columns of `x`, handing each result to `write(j·ld + row, v)`
+    /// (column-major flat index with leading dimension `ld`). The inner
+    /// slice×column order keeps one slice's entries cache-resident for
+    /// every column.
+    pub(crate) fn spmm_slices_into<F: FnMut(usize, f64)>(
+        &self,
+        s_begin: usize,
+        s_end: usize,
+        x: &MultiVector,
+        ld: usize,
+        write: &mut F,
+    ) {
+        for s in s_begin..s_end {
+            let lane_end = SELL_C.min(self.perm.len() - s * SELL_C);
+            for j in 0..x.k() {
+                let base = j * ld;
+                self.spmv_slice_lanes(s, lane_end, x.col(j), &mut |i, v| write(base + i, v));
+            }
+        }
     }
 }
 

@@ -16,6 +16,8 @@
 //! * [`precond`] — Jacobi, Chebyshev, block-Jacobi, SSOR;
 //! * [`basis`] — polynomial bases, matrix powers kernel, Ritz/Leja shifts;
 //! * [`solvers`] — the six solvers plus rank-parallel variants;
+//! * [`service`] — resident solve service: fingerprint setup cache and
+//!   batched multi-RHS admission;
 //! * [`perf`] — Table-1 formulas and the α-β cluster model;
 //! * [`obs`] — span tracer: per-rank phase timelines and Chrome trace export.
 //!
@@ -55,6 +57,7 @@ pub use spcg_dist as dist;
 pub use spcg_obs as obs;
 pub use spcg_perf as perf;
 pub use spcg_precond as precond;
+pub use spcg_service as service;
 pub use spcg_solvers as solvers;
 pub use spcg_sparse as sparse;
 

@@ -8,9 +8,12 @@
 //! intra-rank threads, alone and composed with `Engine::Ranked`.
 
 use spcg::precond::Jacobi;
-use spcg::solvers::{chebyshev_basis, solve, Engine, Method, Problem, SolveOptions};
+use spcg::solvers::{
+    chebyshev_basis, solve, solve_batch, BatchRequest, Engine, Method, Problem, SolveOptions,
+};
 use spcg::sparse::generators::paper_rhs;
 use spcg::sparse::generators::poisson::poisson_3d;
+use spcg::sparse::SparseFormat;
 
 const S: usize = 4;
 
@@ -106,6 +109,65 @@ fn threads_compose_with_ranked_engine() {
                     &res,
                     &format!("{} ranks={ranks} threads={t}", method.name()),
                 );
+            }
+        }
+    }
+}
+
+/// The blocked multi-RHS path keeps the determinism contract at every
+/// batch width: for k ∈ {2, 4, 8}, both sparse formats, the batched solve
+/// is bitwise identical across thread counts — and every column matches
+/// its own single-threaded standalone solve.
+#[test]
+fn batched_multi_rhs_bitwise_identical_across_thread_counts() {
+    let a = poisson_3d(14);
+    let m = Jacobi::new(&a);
+    let base_b = paper_rhs(&a);
+    for k in [2usize, 4, 8] {
+        let bs: Vec<Vec<f64>> = (0..k)
+            .map(|j| base_b.iter().map(|v| v * (1.0 + j as f64)).collect())
+            .collect();
+        let reqs: Vec<BatchRequest<'_>> = bs.iter().map(|b| BatchRequest::new(b)).collect();
+        for format in [SparseFormat::Csr, SparseFormat::Sell] {
+            let opts = SolveOptions::default().with_format(format);
+            let base = solve_batch(
+                &Method::Pcg,
+                &a,
+                &m,
+                &reqs,
+                &opts.clone().with_threads(1),
+                Engine::Serial,
+            );
+            for (j, (res, b)) in base.iter().zip(&bs).enumerate() {
+                assert!(res.converged(), "k={k} col {j}: {:?}", res.outcome);
+                let standalone = solve(
+                    &Method::Pcg,
+                    &Problem::new(&a, &m, b),
+                    &opts.clone().with_threads(1),
+                    Engine::Serial,
+                );
+                assert_bitwise_equal(
+                    res,
+                    &standalone,
+                    &format!("k={k} col {j} {format:?} vs standalone"),
+                );
+            }
+            for t in [2usize, 4, 8] {
+                let threaded = solve_batch(
+                    &Method::Pcg,
+                    &a,
+                    &m,
+                    &reqs,
+                    &opts.clone().with_threads(t),
+                    Engine::Serial,
+                );
+                for (j, (res, one)) in threaded.iter().zip(&base).enumerate() {
+                    assert_bitwise_equal(
+                        res,
+                        one,
+                        &format!("k={k} col {j} {format:?} threads={t}"),
+                    );
+                }
             }
         }
     }
