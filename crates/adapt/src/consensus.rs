@@ -1,0 +1,79 @@
+//! Rank-consensus verification for adaptive decisions.
+//!
+//! Every adaptive decision is computed from already-allreduced scalars, so
+//! all ranks *should* decide identically — SPMD control flow. These words
+//! piggyback on the next Gram allreduce to verify that invariant at run
+//! time without an extra collective: each rank contributes its decision
+//! plus a count of one; after the reduction, `sum == local · nranks` holds
+//! (exactly, in f64 integer arithmetic) iff every rank decided the same.
+//!
+//! A poisoned reduction (injected NaN payload) makes the words non-finite;
+//! that case is reported as [`Verdict::Poisoned`] and left to the solver's
+//! breakdown/resilience path, which sees the same poison in the Gram matrix
+//! itself.
+
+/// Number of f64 words a consensus check occupies in the allreduce buffer.
+pub const WORDS: usize = 3;
+
+/// Outcome of a consensus verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// All ranks decided identically.
+    Agree,
+    /// Decisions differed across ranks — a control-flow bug.
+    Disagree,
+    /// The reduction carried non-finite values (fault injection); the
+    /// check is inconclusive and the caller's breakdown path owns it.
+    Poisoned,
+}
+
+/// Packs this rank's decision `(s_next, rebuild)` for the allreduce.
+pub fn pack(s_next: usize, rebuild: bool) -> [f64; WORDS] {
+    [s_next as f64, if rebuild { 1.0 } else { 0.0 }, 1.0]
+}
+
+/// Verifies the allreduced words against this rank's own decision.
+pub fn check(reduced: &[f64], s_next: usize, rebuild: bool) -> Verdict {
+    assert_eq!(reduced.len(), WORDS, "consensus::check: word count");
+    if reduced.iter().any(|v| !v.is_finite()) {
+        return Verdict::Poisoned;
+    }
+    let nranks = reduced[2];
+    let want = pack(s_next, rebuild);
+    if reduced[0] == want[0] * nranks && reduced[1] == want[1] * nranks {
+        Verdict::Agree
+    } else {
+        Verdict::Disagree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_across_ranks() {
+        // Simulate a 4-rank allreduce: element-wise sum of identical packs.
+        let mut buf = [0.0; WORDS];
+        for _ in 0..4 {
+            for (b, w) in buf.iter_mut().zip(pack(8, true)) {
+                *b += w;
+            }
+        }
+        assert_eq!(check(&buf, 8, true), Verdict::Agree);
+        assert_eq!(check(&buf, 4, true), Verdict::Disagree);
+        assert_eq!(check(&buf, 8, false), Verdict::Disagree);
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let buf = pack(5, false);
+        assert_eq!(check(&buf, 5, false), Verdict::Agree);
+    }
+
+    #[test]
+    fn poisoned_reduction_is_inconclusive() {
+        let buf = [f64::NAN, 0.0, 2.0];
+        assert_eq!(check(&buf, 3, false), Verdict::Poisoned);
+    }
+}

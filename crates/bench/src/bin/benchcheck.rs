@@ -79,6 +79,13 @@ const SERVICE_MONOTONE_SLACK: f64 = 0.9;
 /// the (fixed-cost) fingerprint hash.
 const SERVICE_MAX_HIT_RATIO: f64 = 0.5;
 
+/// Maximum adaptive-from-monomial iteration count as a multiple of the
+/// oracle fixed-Chebyshev count at the same κ. This is the paper-grade
+/// acceptance margin for the adaptive controller: discovering the
+/// spectrum mid-solve may cost at most 10% over perfect a-priori
+/// spectral knowledge.
+const ADAPTIVE_MAX_RATIO: f64 = 1.1;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.len() % 2 != 0 {
@@ -95,6 +102,7 @@ fn main() -> ExitCode {
                 check_sell_gate(&fresh, &mut errors);
                 check_kernels_gate(&fresh, &mut errors);
                 check_service_gate(&fresh, &mut errors);
+                check_adaptive_gate(&fresh, &mut errors);
             }
             (fresh, base) => {
                 if let Err(e) = fresh {
@@ -303,6 +311,84 @@ fn check_service_gate(fresh: &Value, errors: &mut Vec<String>) {
             "$.setup.hit_over_cold_solve: cache-hit setup ratio {r} exceeds {SERVICE_MAX_HIT_RATIO}"
         )),
         None => errors.push("$.setup.hit_over_cold_solve: missing setup ratio".to_string()),
+    }
+}
+
+/// The adaptive-controller gate on a fresh result file (marked by an
+/// `adaptive_kappas` array): the adaptive method must converge at every
+/// κ, at least one κ must show the fixed monomial basis *failing* while
+/// adaptive succeeds (otherwise the sweep is too easy to demonstrate
+/// anything), wherever the oracle fixed-Chebyshev run converges the
+/// adaptive iteration count must stay within [`ADAPTIVE_MAX_RATIO`]× of
+/// it, and every κ must record at least one mid-solve basis rebuild —
+/// an adaptive run that never retunes is indistinguishable from the
+/// fixed method it claims to improve on. Fresh-file-only, like the
+/// other marker-keyed gates.
+fn check_adaptive_gate(fresh: &Value, errors: &mut Vec<String>) {
+    let Some(kappas) = num_array(fresh.get("adaptive_kappas")) else {
+        return;
+    };
+    let leg = |group: &str, key: &str| -> Option<Vec<f64>> {
+        num_array(fresh.get(group).and_then(|g| g.get(key))).filter(|v| v.len() == kappas.len())
+    };
+    let (Some(it_mono), Some(it_cheb), Some(it_adapt)) = (
+        leg("iters", "monomial_fixed"),
+        leg("iters", "chebyshev_fixed"),
+        leg("iters", "adaptive"),
+    ) else {
+        errors.push("$.iters: missing or mismatched adaptive sweep legs".to_string());
+        return;
+    };
+    let (Some(cv_mono), Some(cv_cheb), Some(cv_adapt)) = (
+        leg("converged", "monomial_fixed"),
+        leg("converged", "chebyshev_fixed"),
+        leg("converged", "adaptive"),
+    ) else {
+        errors.push("$.converged: missing or mismatched adaptive sweep legs".to_string());
+        return;
+    };
+    let mut monomial_beaten = false;
+    for (i, &kappa) in kappas.iter().enumerate() {
+        if cv_adapt[i] != 1.0 {
+            errors.push(format!(
+                "$.converged.adaptive[{i}]: adaptive failed at kappa {kappa} \
+                 ({} iters)",
+                it_adapt[i]
+            ));
+        }
+        if cv_mono[i] == 0.0 && cv_adapt[i] == 1.0 {
+            monomial_beaten = true;
+        }
+        if cv_cheb[i] == 1.0 && it_cheb[i] > 0.0 {
+            let ratio = it_adapt[i] / it_cheb[i];
+            if !(ratio <= ADAPTIVE_MAX_RATIO) {
+                errors.push(format!(
+                    "$.iters.adaptive[{i}]: {} vs oracle chebyshev {} at kappa {kappa} \
+                     exceeds {ADAPTIVE_MAX_RATIO}x",
+                    it_adapt[i], it_cheb[i]
+                ));
+            }
+        }
+    }
+    if !monomial_beaten {
+        errors.push(format!(
+            "$.converged.monomial_fixed: no kappa where the fixed monomial basis fails while \
+             adaptive converges (monomial iters {it_mono:?}) — the sweep demonstrates nothing"
+        ));
+    }
+    match num_array(fresh.get("shift_updates")) {
+        Some(shifts) if shifts.len() == kappas.len() => {
+            for (i, &count) in shifts.iter().enumerate() {
+                if count < 1.0 {
+                    errors.push(format!(
+                        "$.shift_updates[{i}]: adaptive run recorded no basis rebuild at \
+                         kappa {}",
+                        kappas[i]
+                    ));
+                }
+            }
+        }
+        _ => errors.push("$.shift_updates: missing or mismatched rebuild counts".to_string()),
     }
 }
 

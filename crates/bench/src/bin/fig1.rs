@@ -23,8 +23,8 @@
 //! `SPCG_TRACE_CAP` bounds the events kept per rank track.
 
 use spcg_bench::{
-    no_overlap_arg, paper, prepare_instance, ranks_arg, results_dir, threads_arg, trace_arg,
-    tracer_from_args, write_results, write_trace, Precond, TextTable,
+    adaptive_arg, no_overlap_arg, paper, prepare_instance, ranks_arg, results_dir, threads_arg,
+    trace_arg, tracer_from_args, write_results, write_trace, Precond, TextTable,
 };
 use spcg_obs::Tracer;
 use spcg_perf::scaling::{poisson3d_halo_per_rank, strong_scaling};
@@ -57,6 +57,7 @@ fn run(
 
 fn main() {
     let ranks = ranks_arg();
+    let adaptive = adaptive_arg();
     let threads = threads_arg();
     let overlap = !no_overlap_arg();
     let trace_path = trace_arg();
@@ -133,6 +134,28 @@ fn main() {
                 label.clone(),
                 s,
                 run(&method, &inst, engine, threads, overlap, tracer.as_ref()),
+            ));
+        }
+        if adaptive {
+            // Monomial start: the controller must earn its Chebyshev
+            // interval from running Ritz values, so its scaling curve is
+            // the no-spectral-knowledge counterpart of the fixed rows.
+            let label = format!("AdaptCA-PCG(s0={s})");
+            eprintln!("[fig1] {label}");
+            curves.push((
+                label,
+                s,
+                run(
+                    &Method::AdaptiveCaPcg {
+                        s,
+                        basis: spcg_basis::BasisType::Monomial,
+                    },
+                    &inst,
+                    engine,
+                    threads,
+                    overlap,
+                    tracer.as_ref(),
+                ),
             ));
         }
     }
@@ -224,9 +247,11 @@ fn main() {
          PCG from 16 nodes, CA-PCG/CA-PCG3 only from 64-128 nodes.\n",
     );
 
-    match ranks {
-        Some(r) => write_results(&format!("fig1_ranks{r}.txt"), &out),
-        None => write_results("fig1.txt", &out),
+    match (ranks, adaptive) {
+        (Some(r), false) => write_results(&format!("fig1_ranks{r}.txt"), &out),
+        (Some(r), true) => write_results(&format!("fig1_adaptive_ranks{r}.txt"), &out),
+        (None, false) => write_results("fig1.txt", &out),
+        (None, true) => write_results("fig1_adaptive.txt", &out),
     }
 
     if let Some(tracer) = &tracer {

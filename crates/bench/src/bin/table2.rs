@@ -11,8 +11,8 @@
 //! (`SPCG_QUICK=1` runs a 8-matrix subset).
 
 use spcg_bench::{
-    not_significant, paper, prepare_instance, quick_mode, table2_cell, write_results, Precond,
-    TextTable,
+    adaptive_arg, not_significant, paper, prepare_instance, quick_mode, table2_cell, write_results,
+    Precond, TextTable,
 };
 use spcg_solvers::{solve, Engine, Method, SolveOptions, SolveResult, StoppingCriterion};
 use spcg_sparse::generators::suite::suite_matrices;
@@ -29,6 +29,7 @@ fn run(method: &Method, inst: &spcg_bench::Instance) -> SolveResult {
 
 fn main() {
     let s = paper::S;
+    let adaptive = adaptive_arg();
     let suite = suite_matrices();
     let entries: Vec<_> = if quick_mode() {
         suite.into_iter().step_by(5).collect()
@@ -44,13 +45,27 @@ fn main() {
          'paper' column = PCG iterations reported in the paper)\n\n",
         paper::CHEB_PRECOND_DEGREE
     ));
-    let mut t = TextTable::new(&[
+    if adaptive {
+        out.push_str(
+            "AdaptiveCA-PCG column: controller-driven CA-PCG started from the *monomial*\n\
+             basis with no spectral input — 'iters (Nrb)' = iterations (basis rebuilds).\n\n",
+        );
+    }
+    let mut header = vec![
         "Matrix", "n", "nnz", "paper", "PCG", "sPCG", "CA-PCG", "CA-PCG3", "sPCG_mon",
-    ]);
+    ];
+    if adaptive {
+        // Single cell, not monomial/chebyshev: the adaptive method always
+        // *starts* monomial and discovers its own Chebyshev interval.
+        header.push("AdaptiveCA-PCG");
+    }
+    let mut t = TextTable::new(&header);
 
     // Aggregates for the summary block (paper §5.2 statistics).
     let mut converged = [[0usize; 2]; 3]; // [method][basis]
     let mut healthy = [[0usize; 2]; 3]; // converged without significant delay
+    let mut adaptive_conv = 0usize;
+    let mut adaptive_healthy = 0usize;
     let mut total = 0usize;
 
     for entry in &entries {
@@ -60,17 +75,15 @@ fn main() {
         if !pcg.converged() {
             // Matches the paper's selection rule: only matrices where PCG
             // converges are in the table; report and skip aggregation.
-            t.row(vec![
+            let mut cells = vec![
                 entry.name.into(),
                 entry.n.to_string(),
                 inst.a.nnz().to_string(),
                 entry.paper_pcg_iters.to_string(),
                 "-".into(),
-                "".into(),
-                "".into(),
-                "".into(),
-                "".into(),
-            ]);
+            ];
+            cells.resize(t.width(), String::new());
+            t.row(cells);
             continue;
         }
         total += 1;
@@ -132,7 +145,7 @@ fn main() {
         }
         // Extra (beyond the paper's table): the original sPCG_mon.
         let r_mon = run(&Method::SPcgMon { s }, &inst);
-        t.row(vec![
+        let mut row = vec![
             entry.name.into(),
             entry.n.to_string(),
             inst.a.nnz().to_string(),
@@ -142,7 +155,28 @@ fn main() {
             cells[1].clone(),
             cells[2].clone(),
             table2_cell(&r_mon),
-        ]);
+        ];
+        if adaptive {
+            let r_ad = run(
+                &Method::AdaptiveCaPcg {
+                    s,
+                    basis: spcg_basis::BasisType::Monomial,
+                },
+                &inst,
+            );
+            if r_ad.converged() {
+                adaptive_conv += 1;
+                if not_significant(r_ad.iterations, pcg.iterations, s) {
+                    adaptive_healthy += 1;
+                }
+            }
+            let rebuilds = r_ad
+                .adaptive
+                .as_ref()
+                .map_or(0, |rep| rep.shift_history.len());
+            row.push(format!("{} ({rebuilds}rb)", table2_cell(&r_ad)));
+        }
+        t.row(row);
     }
     out.push_str(&t.render());
 
@@ -155,10 +189,20 @@ fn main() {
             converged[mi][0], healthy[mi][0], converged[mi][1], healthy[mi][1]
         ));
     }
+    if adaptive {
+        out.push_str(&format!(
+            "  AdaptiveCA-PCG (monomial start, controller-tuned) {adaptive_conv:2}/{adaptive_healthy:2}\n"
+        ));
+    }
     out.push_str(
         "\nPaper reference: CA-PCG monomial 23/6; sPCG monomial 1, CA-PCG3 monomial 2;\n\
          chebyshev: CA-PCG 35 (33 healthy), sPCG 19, CA-PCG3 21 (all healthy).\n",
     );
 
-    write_results("table2.txt", &out);
+    let file = if adaptive {
+        "table2_adaptive.txt"
+    } else {
+        "table2.txt"
+    };
+    write_results(file, &out);
 }

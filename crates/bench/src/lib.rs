@@ -171,6 +171,15 @@ pub fn no_overlap_arg() -> bool {
     std::env::args().any(|a| a == "--no-overlap")
 }
 
+/// Parses an `--adaptive` command-line flag: extend the experiment with
+/// the adaptive-s controller ([`spcg_solvers::Method::AdaptiveCaPcg`]
+/// started from the *monomial* basis — no a-priori spectral knowledge)
+/// alongside the paper's fixed-s methods, writing to a `*_adaptive`
+/// output so the committed fixed-method baselines stay untouched.
+pub fn adaptive_arg() -> bool {
+    std::env::args().any(|a| a == "--adaptive")
+}
+
 /// Parses a `--trace <path>` command-line flag: trace every solve with a
 /// shared [`spcg_obs::Tracer`] and write the Chrome trace-event export
 /// (with the per-phase summary and merged counters spliced in) to `path`.
@@ -260,6 +269,11 @@ impl TextTable {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
+    }
+
+    /// Number of columns (rows must match this arity).
+    pub fn width(&self) -> usize {
+        self.header.len()
     }
 
     /// Appends a row (must match the header length).

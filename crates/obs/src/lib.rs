@@ -90,11 +90,18 @@ pub enum Phase {
     /// Batch admission in the solve service: coalescing queued requests
     /// that share an operator fingerprint into one multi-RHS solve.
     BatchAdmit,
+    /// Spectral estimation of the adaptive controller: symmetrized Gram
+    /// Cholesky conditioning plus running Ritz values from the CG
+    /// tridiagonal.
+    SpectralEst,
+    /// Mid-solve basis rebuild: recomputing the Chebyshev interval /
+    /// Newton–Leja shifts and the MPK polynomial coefficients.
+    BasisRebuild,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Spmv,
         Phase::MpkLevel,
         Phase::Precond,
@@ -109,6 +116,8 @@ impl Phase {
         Phase::Retry,
         Phase::Spmm,
         Phase::BatchAdmit,
+        Phase::SpectralEst,
+        Phase::BasisRebuild,
     ];
 
     /// Stable snake_case name used in every export.
@@ -128,6 +137,8 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::Spmm => "spmm",
             Phase::BatchAdmit => "batch_admit",
+            Phase::SpectralEst => "spectral_est",
+            Phase::BasisRebuild => "basis_rebuild",
         }
     }
 
@@ -298,7 +309,7 @@ impl Tracer {
     /// total/min/max/mean wall-clock (spans include their nested
     /// children's time). Phases with no spans are omitted.
     pub fn phase_summary(&self) -> Vec<PhaseSummary> {
-        let mut agg: [Option<PhaseSummary>; 14] = Default::default();
+        let mut agg: [Option<PhaseSummary>; 16] = Default::default();
         for track in self.tracks() {
             for s in &track.spans {
                 let d = s.duration_s();

@@ -133,6 +133,17 @@ pub fn fingerprint(a: &CsrMatrix, spec: &SolveSpec) -> Fingerprint {
             h.bool(r.shrink_s);
         }
     }
+    h.usize(o.adaptive.s_min);
+    h.usize(o.adaptive.s_max);
+    h.f64(o.adaptive.cond_grow);
+    h.f64(o.adaptive.cond_shrink);
+    h.f64(o.adaptive.cond_reject);
+    h.f64(o.adaptive.gap_tol);
+    h.f64(o.adaptive.drift_tol);
+    h.usize(o.adaptive.grow_patience);
+    h.usize(o.adaptive.min_ritz);
+    h.usize(o.adaptive.max_ritz);
+    h.f64(o.adaptive.margin);
     h.bool(spec.tune_basis);
     Fingerprint(h.0)
 }
@@ -193,6 +204,11 @@ fn hash_method(h: &mut Fnv, method: &Method) {
         }
         Method::CaPcg3 { s, basis } => {
             h.word(5);
+            h.usize(*s);
+            hash_basis(h, basis);
+        }
+        Method::AdaptiveCaPcg { s, basis } => {
+            h.word(6);
             h.usize(*s);
             hash_basis(h, basis);
         }

@@ -33,7 +33,7 @@ pub struct SolveSpec {
     pub method: Method,
     /// Preconditioner recipe, rebuilt (once) against the operator.
     pub precond: PrecondSpec,
-    /// Solve options; see [`crate::fingerprint`] for which fields key the
+    /// Solve options; see [`crate::fingerprint()`] for which fields key the
     /// cache.
     pub opts: SolveOptions,
     /// Execution engine.
@@ -243,6 +243,10 @@ fn retune_method(method: &Method, est: &SpectrumEstimate) -> Method {
             basis: retune(basis, *s),
         },
         Method::CaPcg3 { s, basis } => Method::CaPcg3 {
+            s: *s,
+            basis: retune(basis, *s),
+        },
+        Method::AdaptiveCaPcg { s, basis } => Method::AdaptiveCaPcg {
             s: *s,
             basis: retune(basis, *s),
         },

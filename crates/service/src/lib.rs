@@ -6,7 +6,7 @@
 //! This crate turns the workspace's solvers into a *service* shaped for
 //! that workload:
 //!
-//! * [`fingerprint`] — content hashes over matrix structure + values +
+//! * [`fingerprint()`] — content hashes over matrix structure + values +
 //!   preconditioner recipe + method/options, keying everything below;
 //! * [`SolverHandle`] — one operator's cached setup: preconditioner
 //!   factorization, SELL conversion, warmed schedules, and the optional

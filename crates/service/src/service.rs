@@ -1,7 +1,7 @@
 //! The solve service: fingerprint-keyed setup cache + batch admission.
 //!
 //! [`SolveService`] is the resident front door for repeated solves. Each
-//! submission is fingerprinted ([`crate::fingerprint`]); the first
+//! submission is fingerprinted ([`crate::fingerprint()`]); the first
 //! submission under a fingerprint builds a [`SolverHandle`] (the expensive
 //! setup), every later one reuses it — an LRU of configurable capacity
 //! holds the resident handles.

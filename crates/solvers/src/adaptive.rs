@@ -3,15 +3,23 @@
 //!
 //! When the s-step basis breaks down (singular scalar-work system, lost
 //! positive definiteness) the solver restarts from the current iterate with
-//! a halved `s` instead of failing outright, and retries the full `s` after
-//! a stretch of healthy outer iterations. Restarting is exact: the
+//! a halved `s` instead of failing outright. Restarting is exact: the
 //! remaining error satisfies `A·e = r`, so each stage solves the residual
 //! system and accumulates corrections.
+//!
+//! This is now a thin staged view over the generalized resilient driver
+//! ([`crate::resilience`]) — one code path owns the budget bookkeeping,
+//! the tolerance handoff, and the s-shrink policy for *every* method and
+//! both engines; this module keeps the original `(s, iterations)`-per-stage
+//! reporting API on top of it. For the controller-driven method that also
+//! *grows* `s` and retunes the basis mid-solve, see
+//! [`crate::adapt_capcg::adaptive_capcg`].
 
-use crate::options::{Outcome, Problem, SolveOptions, SolveResult};
-use crate::spcg::spcg;
+use crate::engine::SerialExec;
+use crate::method::Method;
+use crate::options::{Problem, SolveOptions, SolveResult};
+use crate::resilience::solve_resilient_staged;
 use spcg_basis::BasisType;
-use spcg_dist::Counters;
 
 /// Result of an adaptive solve, including the s-schedule actually used.
 #[derive(Debug, Clone)]
@@ -26,7 +34,7 @@ pub struct AdaptiveResult {
 ///
 /// Starts at `s_max`; every breakdown halves `s` (down to 1). Convergence is
 /// judged against the *initial* residual so the tolerance means the same as
-/// in [`spcg`].
+/// in [`crate::spcg::spcg`].
 ///
 /// # Panics
 /// Panics if `s_max < 1`.
@@ -37,75 +45,24 @@ pub fn adaptive_spcg(
     opts: &SolveOptions,
 ) -> AdaptiveResult {
     assert!(s_max >= 1, "adaptive_spcg: s_max must be at least 1");
-    let n = problem.n();
-    let mut x_acc = vec![0.0; n];
-    let mut residual = problem.b.to_vec();
-    let mut counters = Counters::new();
-    let mut stages = Vec::new();
-    let mut s = s_max;
-    let mut iterations_left = opts.max_iters;
-    let mut tol_left = opts.tol;
-    let mut zero_streak = 0u32;
-
-    let mut result = loop {
-        let stage_opts = SolveOptions {
-            tol: tol_left,
-            max_iters: iterations_left,
-            ..opts.clone()
-        };
-        let stage_problem = Problem::new(problem.a, problem.m, &residual);
-        let res = spcg(&stage_problem, s, basis, &stage_opts);
-        counters.merge(&res.counters);
-        stages.push((s, res.iterations));
-        iterations_left =
-            crate::resilience::charge_budget(iterations_left, res.iterations, &mut zero_streak);
-        // A diverged stage's iterate is garbage — discard it and retry with
-        // smaller s from the previous accumulated solution; a breakdown
-        // stage's partial progress is kept.
-        let diverged = matches!(res.outcome, Outcome::Diverged);
-        if !diverged {
-            for (xi, di) in x_acc.iter_mut().zip(&res.x) {
-                *xi += di;
-            }
-        }
-        let finished = match &res.outcome {
-            Outcome::Breakdown(_) | Outcome::Diverged if s > 1 && iterations_left > 0 => {
-                if !diverged {
-                    // Stage reduced ‖r‖ by some factor f; the remaining
-                    // stages only need tol/f more.
-                    let f = res
-                        .history
-                        .last()
-                        .zip(res.history.first())
-                        .map(|(l, fst)| (l.1 / fst.1).clamp(1e-16, 1.0))
-                        .unwrap_or(1.0);
-                    tol_left = (tol_left / f).min(1.0);
-                }
-                s /= 2;
-                false
-            }
-            _ => true,
-        };
-        // Refresh the residual for the next stage (or the final result).
-        let mut ax = vec![0.0; n];
-        problem.a.spmv(&x_acc, &mut ax);
-        for i in 0..n {
-            residual[i] = problem.b[i] - ax[i];
-        }
-        if finished {
-            break res;
-        }
+    let method = Method::SPcg {
+        s: s_max,
+        basis: basis.clone(),
     };
-
-    result.x = x_acc;
-    result.iterations = stages.iter().map(|&(_, it)| it).sum();
-    result.counters = counters;
+    let pol = opts
+        .resilience
+        .clone()
+        .unwrap_or_default()
+        .with_shrink_s(true);
+    let mut exec = SerialExec::new(problem, opts);
+    let (result, stages) = solve_resilient_staged(&method, &mut exec, opts, Some(&pol));
     AdaptiveResult { result, stages }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::Outcome;
     use crate::pcg::pcg;
     use spcg_precond::Jacobi;
     use spcg_sparse::generators::paper_rhs;
@@ -161,5 +118,22 @@ mod tests {
         let out = adaptive_spcg(&problem, 4, &basis, &SolveOptions::default());
         assert!(out.result.converged());
         assert!(out.result.true_relative_residual(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn stage_record_matches_schedule() {
+        // The staged view and the generalized driver's s_schedule must
+        // agree stage-for-stage on fixed-s bodies.
+        let a = poisson_2d(10);
+        let m = Jacobi::new(&a);
+        let b = paper_rhs(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let basis = crate::setup::chebyshev_basis(&problem, 20, 0.05);
+        let out = adaptive_spcg(&problem, 4, &basis, &SolveOptions::default());
+        assert_eq!(
+            out.stages.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            out.result.s_schedule
+        );
+        assert!(!matches!(out.result.outcome, Outcome::Diverged));
     }
 }

@@ -125,6 +125,7 @@ fn expired_result(n: usize) -> SolveResult {
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 
@@ -327,6 +328,7 @@ fn compact(
                     restarts: 0,
                     s_schedule: Vec::new(),
                     faults_absorbed: 0,
+                    adaptive: None,
                 });
             }
             None => cols.push(col),

@@ -181,6 +181,7 @@ pub(crate) fn capcg_g<E: Exec>(
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 

@@ -252,6 +252,7 @@ pub(crate) fn capcg3_g<E: Exec>(
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 

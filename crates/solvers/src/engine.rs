@@ -688,10 +688,7 @@ pub(crate) fn run_ranked(
     let plan = opts.faults.clone().filter(|p| p.active() && ranks > 1);
     let board = VectorBoard::new(offsets.clone()).with_faults(plan.clone(), 0);
     let board2 = VectorBoard::new(offsets).with_faults(plan.clone(), 1);
-    let mpk_depth = match method {
-        Method::Pcg | Method::Pcg3 => None,
-        _ => Some(method.s()),
-    };
+    let mpk_depth = method.mpk_depth(opts);
     // A faulted run needs self-healing to absorb poisoned payloads, so an
     // active plan arms the default policy unless the caller chose one.
     let resilience = opts
@@ -745,5 +742,8 @@ pub(crate) fn dispatch<E: Exec>(method: &Method, exec: &mut E, opts: &SolveOptio
         Method::SPcgMon { s } => crate::spcg_mon::spcg_mon_g(exec, *s, opts),
         Method::CaPcg { s, basis } => crate::capcg::capcg_g(exec, *s, basis, opts),
         Method::CaPcg3 { s, basis } => crate::capcg3::capcg3_g(exec, *s, basis, opts),
+        Method::AdaptiveCaPcg { s, basis } => {
+            crate::adapt_capcg::adaptive_capcg_g(exec, *s, basis, opts)
+        }
     }
 }

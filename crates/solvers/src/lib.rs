@@ -17,6 +17,7 @@
 //! cluster time. Numerical behaviour (Table 2: monomial collapse at s = 10,
 //! Chebyshev recovery) is real `f64` arithmetic, not simulation.
 
+pub mod adapt_capcg;
 pub mod adaptive;
 pub mod batch;
 pub mod blockops;
@@ -35,6 +36,7 @@ pub mod spcg;
 pub mod spcg_mon;
 pub mod stopping;
 
+pub use adapt_capcg::adaptive_capcg;
 pub use batch::{solve_batch, BatchRequest};
 pub use capcg::capcg;
 pub use capcg3::capcg3;
@@ -50,4 +52,5 @@ pub use pcg3::pcg3;
 pub use resilience::Resilience;
 pub use setup::{chebyshev_basis, newton_basis};
 pub use spcg::spcg;
+pub use spcg_adapt::{AdaptivePolicy, AdaptiveReport, ShiftUpdate};
 pub use spcg_mon::spcg_mon;

@@ -19,6 +19,11 @@ pub enum Method {
     CaPcg { s: usize, basis: BasisType },
     /// CA-PCG3 (Alg. 4).
     CaPcg3 { s: usize, basis: BasisType },
+    /// Adaptive CA-PCG: the CA-PCG body under the `spcg_adapt` controller —
+    /// `s` here is the *starting* block size (the runtime range comes from
+    /// [`crate::SolveOptions::adaptive`]), and `basis` the starting basis,
+    /// which the controller may rebuild mid-solve from running Ritz values.
+    AdaptiveCaPcg { s: usize, basis: BasisType },
 }
 
 impl Method {
@@ -31,6 +36,9 @@ impl Method {
             Method::SPcgMon { s } => format!("sPCG_mon(s={s})"),
             Method::CaPcg { s, basis } => format!("CA-PCG(s={s},{})", basis.name()),
             Method::CaPcg3 { s, basis } => format!("CA-PCG3(s={s},{})", basis.name()),
+            Method::AdaptiveCaPcg { s, basis } => {
+                format!("AdaptiveCA-PCG(s0={s},{})", basis.name())
+            }
         }
     }
 
@@ -41,7 +49,8 @@ impl Method {
             Method::SPcg { s, .. }
             | Method::SPcgMon { s }
             | Method::CaPcg { s, .. }
-            | Method::CaPcg3 { s, .. } => *s,
+            | Method::CaPcg3 { s, .. }
+            | Method::AdaptiveCaPcg { s, .. } => *s,
         }
     }
 
@@ -67,6 +76,23 @@ impl Method {
                 s: s.max(2),
                 basis: basis.clone(),
             },
+            Method::AdaptiveCaPcg { basis, .. } => Method::AdaptiveCaPcg {
+                s: s.max(2),
+                basis: basis.clone(),
+            },
+        }
+    }
+
+    /// Ghost-zone depth ranked execution must build for this method: `None`
+    /// for the non-blocked baselines (depth-1 SpMV only), `s` for the
+    /// fixed-s block methods, and the adaptive policy's `s_max` for
+    /// [`Method::AdaptiveCaPcg`] — the controller may grow past its
+    /// starting `s`, and the exchange depth is fixed at construction.
+    pub(crate) fn mpk_depth(&self, opts: &SolveOptions) -> Option<usize> {
+        match self {
+            Method::Pcg | Method::Pcg3 => None,
+            Method::AdaptiveCaPcg { s, .. } => Some((*s).max(opts.adaptive.s_max)),
+            _ => Some(self.s()),
         }
     }
 }
@@ -123,7 +149,11 @@ mod tests {
                 s: 4,
                 basis: basis.clone(),
             },
-            Method::CaPcg3 { s: 4, basis },
+            Method::CaPcg3 {
+                s: 4,
+                basis: basis.clone(),
+            },
+            Method::AdaptiveCaPcg { s: 4, basis },
         ];
         for method in &methods {
             let res = solve(method, &problem, &SolveOptions::default(), Engine::Serial);

@@ -1,6 +1,7 @@
 //! Problem definition, solver options, and results.
 
 use crate::resilience::Resilience;
+use spcg_adapt::{AdaptivePolicy, AdaptiveReport};
 use spcg_dist::{Backend, Counters, FaultPlan};
 use spcg_obs::Tracer;
 use spcg_precond::Preconditioner;
@@ -224,6 +225,31 @@ pub struct SolveOptions {
     /// injected poison must be survivable. Serial solves only restart
     /// when this is `Some`.
     pub resilience: Option<Resilience>,
+    /// Policy for the adaptive controller of [`crate::Method::AdaptiveCaPcg`]
+    /// (see `spcg_adapt::AdaptivePolicy`): the `s` range, the Gram
+    /// conditioning thresholds of the grow/shrink rule, and the Ritz-drift
+    /// tolerance for mid-solve basis rebuilds. Ignored by the fixed-s
+    /// methods. The default honours the `SPCG_ADAPTIVE_SMIN`,
+    /// `SPCG_ADAPTIVE_SMAX`, `SPCG_ADAPTIVE_COND`, and
+    /// `SPCG_ADAPTIVE_PATIENCE` environment variables.
+    pub adaptive: AdaptivePolicy,
+}
+
+/// Default adaptive policy: `spcg_adapt::AdaptivePolicy::default()` with
+/// the `SPCG_ADAPTIVE_*` environment overrides applied (see [`env`]).
+fn default_adaptive() -> AdaptivePolicy {
+    let mut p = AdaptivePolicy::default();
+    let s_min = env::parsed::<usize>("SPCG_ADAPTIVE_SMIN").unwrap_or(p.s_min);
+    let s_max = env::parsed::<usize>("SPCG_ADAPTIVE_SMAX").unwrap_or(p.s_max);
+    p = p.with_s_range(s_min, s_max);
+    if let Some(c) = env::parsed::<f64>("SPCG_ADAPTIVE_COND").filter(|c| *c > 1.0) {
+        let (grow, reject) = (p.cond_grow.min(c), p.cond_reject.max(c));
+        p = p.with_cond_thresholds(grow, c, reject);
+    }
+    if let Some(n) = env::parsed::<usize>("SPCG_ADAPTIVE_PATIENCE") {
+        p = p.with_grow_patience(n);
+    }
+    p
 }
 
 /// Default thread count: `SPCG_THREADS` if set to a positive integer, else 1.
@@ -264,6 +290,10 @@ fn default_overlap() -> bool {
 /// | `SPCG_PROC_KILL` | `<rank>:<nth>` | none | `spcg_solvers::procexec` | Fault drill: the rank exits before its nth allreduce. |
 /// | `SPCG_QUICK` | `0` \| `1` | `0` | `spcg-bench` | Shrink benchmark sweeps for smoke runs. |
 /// | `SPCG_GRID` | integer ≥ 1 | bin-specific | `spcg-bench` bins | Poisson grid edge override. |
+/// | `SPCG_ADAPTIVE_SMIN` | integer ≥ 2 | `2` | [`SolveOptions::adaptive`] default | Smallest `s` the adaptive controller shrinks to. |
+/// | `SPCG_ADAPTIVE_SMAX` | integer ≥ smin | `16` | [`SolveOptions::adaptive`] default | Largest `s` the adaptive controller grows to (also the ghost-zone depth of adaptive ranked solves). |
+/// | `SPCG_ADAPTIVE_COND` | float > 1 | `1e7` | [`SolveOptions::adaptive`] default | Gram conditioning estimate above which a block shrinks `s`. |
+/// | `SPCG_ADAPTIVE_PATIENCE` | integer ≥ 1 | `3` | [`SolveOptions::adaptive`] default | Consecutive healthy blocks before `s` doubles. |
 ///
 /// Crates below this one in the dependency graph (`spcg_sparse`,
 /// `spcg_dist`, `spcg_obs`) parse their variables locally — they cannot
@@ -321,6 +351,7 @@ impl Default for SolveOptions {
             trace: Tracer::from_env(),
             faults: FaultPlan::from_env(),
             resilience: None,
+            adaptive: default_adaptive(),
         }
     }
 }
@@ -414,6 +445,12 @@ impl SolveOptions {
     /// Builder-style resilience policy (see [`SolveOptions::resilience`]).
     pub fn with_resilience(mut self, resilience: Resilience) -> Self {
         self.resilience = Some(resilience);
+        self
+    }
+
+    /// Builder-style adaptive policy (see [`SolveOptions::adaptive`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptivePolicy) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -530,6 +567,12 @@ impl SolveOptionsBuilder {
         self
     }
 
+    /// Adaptive-controller policy (see [`SolveOptions::adaptive`]).
+    pub fn adaptive(mut self, adaptive: AdaptivePolicy) -> Self {
+        self.opts.adaptive = adaptive;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> SolveOptions {
         self.opts
@@ -601,6 +644,12 @@ pub struct SolveResult {
     /// this solve (all sites, all ranks) — every one of them absorbed,
     /// since the solve returned. Zero without a plan.
     pub faults_absorbed: u64,
+    /// Adaptive-control telemetry (`spcg_adapt::AdaptiveReport`): every
+    /// mid-solve basis rebuild with the Ritz interval it used, plus the
+    /// final running Ritz values. `Some` exactly when the method was
+    /// [`crate::Method::AdaptiveCaPcg`]; the block-size trajectory itself
+    /// is in [`SolveResult::s_schedule`].
+    pub adaptive: Option<AdaptiveReport>,
 }
 
 impl SolveResult {

@@ -152,6 +152,7 @@ fn finish(
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 

@@ -35,6 +35,7 @@
 use crate::method::Method;
 use crate::options::{Outcome, Problem, SolveOptions, SolveResult, StoppingCriterion};
 use crate::resilience::{solve_resilient, Resilience};
+use spcg_adapt::{AdaptivePolicy, AdaptiveReport, ShiftUpdate};
 use spcg_basis::BasisType;
 use spcg_dist::wire::{read_frame, write_frame, WireReader, WireWriter};
 use spcg_dist::{Backend, Comm, Counters, Exchange, FaultPlan, GatherPlan, FAULT_SITES};
@@ -57,7 +58,7 @@ use std::time::{Duration, Instant};
 
 /// Protocol version — bumped on any frame-layout change so a stale
 /// `spcg-rankd` binary fails loudly instead of misparsing.
-const PROTO: u64 = 2;
+const PROTO: u64 = 3;
 
 // Frame tags. Worker → hub: HELLO, POST, WANT, BARRIER, REDUCE, RESULT.
 // Hub → worker: SETUP, BOARD, BARRIER_OK, REDUCE_SUM.
@@ -115,6 +116,9 @@ struct Setup {
     trace_cap: Option<usize>,
     faults: Option<(u64, f64, u8)>,
     resilience: Option<Resilience>,
+    /// Adaptive-s controller policy — shipped whole so a worker's
+    /// `SPCG_ADAPTIVE_*` environment cannot skew a remote solve.
+    adaptive: AdaptivePolicy,
     /// Fault-drill directive: die just before allreduce number `n`
     /// (0-based). Shipped only to the targeted rank of incarnation 0.
     kill_at_reduce: Option<u64>,
@@ -217,6 +221,11 @@ fn encode_method(w: &mut WireWriter, method: &Method) {
             w.usize(*s);
             encode_basis(w, basis);
         }
+        Method::AdaptiveCaPcg { s, basis } => {
+            w.u8(6);
+            w.usize(*s);
+            encode_basis(w, basis);
+        }
     }
 }
 
@@ -234,6 +243,10 @@ fn decode_method(r: &mut WireReader<'_>) -> Method {
             basis: decode_basis(r),
         },
         5 => Method::CaPcg3 {
+            s: r.usize(),
+            basis: decode_basis(r),
+        },
+        6 => Method::AdaptiveCaPcg {
             s: r.usize(),
             basis: decode_basis(r),
         },
@@ -303,6 +316,17 @@ impl Setup {
             }
             None => w.u8(0),
         }
+        w.usize(self.adaptive.s_min);
+        w.usize(self.adaptive.s_max);
+        w.f64(self.adaptive.cond_grow);
+        w.f64(self.adaptive.cond_shrink);
+        w.f64(self.adaptive.cond_reject);
+        w.f64(self.adaptive.gap_tol);
+        w.f64(self.adaptive.drift_tol);
+        w.usize(self.adaptive.grow_patience);
+        w.usize(self.adaptive.min_ritz);
+        w.usize(self.adaptive.max_ritz);
+        w.f64(self.adaptive.margin);
         match self.kill_at_reduce {
             Some(n) => {
                 w.u8(1);
@@ -354,6 +378,19 @@ impl Setup {
                 max_restarts: r.usize(),
                 shrink_s: r.u8() != 0,
             }),
+            adaptive: AdaptivePolicy {
+                s_min: r.usize(),
+                s_max: r.usize(),
+                cond_grow: r.f64(),
+                cond_shrink: r.f64(),
+                cond_reject: r.f64(),
+                gap_tol: r.f64(),
+                drift_tol: r.f64(),
+                grow_patience: r.usize(),
+                min_ritz: r.usize(),
+                max_ritz: r.usize(),
+                margin: r.f64(),
+            },
             kill_at_reduce: (r.u8() != 0).then(|| r.u64()),
         };
         assert!(r.is_done(), "setup: trailing bytes");
@@ -370,6 +407,8 @@ struct WorkerResult {
     counters: Counters,
     restarts: usize,
     s_schedule: Vec<usize>,
+    /// Adaptive controller report (`Some` exactly for `AdaptiveCaPcg`).
+    adaptive: Option<AdaptiveReport>,
     /// Faults this worker's plan injected, per site in `FAULT_SITES`
     /// order — credited into the parent plan via `record_remote`.
     site_deltas: [u64; 5],
@@ -445,6 +484,21 @@ impl WorkerResult {
         encode_counters(&mut w, &self.counters);
         w.usize(self.restarts);
         w.usizes(&self.s_schedule);
+        match &self.adaptive {
+            Some(rep) => {
+                w.u8(1);
+                w.usize(rep.shift_history.len());
+                for u in &rep.shift_history {
+                    w.usize(u.iteration);
+                    w.str(&u.basis);
+                    w.f64(u.lambda_min);
+                    w.f64(u.lambda_max);
+                    w.usize(u.ritz_count);
+                }
+                w.f64s(&rep.ritz);
+            }
+            None => w.u8(0),
+        }
         w.u64s(&self.site_deltas);
         w.usize(self.tracks.len());
         for t in &self.tracks {
@@ -481,6 +535,23 @@ impl WorkerResult {
         let counters = decode_counters(&mut r);
         let restarts = r.usize();
         let s_schedule = r.usizes();
+        let adaptive = (r.u8() != 0).then(|| {
+            let nshifts = r.usize();
+            let mut shift_history = Vec::with_capacity(nshifts);
+            for _ in 0..nshifts {
+                shift_history.push(ShiftUpdate {
+                    iteration: r.usize(),
+                    basis: r.str(),
+                    lambda_min: r.f64(),
+                    lambda_max: r.f64(),
+                    ritz_count: r.usize(),
+                });
+            }
+            AdaptiveReport {
+                shift_history,
+                ritz: r.f64s(),
+            }
+        });
         let deltas = r.u64s();
         assert_eq!(deltas.len(), 5, "result: fault site count");
         let mut site_deltas = [0u64; 5];
@@ -512,6 +583,7 @@ impl WorkerResult {
             counters,
             restarts,
             s_schedule,
+            adaptive,
             site_deltas,
             tracks,
         }
@@ -785,10 +857,6 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
     let problem = Problem::new(&a, &*m, &setup.b);
     let offsets = Arc::new(setup.offsets.clone());
     let (lo, hi) = (offsets[setup.rank], offsets[setup.rank + 1]);
-    let mpk_depth = match setup.method {
-        Method::Pcg | Method::Pcg3 => None,
-        _ => Some(setup.method.s()),
-    };
     let plan = setup
         .faults
         .map(|(seed, rate, mask)| FaultPlan::new(seed, rate).with_sites_mask(mask));
@@ -811,7 +879,9 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
         trace: tracer.clone(),
         faults: plan.clone(),
         resilience: setup.resilience.clone(),
+        adaptive: setup.adaptive.clone(),
     };
+    let mpk_depth = setup.method.mpk_depth(&opts);
     let comm = ProcComm {
         link: Rc::clone(&link),
         kill_at_reduce: setup.kill_at_reduce,
@@ -850,6 +920,7 @@ fn run_worker(setup: &Setup, link: Rc<Link>) -> WorkerResult {
         counters: res.counters,
         restarts: res.restarts,
         s_schedule: res.s_schedule,
+        adaptive: res.adaptive,
         site_deltas,
         tracks: tracer.map(|t| t.raw_tracks()).unwrap_or_default(),
     }
@@ -1290,6 +1361,7 @@ pub(crate) fn run_proc(
                 trace_cap: opts.trace.as_ref().map(|t| t.capacity()),
                 faults: plan.as_ref().map(|p| (p.seed(), p.rate(), p.sites_mask())),
                 resilience: resilience.clone(),
+                adaptive: opts.adaptive.clone(),
                 kill_at_reduce: kill
                     .filter(|&(target, _)| incarnation == 0 && target == rank)
                     .map(|(_, nth)| nth),
@@ -1345,6 +1417,7 @@ pub(crate) fn run_proc(
         restarts: r0.restarts,
         s_schedule: r0.s_schedule.clone(),
         faults_absorbed: 0,
+        adaptive: r0.adaptive.clone(),
     };
     if let (Some(plan), Some(before)) = (&plan, &before) {
         out.faults_absorbed = plan.counts().since(before).total();

@@ -33,6 +33,7 @@
 use crate::engine::{dispatch, Exec};
 use crate::method::Method;
 use crate::options::{Outcome, SolveOptions, SolveResult};
+use spcg_adapt::AdaptiveReport;
 use spcg_basis::poly::BasisParams;
 use spcg_dist::Counters;
 use spcg_obs::{Phase, Track};
@@ -179,8 +180,21 @@ pub(crate) fn solve_resilient<E: Exec>(
     opts: &SolveOptions,
     resilience: Option<&Resilience>,
 ) -> SolveResult {
+    solve_resilient_staged(method, exec, opts, resilience).0
+}
+
+/// [`solve_resilient`] plus the per-stage `(s, iterations)` record —
+/// the staged view [`crate::adaptive::adaptive_spcg`] exposes.
+pub(crate) fn solve_resilient_staged<E: Exec>(
+    method: &Method,
+    exec: &mut E,
+    opts: &SolveOptions,
+    resilience: Option<&Resilience>,
+) -> (SolveResult, Vec<(usize, usize)>) {
     let Some(pol) = resilience else {
-        return dispatch(method, exec, opts);
+        let res = dispatch(method, exec, opts);
+        let stages = vec![(method.s(), res.iterations)];
+        return (res, stages);
     };
     // Static per-run property, identical on every rank — safe to branch on.
     let fault_tolerant = opts.faults.as_ref().is_some_and(|p| p.active());
@@ -192,6 +206,8 @@ pub(crate) fn solve_resilient<E: Exec>(
     let mut total = Counters::new();
     let mut history: Vec<(usize, f64)> = Vec::new();
     let mut s_schedule: Vec<usize> = Vec::new();
+    let mut stages: Vec<(usize, usize)> = Vec::new();
+    let mut adaptive_acc: Option<AdaptiveReport> = None;
     let mut method_now = method.clone();
     let mut tol_left = opts.tol;
     let mut iters_left = opts.max_iters;
@@ -216,11 +232,29 @@ pub(crate) fn solve_resilient<E: Exec>(
             };
             dispatch(&method_now, &mut staged, &stage_opts)
         };
-        s_schedule.push(method_now.s());
+        // Adaptive bodies report the s-values they actually ran; fixed-s
+        // bodies leave the schedule empty and contribute their stage s.
+        if res.s_schedule.is_empty() {
+            s_schedule.push(method_now.s());
+        } else {
+            s_schedule.extend_from_slice(&res.s_schedule);
+        }
+        stages.push((method_now.s(), res.iterations));
         let bad = nonfinite_consensus(exec, &res.x);
         total.merge(&res.counters);
         let stage_base = iterations_total;
         iterations_total += res.iterations;
+        if let Some(rep) = &res.adaptive {
+            // Merge the controller's report across stages, re-basing each
+            // stage's shift iterations onto the accumulated count.
+            let acc = adaptive_acc.get_or_insert_with(AdaptiveReport::default);
+            acc.shift_history.extend(rep.shift_history.iter().map(|u| {
+                let mut u = u.clone();
+                u.iteration += stage_base;
+                u
+            }));
+            acc.ritz = rep.ritz.clone();
+        }
         iters_left = if fault_tolerant {
             // Under an armed fault plan zero-progress stages are expected
             // — a poisoned first exchange breaks a stage before any
@@ -246,7 +280,7 @@ pub(crate) fn solve_resilient<E: Exec>(
                 out.history = Vec::new();
             }
             out.s_schedule = s_schedule;
-            return out;
+            return (out, stages);
         }
 
         // A diverged or non-finite stage iterate is garbage — discard it;
@@ -278,7 +312,7 @@ pub(crate) fn solve_resilient<E: Exec>(
                 res.outcome
             };
             total.restarts = restarts as u64;
-            return SolveResult {
+            let out = SolveResult {
                 x: x_acc,
                 outcome,
                 iterations: iterations_total,
@@ -292,7 +326,9 @@ pub(crate) fn solve_resilient<E: Exec>(
                 restarts,
                 s_schedule,
                 faults_absorbed: 0,
+                adaptive: adaptive_acc,
             };
+            return (out, stages);
         }
 
         // Restart: shrink s on a genuine numerical breakdown, then

@@ -236,6 +236,7 @@ pub(crate) fn spcg_g<E: Exec>(
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 

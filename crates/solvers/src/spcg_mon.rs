@@ -192,6 +192,7 @@ pub(crate) fn spcg_mon_g<E: Exec>(exec: &mut E, s: usize, opts: &SolveOptions) -
         restarts: 0,
         s_schedule: Vec::new(),
         faults_absorbed: 0,
+        adaptive: None,
     }
 }
 

@@ -31,7 +31,7 @@ pub(crate) const SPMM_PANEL_ROWS: usize = 8192;
 /// column-major flat index `i = j·nrows + r` (what the plain `write`
 /// closures use) and its `(row, column)` decomposition (so fused sinks
 /// never divide in the hot loop), and `block_done` fires after every
-/// [`SPMM_ROW_BLOCK`] row block so fused post-passes (the true-residual
+/// `SPMM_ROW_BLOCK` row block so fused post-passes (the true-residual
 /// diff, the pᵀAp Gram fold) can touch the freshly produced slice while
 /// it is still cache-hot. Any `FnMut(usize, f64)` is a sink with a no-op
 /// `block_done`.
@@ -48,7 +48,7 @@ impl<F: FnMut(usize, f64)> SpmmSink for F {
 }
 
 /// Sink of [`CsrMatrix::spmm_residual_sq`]: stages each row block of the
-/// product in a [`SPMM_ROW_BLOCK`]`×k` buffer (a few KB, L1-resident) and
+/// product in a `SPMM_ROW_BLOCK``×k` buffer (a few KB, L1-resident) and
 /// folds it straight into the per-column `Σ (b − A·x)²` accumulators —
 /// the product itself never reaches memory, which matters because the
 /// criterion's `A·x` is dead the moment it is diffed. Per column the diff
@@ -443,7 +443,7 @@ impl CsrMatrix {
     }
 
     /// Sparse matrix–multivector product `Y ← A·X` over k right-hand-side
-    /// columns. Each [`SPMM_ROW_BLOCK`]-row block of the matrix is
+    /// columns. Each `SPMM_ROW_BLOCK`-row block of the matrix is
     /// streamed once and serves every column while its entries are hot in
     /// cache; per column the per-row accumulation order is identical to
     /// [`CsrMatrix::spmv`], so column `j` of the result is **bitwise
@@ -461,8 +461,8 @@ impl CsrMatrix {
 
     /// Per column `j`, the true-residual accumulation
     /// `Σ_i (bs[j][i] − (A·X)_j[i])²` with the product `A·X` never stored:
-    /// each [`SPMM_ROW_BLOCK`] row block is staged in an L1-resident tile
-    /// and diffed immediately (see [`CritSink`]), so the criterion costs
+    /// each `SPMM_ROW_BLOCK` row block is staged in an L1-resident tile
+    /// and diffed immediately (see `CritSink`), so the criterion costs
     /// one matrix stream and one read of `bs` — no `n·k` scratch write,
     /// no re-read. Per column the accumulation visits rows `0..nrows` in
     /// order with `acc += d·d`, exactly the serial diff loop over a
@@ -502,7 +502,7 @@ impl CsrMatrix {
 
     /// `Y ← A·X` plus, per column `j`, the Gram value `xⱼᵀ·(A·x)ⱼ` folded
     /// in while each row block of the product is cache-hot (see
-    /// [`DotSink`]) — the pᵀAp inner product of a CG iteration without
+    /// `DotSink`) — the pᵀAp inner product of a CG iteration without
     /// re-streaming either vector. The returned dots are bitwise equal to
     /// `blas::dot(x.col(j), y.col(j))` run on the finished product.
     ///
@@ -851,7 +851,7 @@ impl CsrMatrix {
     /// both inflated the resident set and doubled the operand traffic of
     /// the full pack) never exists. On matrices whose panel reaches would
     /// repack more than twice the operand (irregular structure), one full
-    /// pack is used instead. After every [`SPMM_ROW_BLOCK`] row block the
+    /// pack is used instead. After every `SPMM_ROW_BLOCK` row block the
     /// sink's `block_done` hook fires, enabling fused post-passes over the
     /// still-hot output slice. The arithmetic per (row, column) is the
     /// ladder's regardless of windowing — packing changes addressing, not
