@@ -47,6 +47,37 @@ pub fn check(reduced: &[f64], s_next: usize, rebuild: bool) -> Verdict {
     }
 }
 
+/// Number of f64 words a Gauss-Seidel sweep-count consensus check occupies.
+pub const SWEEP_WORDS: usize = 3;
+
+/// Packs this rank's Gauss-Seidel sweep counts for the two Gram solves of
+/// one s-step block (`sweeps_b` for the matrix-RHS `B` system, `sweeps_a`
+/// for the vector `a` system). The sweeps run on replicated post-allreduce
+/// data, so every rank must count identically; like [`pack`], the third
+/// word counts ranks so [`check_sweeps`] can test `sum == local · nranks`.
+pub fn pack_sweeps(sweeps_b: usize, sweeps_a: usize) -> [f64; SWEEP_WORDS] {
+    [sweeps_b as f64, sweeps_a as f64, 1.0]
+}
+
+/// Verifies allreduced sweep-count words against this rank's own counts.
+pub fn check_sweeps(reduced: &[f64], sweeps_b: usize, sweeps_a: usize) -> Verdict {
+    assert_eq!(
+        reduced.len(),
+        SWEEP_WORDS,
+        "consensus::check_sweeps: word count"
+    );
+    if reduced.iter().any(|v| !v.is_finite()) {
+        return Verdict::Poisoned;
+    }
+    let nranks = reduced[2];
+    let want = pack_sweeps(sweeps_b, sweeps_a);
+    if reduced[0] == want[0] * nranks && reduced[1] == want[1] * nranks {
+        Verdict::Agree
+    } else {
+        Verdict::Disagree
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +106,22 @@ mod tests {
     fn poisoned_reduction_is_inconclusive() {
         let buf = [f64::NAN, 0.0, 2.0];
         assert_eq!(check(&buf, 3, false), Verdict::Poisoned);
+    }
+
+    #[test]
+    fn sweep_consensus_across_ranks() {
+        let mut buf = [0.0; SWEEP_WORDS];
+        for _ in 0..3 {
+            for (b, w) in buf.iter_mut().zip(pack_sweeps(12, 7)) {
+                *b += w;
+            }
+        }
+        assert_eq!(check_sweeps(&buf, 12, 7), Verdict::Agree);
+        assert_eq!(check_sweeps(&buf, 11, 7), Verdict::Disagree);
+        assert_eq!(check_sweeps(&buf, 12, 8), Verdict::Disagree);
+        assert_eq!(
+            check_sweeps(&[f64::INFINITY, 0.0, 3.0], 12, 7),
+            Verdict::Poisoned
+        );
     }
 }

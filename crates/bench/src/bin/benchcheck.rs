@@ -86,6 +86,13 @@ const SERVICE_MAX_HIT_RATIO: f64 = 0.5;
 /// spectral knowledge.
 const ADAPTIVE_MAX_RATIO: f64 = 1.1;
 
+/// Maximum EkCG iteration count as a fraction of the PCG baseline on the
+/// anisotropic acceptance problem, per block count t. Iteration counts in
+/// this workspace are bitwise deterministic, so the margins sit just above
+/// the measured ratios (t = 4 → 0.62×, t = 8 → 0.48×): any algorithmic
+/// regression that costs even a handful of iterations trips the gate.
+const EKCG_MAX_RATIO: [(f64, f64); 2] = [(4.0, 0.65), (8.0, 0.6)];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.len() % 2 != 0 {
@@ -103,6 +110,7 @@ fn main() -> ExitCode {
                 check_kernels_gate(&fresh, &mut errors);
                 check_service_gate(&fresh, &mut errors);
                 check_adaptive_gate(&fresh, &mut errors);
+                check_enlarged_gate(&fresh, &mut errors);
             }
             (fresh, base) => {
                 if let Err(e) = fresh {
@@ -389,6 +397,79 @@ fn check_adaptive_gate(fresh: &Value, errors: &mut Vec<String>) {
             }
         }
         _ => errors.push("$.shift_updates: missing or mismatched rebuild counts".to_string()),
+    }
+}
+
+/// The enlarged-family gate on a fresh result file (marked by a
+/// `survival` object): the Gauss-Seidel Gram path must converge at one or
+/// more s values where the Cholesky path fails — otherwise the GS solver
+/// demonstrates nothing the factored path doesn't already do — and the
+/// EkCG sweep (marked by an `ekcg` object) must hold every
+/// [`EKCG_MAX_RATIO`] point against its own PCG baseline, with every
+/// swept t converging. Fresh-file-only, like the other marker-keyed
+/// gates: an old baseline must not grandfather a regressed method.
+fn check_enlarged_gate(fresh: &Value, errors: &mut Vec<String>) {
+    if let Some(survival) = fresh.get("survival") {
+        let s = num_array(survival.get("s"));
+        let leg = |group: &str, key: &str| -> Option<Vec<f64>> {
+            num_array(survival.get(group).and_then(|g| g.get(key)))
+                .filter(|v| Some(v.len()) == s.as_ref().map(Vec::len))
+        };
+        match (
+            leg("converged", "cholesky"),
+            leg("converged", "gauss_seidel"),
+        ) {
+            (Some(cv_chol), Some(cv_gs)) => {
+                let survived = cv_chol
+                    .iter()
+                    .zip(&cv_gs)
+                    .any(|(&c, &g)| c == 0.0 && g == 1.0);
+                if !survived {
+                    errors.push(format!(
+                        "$.survival.converged: no s where gauss_seidel converges while \
+                         cholesky fails (cholesky {cv_chol:?}, gauss_seidel {cv_gs:?}) — \
+                         the GS path demonstrates nothing"
+                    ));
+                }
+            }
+            _ => {
+                errors.push("$.survival.converged: missing or mismatched survival legs".to_string())
+            }
+        }
+    }
+    if let Some(ekcg) = fresh.get("ekcg") {
+        let (Some(ts), Some(ratios), Some(conv)) = (
+            num_array(ekcg.get("t")),
+            num_array(ekcg.get("ratio_vs_pcg")),
+            num_array(ekcg.get("converged")),
+        ) else {
+            errors.push("$.ekcg: missing t/ratio_vs_pcg/converged arrays".to_string());
+            return;
+        };
+        if ratios.len() != ts.len() || conv.len() != ts.len() {
+            errors.push("$.ekcg: mismatched sweep array lengths".to_string());
+            return;
+        }
+        for (i, &t) in ts.iter().enumerate() {
+            if conv[i] != 1.0 {
+                errors.push(format!("$.ekcg.converged[{i}]: EkCG failed at t={t}"));
+            }
+        }
+        for &(t, max_ratio) in &EKCG_MAX_RATIO {
+            match ts.iter().position(|&v| v == t) {
+                Some(i) => {
+                    if !(ratios[i] <= max_ratio) {
+                        errors.push(format!(
+                            "$.ekcg.ratio_vs_pcg[{i}]: {} at t={t} exceeds {max_ratio}x PCG",
+                            ratios[i]
+                        ));
+                    }
+                }
+                None => errors.push(format!(
+                    "$.ekcg.t: gated block count t={t} missing from sweep {ts:?}"
+                )),
+            }
+        }
     }
 }
 

@@ -128,6 +128,13 @@ fn main() {
                     basis: basis.clone(),
                 },
             ),
+            (
+                format!("CA-PCG-GS(s={s})"),
+                Method::CaPcgGs {
+                    s,
+                    basis: basis.clone(),
+                },
+            ),
         ] {
             eprintln!("[fig1] {label}");
             curves.push((
@@ -158,6 +165,38 @@ fn main() {
                 ),
             ));
         }
+    }
+
+    // Enlarged-Krylov rows: t block directions per iteration (s = 1 in the
+    // blocks accounting — EkCG exchanges ghosts every iteration like PCG,
+    // trading collective *count* for t× fewer iterations at t² the payload).
+    // The long recurrence keeps its full direction-block history, 2·n·t
+    // doubles per iteration, so at the paper-scale 128³ serial grid the
+    // rows would need tens of GB; they run on grids up to 40³ and the skip
+    // is reported, never silent.
+    if grid <= 40 {
+        for t in [2usize, 4, 8] {
+            let label = format!("EkCG(t={t})");
+            eprintln!("[fig1] {label}");
+            curves.push((
+                label,
+                1,
+                run(
+                    &Method::EkCg { t },
+                    &inst,
+                    engine,
+                    threads,
+                    overlap,
+                    tracer.as_ref(),
+                ),
+            ));
+        }
+    } else {
+        eprintln!(
+            "[fig1] skipping EkCG rows: grid {grid} > 40 (full direction history \
+             needs ~{}GB per solve at t=8)",
+            2 * grid * grid * grid * 8 * 8 * 300 / 1_000_000_000
+        );
     }
 
     // Ranked mode: report the *measured* per-rank communication before the

@@ -52,7 +52,16 @@ fn main() {
         );
     }
     let mut header = vec![
-        "Matrix", "n", "nnz", "paper", "PCG", "sPCG", "CA-PCG", "CA-PCG3", "sPCG_mon",
+        "Matrix",
+        "n",
+        "nnz",
+        "paper",
+        "PCG",
+        "sPCG",
+        "CA-PCG",
+        "CA-PCG3",
+        "CA-PCG-GS",
+        "sPCG_mon",
     ];
     if adaptive {
         // Single cell, not monomial/chebyshev: the adaptive method always
@@ -62,8 +71,8 @@ fn main() {
     let mut t = TextTable::new(&header);
 
     // Aggregates for the summary block (paper §5.2 statistics).
-    let mut converged = [[0usize; 2]; 3]; // [method][basis]
-    let mut healthy = [[0usize; 2]; 3]; // converged without significant delay
+    let mut converged = [[0usize; 2]; 4]; // [method][basis]
+    let mut healthy = [[0usize; 2]; 4]; // converged without significant delay
     let mut adaptive_conv = 0usize;
     let mut adaptive_healthy = 0usize;
     let mut total = 0usize;
@@ -88,7 +97,7 @@ fn main() {
         }
         total += 1;
         let basis_cheb = inst.chebyshev.clone();
-        let methods: [(usize, [Method; 2]); 3] = [
+        let methods: [(usize, [Method; 2]); 4] = [
             (
                 0,
                 [
@@ -128,6 +137,19 @@ fn main() {
                     },
                 ],
             ),
+            (
+                3,
+                [
+                    Method::CaPcgGs {
+                        s,
+                        basis: spcg_basis::BasisType::Monomial,
+                    },
+                    Method::CaPcgGs {
+                        s,
+                        basis: basis_cheb.clone(),
+                    },
+                ],
+            ),
         ];
         let mut cells = Vec::new();
         for (mi, [mono, cheb]) in methods {
@@ -154,6 +176,7 @@ fn main() {
             cells[0].clone(),
             cells[1].clone(),
             cells[2].clone(),
+            cells[3].clone(),
             table2_cell(&r_mon),
         ];
         if adaptive {
@@ -183,7 +206,10 @@ fn main() {
     out.push_str(&format!(
         "\nSummary over {total} matrices (converged / without significant delay):\n"
     ));
-    for (mi, name) in ["sPCG", "CA-PCG", "CA-PCG3"].iter().enumerate() {
+    for (mi, name) in ["sPCG", "CA-PCG", "CA-PCG3", "CA-PCG-GS"]
+        .iter()
+        .enumerate()
+    {
         out.push_str(&format!(
             "  {name:8} monomial {:2}/{:2}   chebyshev {:2}/{:2}\n",
             converged[mi][0], healthy[mi][0], converged[mi][1], healthy[mi][1]

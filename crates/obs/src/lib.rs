@@ -97,11 +97,14 @@ pub enum Phase {
     /// Mid-solve basis rebuild: recomputing the Chebyshev interval /
     /// Newton–Leja shifts and the MPK polynomial coefficients.
     BasisRebuild,
+    /// Gauss-Seidel sweeps over a replicated Gram system (the CA-PCG-GS
+    /// inner solve replacing the Cholesky [`Phase::SmallSolve`]).
+    GramSweep,
 }
 
 impl Phase {
     /// Every phase, in export order.
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 17] = [
         Phase::Spmv,
         Phase::MpkLevel,
         Phase::Precond,
@@ -118,6 +121,7 @@ impl Phase {
         Phase::BatchAdmit,
         Phase::SpectralEst,
         Phase::BasisRebuild,
+        Phase::GramSweep,
     ];
 
     /// Stable snake_case name used in every export.
@@ -139,6 +143,7 @@ impl Phase {
             Phase::BatchAdmit => "batch_admit",
             Phase::SpectralEst => "spectral_est",
             Phase::BasisRebuild => "basis_rebuild",
+            Phase::GramSweep => "gram_sweep",
         }
     }
 
@@ -309,7 +314,7 @@ impl Tracer {
     /// total/min/max/mean wall-clock (spans include their nested
     /// children's time). Phases with no spans are omitted.
     pub fn phase_summary(&self) -> Vec<PhaseSummary> {
-        let mut agg: [Option<PhaseSummary>; 16] = Default::default();
+        let mut agg: [Option<PhaseSummary>; 17] = Default::default();
         for track in self.tracks() {
             for s in &track.spans {
                 let d = s.duration_s();

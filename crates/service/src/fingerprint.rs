@@ -212,6 +212,15 @@ fn hash_method(h: &mut Fnv, method: &Method) {
             h.usize(*s);
             hash_basis(h, basis);
         }
+        Method::CaPcgGs { s, basis } => {
+            h.word(7);
+            h.usize(*s);
+            hash_basis(h, basis);
+        }
+        Method::EkCg { t } => {
+            h.word(8);
+            h.usize(*t);
+        }
     }
 }
 

@@ -118,6 +118,24 @@ pub(crate) trait Exec {
     /// work; the `Exec` implementations own the SpMV, preconditioner,
     /// MPK, and exchange spans.
     fn track(&self) -> Option<&Track>;
+    /// First *global* row of this rank's local block (0 serially). The
+    /// enlarged-Krylov splitting operator `T(·)` is defined on global row
+    /// indices, so its t-way split must not depend on the rank count.
+    fn row_offset(&self) -> usize {
+        0
+    }
+    /// `Y ← A·X` column by column. The contract is per-column bitwise
+    /// equality with [`Exec::spmv`]; serial execution overrides the default
+    /// loop with the interleaved-operand SpMM kernel, whose columns are
+    /// documented bitwise equal to the single-vector kernels, so the
+    /// override is unobservable in results.
+    fn spmm(&mut self, x: &MultiVector, y: &mut MultiVector, counters: &mut Counters) {
+        let mut yc = vec![0.0; self.nl()];
+        for j in 0..x.k() {
+            self.spmv(x.col(j), &mut yc, counters);
+            y.col_mut(j).copy_from_slice(&yc);
+        }
+    }
 }
 
 /// Packs Gram matrices (and loose scalars) into one buffer, allreduces it,
@@ -230,6 +248,13 @@ impl Exec for SerialExec<'_> {
     }
     fn track(&self) -> Option<&Track> {
         self.track.as_ref()
+    }
+    fn spmm(&mut self, x: &MultiVector, y: &mut MultiVector, _counters: &mut Counters) {
+        let _s = spcg_obs::span(self.track.as_ref(), Phase::Spmm);
+        match self.sell.as_deref() {
+            Some(sell) => self.pk.spmm_sell(sell, x, y),
+            None => self.pk.spmm(self.a, x, y),
+        }
     }
 }
 
@@ -427,6 +452,9 @@ impl<'a> RankExec<'a> {
 impl Exec for RankExec<'_> {
     fn nl(&self) -> usize {
         self.hi - self.lo
+    }
+    fn row_offset(&self) -> usize {
+        self.lo
     }
     fn n_global(&self) -> u64 {
         self.a.nrows() as u64
@@ -745,5 +773,7 @@ pub(crate) fn dispatch<E: Exec>(method: &Method, exec: &mut E, opts: &SolveOptio
         Method::AdaptiveCaPcg { s, basis } => {
             crate::adapt_capcg::adaptive_capcg_g(exec, *s, basis, opts)
         }
+        Method::CaPcgGs { s, basis } => crate::capcg_gs::capcg_gs_g(exec, *s, basis, opts),
+        Method::EkCg { t } => crate::ekcg::ekcg_g(exec, *t, opts),
     }
 }

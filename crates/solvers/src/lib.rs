@@ -23,6 +23,8 @@ pub mod batch;
 pub mod blockops;
 pub mod capcg;
 pub mod capcg3;
+pub mod capcg_gs;
+pub mod ekcg;
 pub mod engine;
 pub mod method;
 pub mod options;
@@ -40,6 +42,8 @@ pub use adapt_capcg::adaptive_capcg;
 pub use batch::{solve_batch, BatchRequest};
 pub use capcg::capcg;
 pub use capcg3::capcg3;
+pub use capcg_gs::capcg_gs;
+pub use ekcg::ekcg;
 pub use engine::Engine;
 pub use method::{solve, Method};
 pub use options::env;

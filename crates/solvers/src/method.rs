@@ -24,6 +24,15 @@ pub enum Method {
     /// [`crate::SolveOptions::adaptive`]), and `basis` the starting basis,
     /// which the controller may rebuild mid-solve from running Ritz values.
     AdaptiveCaPcg { s: usize, basis: BasisType },
+    /// CA-PCG-GS: the s-step body with the small Gram systems solved by a
+    /// seeded Gauss-Seidel iteration instead of Cholesky — no pivot-failure
+    /// breakdown mode, so ill-conditioned large-s blocks survive at full s
+    /// (D'Ambra et al., see `crate::capcg_gs`).
+    CaPcgGs { s: usize, basis: BasisType },
+    /// Enlarged-Krylov CG: the residual split into `t` contiguous-block
+    /// directions per iteration (Grigori & Moufawad's MSDO-CG family, see
+    /// `crate::ekcg`). `t = 1` is bitwise plain PCG.
+    EkCg { t: usize },
 }
 
 impl Method {
@@ -39,18 +48,21 @@ impl Method {
             Method::AdaptiveCaPcg { s, basis } => {
                 format!("AdaptiveCA-PCG(s0={s},{})", basis.name())
             }
+            Method::CaPcgGs { s, basis } => format!("CA-PCG-GS(s={s},{})", basis.name()),
+            Method::EkCg { t } => format!("EkCG(t={t})"),
         }
     }
 
     /// The s-step block size (1 for the non-blocked baselines).
     pub fn s(&self) -> usize {
         match self {
-            Method::Pcg | Method::Pcg3 => 1,
+            Method::Pcg | Method::Pcg3 | Method::EkCg { .. } => 1,
             Method::SPcg { s, .. }
             | Method::SPcgMon { s }
             | Method::CaPcg { s, .. }
             | Method::CaPcg3 { s, .. }
-            | Method::AdaptiveCaPcg { s, .. } => *s,
+            | Method::AdaptiveCaPcg { s, .. }
+            | Method::CaPcgGs { s, .. } => *s,
         }
     }
 
@@ -80,6 +92,34 @@ impl Method {
                 s: s.max(2),
                 basis: basis.clone(),
             },
+            Method::CaPcgGs { basis, .. } => Method::CaPcgGs {
+                s: s.max(1),
+                basis: basis.clone(),
+            },
+            Method::EkCg { .. } => self.clone(),
+        }
+    }
+
+    /// The Gauss-Seidel analogue of this method at the *same* block size —
+    /// the resilience driver's recovery stage between a breakdown and the
+    /// shrink-s retreat: the s-step methods whose breakdowns come from the
+    /// small Cholesky Gram solve map onto [`Method::CaPcgGs`] (same `s`,
+    /// same basis where they carry one); methods without a Cholesky Gram
+    /// solve (and CA-PCG-GS itself) have no analogue.
+    pub fn gs_analogue(&self) -> Option<Method> {
+        match self {
+            Method::SPcg { s, basis }
+            | Method::CaPcg { s, basis }
+            | Method::CaPcg3 { s, basis }
+            | Method::AdaptiveCaPcg { s, basis } => Some(Method::CaPcgGs {
+                s: *s,
+                basis: basis.clone(),
+            }),
+            Method::SPcgMon { s } => Some(Method::CaPcgGs {
+                s: *s,
+                basis: BasisType::Monomial,
+            }),
+            Method::Pcg | Method::Pcg3 | Method::CaPcgGs { .. } | Method::EkCg { .. } => None,
         }
     }
 
@@ -90,7 +130,7 @@ impl Method {
     /// starting `s`, and the exchange depth is fixed at construction.
     pub(crate) fn mpk_depth(&self, opts: &SolveOptions) -> Option<usize> {
         match self {
-            Method::Pcg | Method::Pcg3 => None,
+            Method::Pcg | Method::Pcg3 | Method::EkCg { .. } => None,
             Method::AdaptiveCaPcg { s, .. } => Some((*s).max(opts.adaptive.s_max)),
             _ => Some(self.s()),
         }
@@ -153,7 +193,12 @@ mod tests {
                 s: 4,
                 basis: basis.clone(),
             },
-            Method::AdaptiveCaPcg { s: 4, basis },
+            Method::AdaptiveCaPcg {
+                s: 4,
+                basis: basis.clone(),
+            },
+            Method::CaPcgGs { s: 4, basis },
+            Method::EkCg { t: 4 },
         ];
         for method in &methods {
             let res = solve(method, &problem, &SolveOptions::default(), Engine::Serial);
@@ -181,5 +226,45 @@ mod tests {
         };
         assert_eq!(m.name(), "sPCG(s=10,monomial)");
         assert_eq!(m.s(), 10);
+        let g = Method::CaPcgGs {
+            s: 8,
+            basis: BasisType::Monomial,
+        };
+        assert_eq!(g.name(), "CA-PCG-GS(s=8,monomial)");
+        assert_eq!(g.s(), 8);
+        let e = Method::EkCg { t: 4 };
+        assert_eq!(e.name(), "EkCG(t=4)");
+        assert_eq!(e.s(), 1);
+        assert_eq!(e.with_s(7), e);
+    }
+
+    #[test]
+    fn gs_analogue_mapping() {
+        let basis = BasisType::Monomial;
+        assert_eq!(
+            Method::CaPcg {
+                s: 10,
+                basis: basis.clone()
+            }
+            .gs_analogue(),
+            Some(Method::CaPcgGs {
+                s: 10,
+                basis: basis.clone()
+            })
+        );
+        assert_eq!(
+            Method::SPcgMon { s: 6 }.gs_analogue(),
+            Some(Method::CaPcgGs { s: 6, basis })
+        );
+        assert_eq!(Method::Pcg.gs_analogue(), None);
+        assert_eq!(Method::EkCg { t: 2 }.gs_analogue(), None);
+        assert_eq!(
+            Method::CaPcgGs {
+                s: 4,
+                basis: BasisType::Monomial
+            }
+            .gs_analogue(),
+            None
+        );
     }
 }

@@ -58,7 +58,7 @@ use std::time::{Duration, Instant};
 
 /// Protocol version — bumped on any frame-layout change so a stale
 /// `spcg-rankd` binary fails loudly instead of misparsing.
-const PROTO: u64 = 3;
+const PROTO: u64 = 4;
 
 // Frame tags. Worker → hub: HELLO, POST, WANT, BARRIER, REDUCE, RESULT.
 // Hub → worker: SETUP, BOARD, BARRIER_OK, REDUCE_SUM.
@@ -226,6 +226,15 @@ fn encode_method(w: &mut WireWriter, method: &Method) {
             w.usize(*s);
             encode_basis(w, basis);
         }
+        Method::CaPcgGs { s, basis } => {
+            w.u8(7);
+            w.usize(*s);
+            encode_basis(w, basis);
+        }
+        Method::EkCg { t } => {
+            w.u8(8);
+            w.usize(*t);
+        }
     }
 }
 
@@ -250,6 +259,11 @@ fn decode_method(r: &mut WireReader<'_>) -> Method {
             s: r.usize(),
             basis: decode_basis(r),
         },
+        7 => Method::CaPcgGs {
+            s: r.usize(),
+            basis: decode_basis(r),
+        },
+        8 => Method::EkCg { t: r.usize() },
         k => panic!("setup: unknown method kind {k}"),
     }
 }
@@ -313,6 +327,7 @@ impl Setup {
                 w.u8(1);
                 w.usize(res.max_restarts);
                 w.u8(res.shrink_s as u8);
+                w.u8(res.gs_recovery as u8);
             }
             None => w.u8(0),
         }
@@ -377,6 +392,7 @@ impl Setup {
             resilience: (r.u8() != 0).then(|| Resilience {
                 max_restarts: r.usize(),
                 shrink_s: r.u8() != 0,
+                gs_recovery: r.u8() != 0,
             }),
             adaptive: AdaptivePolicy {
                 s_min: r.usize(),

@@ -51,6 +51,14 @@ pub struct Resilience {
     /// [`crate::adaptive::adaptive_spcg`]. Faulted-but-numerically-healthy
     /// stages (poisoned payloads) rerun at full `s` either way.
     pub shrink_s: bool,
+    /// Before retreating in `s` after a breakdown, retry once with the
+    /// method's Gauss-Seidel Gram-solve analogue
+    /// ([`Method::gs_analogue`]) at the *same* block size — Cholesky
+    /// pivot failures on ill-conditioned Gram systems are exactly the
+    /// breakdown class the GS inner solve survives, so this keeps the
+    /// solve at full s instead of halving. Methods without an analogue
+    /// (and the GS method itself) fall through to the shrink-s policy.
+    pub gs_recovery: bool,
 }
 
 impl Default for Resilience {
@@ -65,6 +73,7 @@ impl Default for Resilience {
             // its own recovery stage.
             max_restarts: 256,
             shrink_s: true,
+            gs_recovery: true,
         }
     }
 }
@@ -79,6 +88,12 @@ impl Resilience {
     /// Builder-style s-reduction toggle.
     pub fn with_shrink_s(mut self, shrink_s: bool) -> Self {
         self.shrink_s = shrink_s;
+        self
+    }
+
+    /// Builder-style Gauss-Seidel recovery toggle.
+    pub fn with_gs_recovery(mut self, gs_recovery: bool) -> Self {
+        self.gs_recovery = gs_recovery;
         self
     }
 }
@@ -168,6 +183,12 @@ impl<E: Exec> Exec for RhsOverride<'_, E> {
     }
     fn track(&self) -> Option<&Track> {
         self.inner.track()
+    }
+    fn row_offset(&self) -> usize {
+        self.inner.row_offset()
+    }
+    fn spmm(&mut self, x: &MultiVector, y: &mut MultiVector, counters: &mut Counters) {
+        self.inner.spmm(x, y, counters);
     }
 }
 
@@ -331,11 +352,31 @@ pub(crate) fn solve_resilient_staged<E: Exec>(
             return (out, stages);
         }
 
-        // Restart: shrink s on a genuine numerical breakdown, then
-        // re-anchor the next stage to the true residual of x_acc.
+        // Restart: on a genuine numerical breakdown, first try the
+        // Gauss-Seidel Gram-solve analogue at the same block size (the
+        // analogue maps to itself as `None`, so this fires at most once);
+        // otherwise retreat in s per the shrink policy. Then re-anchor
+        // the next stage to the true residual of x_acc.
         restarts += 1;
-        if pol.shrink_s && matches!(res.outcome, Outcome::Breakdown(_) | Outcome::Diverged) {
-            method_now = method_now.with_s(method_now.s() / 2);
+        match &res.outcome {
+            Outcome::Breakdown(_) => {
+                let gs = if pol.gs_recovery {
+                    method_now.gs_analogue()
+                } else {
+                    None
+                };
+                match gs {
+                    Some(gs) => method_now = gs,
+                    None if pol.shrink_s => {
+                        method_now = method_now.with_s(method_now.s() / 2);
+                    }
+                    None => {}
+                }
+            }
+            Outcome::Diverged if pol.shrink_s => {
+                method_now = method_now.with_s(method_now.s() / 2);
+            }
+            _ => {}
         }
         let tr = exec.track().cloned();
         let _sp = spcg_obs::span(tr.as_ref(), Phase::Restart);
@@ -387,10 +428,13 @@ mod tests {
     fn policy_builders() {
         let p = Resilience::default()
             .with_max_restarts(3)
-            .with_shrink_s(false);
+            .with_shrink_s(false)
+            .with_gs_recovery(false);
         assert_eq!(p.max_restarts, 3);
         assert!(!p.shrink_s);
+        assert!(!p.gs_recovery);
         assert!(Resilience::default().shrink_s);
+        assert!(Resilience::default().gs_recovery);
         assert!(Resilience::default().max_restarts >= 1);
     }
 }

@@ -235,6 +235,537 @@ impl Lu {
     }
 }
 
+/// Default sweep cap for [`gauss_seidel`] / [`gauss_seidel_mat`]. Gram
+/// systems of s-step methods are tiny (`O(s)²`), so a generous cap costs
+/// microseconds while guaranteeing the iteration count stays bounded and
+/// deterministic.
+pub const GS_MAX_SWEEPS: usize = 200;
+
+/// Default relative-residual early-exit tolerance for the Gauss-Seidel
+/// Gram solves: machine epsilon, i.e. run the minimal-residual sweeps to
+/// their stagnation floor. The inner solve's inexactness sets the outer
+/// method's attainable accuracy floor almost linearly (an inner `1e-14`
+/// leaves the outer residual plateauing ~100× above the Cholesky path), so
+/// the sweeps must match direct-solve accuracy, not merely approach it;
+/// the happy-breakdown exit in the accelerated core bounds the extra cost
+/// at O(dim) sweeps.
+pub const GS_TOL: f64 = f64::EPSILON;
+
+/// Seeded Gauss-Seidel iteration for a small SPD system `A·x = b`.
+///
+/// Unlike [`Cholesky`], Gauss-Seidel has no pivot-failure mode: it converges
+/// (possibly slowly) for every symmetric positive definite matrix, including
+/// ones close enough to singular that Cholesky rejects them for a
+/// non-positive pivot. That is exactly the breakdown class of ill-conditioned
+/// s-step Gram systems, which is why the GS variant of CA-PCG survives
+/// large-s monomial bases that break the Cholesky path.
+///
+/// Determinism contract: sweeps run in fixed row order `0..n`, the residual
+/// check happens after every sweep, and the sweep count at exit is a pure
+/// function of `(a, b, seed, max_sweeps, tol)` — callers operating on
+/// replicated post-allreduce data therefore observe rank-identical sweep
+/// counts, which the solvers verify at runtime via a consensus word.
+///
+/// Returns `(x, sweeps)`; `sweeps == max_sweeps` means the tolerance was not
+/// met (the result may still be usable — callers judge by finiteness and the
+/// outer recurrence). Fails only if a diagonal entry is zero or non-finite,
+/// which makes the iteration undefined.
+pub fn gauss_seidel(
+    a: &DenseMat,
+    b: &[f64],
+    seed: Option<&[f64]>,
+    max_sweeps: usize,
+    tol: f64,
+) -> Result<(Vec<f64>, usize), SolveError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "gauss_seidel: matrix must be square");
+    assert_eq!(b.len(), n, "gauss_seidel: rhs length mismatch");
+    for i in 0..n {
+        let d = a[(i, i)];
+        if !(d != 0.0) || !d.is_finite() {
+            return Err(SolveError::Singular { pivot_index: i });
+        }
+    }
+    let mut x = match seed {
+        Some(s) => {
+            assert_eq!(s.len(), n, "gauss_seidel: seed length mismatch");
+            s.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], 0));
+    }
+    let mut sweeps = 0;
+    while sweeps < max_sweeps {
+        for i in 0..n {
+            let mut v = b[i];
+            for j in 0..n {
+                if j != i {
+                    v -= a[(i, j)] * x[j];
+                }
+            }
+            x[i] = v / a[(i, i)];
+        }
+        sweeps += 1;
+        let mut rn = 0.0;
+        for i in 0..n {
+            let mut v = b[i];
+            for j in 0..n {
+                v -= a[(i, j)] * x[j];
+            }
+            rn += v * v;
+        }
+        if !(rn.sqrt() > tol * bnorm) {
+            break;
+        }
+    }
+    Ok((x, sweeps))
+}
+
+/// Matrix-RHS version of [`gauss_seidel`]: all columns are swept together in
+/// lockstep and the early exit fires only when *every* column's relative
+/// residual meets `tol`, so the returned sweep count is a single
+/// deterministic number for the whole system (one consensus word, not one
+/// per column).
+pub fn gauss_seidel_mat(
+    a: &DenseMat,
+    b: &DenseMat,
+    seed: Option<&DenseMat>,
+    max_sweeps: usize,
+    tol: f64,
+) -> Result<(DenseMat, usize), SolveError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "gauss_seidel_mat: matrix must be square");
+    assert_eq!(b.nrows(), n, "gauss_seidel_mat: rhs rows mismatch");
+    let k = b.ncols();
+    for i in 0..n {
+        let d = a[(i, i)];
+        if !(d != 0.0) || !d.is_finite() {
+            return Err(SolveError::Singular { pivot_index: i });
+        }
+    }
+    let mut x = match seed {
+        Some(s) => {
+            assert_eq!(s.nrows(), n, "gauss_seidel_mat: seed rows mismatch");
+            assert_eq!(s.ncols(), k, "gauss_seidel_mat: seed cols mismatch");
+            s.clone()
+        }
+        None => DenseMat::zeros(n, k),
+    };
+    let mut bnorm = vec![0.0f64; k];
+    for c in 0..k {
+        for i in 0..n {
+            bnorm[c] += b[(i, c)] * b[(i, c)];
+        }
+        bnorm[c] = bnorm[c].sqrt();
+    }
+    let mut sweeps = 0;
+    while sweeps < max_sweeps {
+        for c in 0..k {
+            for i in 0..n {
+                let mut v = b[(i, c)];
+                for j in 0..n {
+                    if j != i {
+                        v -= a[(i, j)] * x[(j, c)];
+                    }
+                }
+                x[(i, c)] = v / a[(i, i)];
+            }
+        }
+        sweeps += 1;
+        let mut all_met = true;
+        for c in 0..k {
+            if bnorm[c] == 0.0 {
+                continue;
+            }
+            let mut rn = 0.0;
+            for i in 0..n {
+                let mut v = b[(i, c)];
+                for j in 0..n {
+                    v -= a[(i, j)] * x[(j, c)];
+                }
+                rn += v * v;
+            }
+            if rn.sqrt() > tol * bnorm[c] {
+                all_met = false;
+                break;
+            }
+        }
+        if all_met {
+            break;
+        }
+    }
+    Ok((x, sweeps))
+}
+
+/// One symmetric Gauss-Seidel application `z = M⁻¹·r` with
+/// `M = (D+L)·D⁻¹·(D+U)`: a forward triangular solve, a diagonal scale,
+/// and a backward triangular solve. The caller has already validated the
+/// diagonal (nonzero, finite).
+fn sgs_apply(a: &DenseMat, r: &[f64]) -> Vec<f64> {
+    let n = a.nrows();
+    let mut u = vec![0.0f64; n];
+    for i in 0..n {
+        let mut v = r[i];
+        for j in 0..i {
+            v -= a[(i, j)] * u[j];
+        }
+        u[i] = v / a[(i, i)];
+    }
+    let mut z = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut v = a[(i, i)] * u[i];
+        for j in i + 1..n {
+            v -= a[(i, j)] * z[j];
+        }
+        z[i] = v / a[(i, i)];
+    }
+    z
+}
+
+/// Minimal-residual acceleration of the symmetric Gauss-Seidel sweep:
+/// right-preconditioned GMRES on `a·x = b` with one [`sgs_apply`] per
+/// iteration, Arnoldi via modified Gram-Schmidt, Givens-rotation QR of the
+/// small Hessenberg. Updates `x` in place and returns the sweep count.
+///
+/// The 2-norm of the *true* residual is monotonically non-increasing by
+/// construction, for every nonsingular symmetric system — including the
+/// indefinite ones a corrupted Gram update produces, where a CG-style
+/// acceleration loses positivity and returns garbage. That makes this the
+/// factorization-free counterpart of the pivoted-LU fallback the Cholesky
+/// path uses: bounded, backward-stable-grade answers on exactly the
+/// systems where a pivot would fail.
+fn gs_mr_core(a: &DenseMat, b: &[f64], x: &mut [f64], budget: usize, tol_abs: f64) -> usize {
+    let n = a.nrows();
+    let mut r = b.to_vec();
+    if x.iter().any(|&v| v != 0.0) {
+        let ax = a.matvec(x);
+        for i in 0..n {
+            r[i] -= ax[i];
+        }
+    }
+    let rn = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if !(rn > tol_abs) || !rn.is_finite() {
+        return 0;
+    }
+    let mut basis: Vec<Vec<f64>> = vec![r.iter().map(|v| v / rn).collect()];
+    let mut dirs: Vec<Vec<f64>> = Vec::new(); // z_j = M⁻¹ v_j
+    let mut h_cols: Vec<Vec<f64>> = Vec::new(); // rotated Hessenberg columns
+    let mut rots: Vec<(f64, f64)> = Vec::new();
+    let mut g = vec![rn];
+    let mut sweeps = 0;
+    while sweeps < budget {
+        let j = sweeps;
+        let z = sgs_apply(a, &basis[j]);
+        sweeps += 1;
+        let mut w = a.matvec(&z);
+        dirs.push(z);
+        let mut h = vec![0.0f64; j + 2];
+        for (i, v) in basis.iter().enumerate() {
+            let hij: f64 = w.iter().zip(v).map(|(a, b)| a * b).sum();
+            h[i] = hij;
+            for (wi, vi) in w.iter_mut().zip(v) {
+                *wi -= hij * vi;
+            }
+        }
+        let wn = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+        h[j + 1] = wn;
+        // Apply the accumulated rotations, then a new one zeroing h[j+1].
+        for (i, &(c, s)) in rots.iter().enumerate() {
+            let (hi, hi1) = (h[i], h[i + 1]);
+            h[i] = c * hi + s * hi1;
+            h[i + 1] = -s * hi + c * hi1;
+        }
+        let denom = (h[j] * h[j] + h[j + 1] * h[j + 1]).sqrt();
+        let (c, s) = if denom > 0.0 {
+            (h[j] / denom, h[j + 1] / denom)
+        } else {
+            (1.0, 0.0)
+        };
+        h[j] = denom;
+        h[j + 1] = 0.0;
+        rots.push((c, s));
+        h_cols.push(h);
+        let gj = g[j];
+        g[j] = c * gj;
+        g.push(-s * gj);
+        let res_est = g[j + 1].abs();
+        let happy = !(wn > f64::EPSILON * rn);
+        if !(res_est > tol_abs) || happy || !res_est.is_finite() {
+            break;
+        }
+        basis.push(w.iter().map(|v| v / wn).collect());
+    }
+    // Back-substitute R·y = g over the accepted columns; a (numerically)
+    // zero diagonal marks a direction GMRES exhausted — truncate it, the
+    // minimal-residual property keeps the rest valid.
+    let k = h_cols.len();
+    let mut y = vec![0.0f64; k];
+    for i in (0..k).rev() {
+        let mut v = g[i];
+        for (jj, yj) in y.iter().enumerate().skip(i + 1) {
+            v -= h_cols[jj][i] * yj;
+        }
+        let d = h_cols[i][i];
+        y[i] = if d.abs() > f64::EPSILON * rn {
+            v / d
+        } else {
+            0.0
+        };
+    }
+    for (yj, z) in y.iter().zip(&dirs) {
+        if *yj != 0.0 {
+            for i in 0..n {
+                x[i] += yj * z[i];
+            }
+        }
+    }
+    sweeps
+}
+
+/// Seeded, conjugate-direction-accelerated symmetric Gauss-Seidel solve of
+/// a small SPD system `A·x = b` — the Gram-system solver of the GS variant
+/// of CA-PCG.
+///
+/// Plain Gauss-Seidel sweeps ([`gauss_seidel`]) converge for every SPD
+/// matrix but at a rate that collapses on the nearly-singular moment
+/// matrices s-step monomial bases produce — hundreds of sweeps can leave
+/// the residual at `1e-2`, and that inexactness compounds through the
+/// outer recurrence. This routine keeps the symmetric Gauss-Seidel sweep
+/// as its only primitive but recombines the sweep directions with
+/// minimal-residual coefficients (`gs_mr_core`): each iteration applies
+/// one forward+backward sweep pair and the iterate is the residual-norm
+/// minimizer over all sweeps so far. That restores direct-solve accuracy
+/// in at most `n` sweeps in exact arithmetic while preserving everything
+/// that makes the GS path robust: no factorization, no pivot-failure
+/// mode, monotone residuals even on the indefinite systems round-off
+/// produces near the outer method's accuracy floor, and graceful
+/// (bounded, best-iterate) degradation on singular ones.
+///
+/// Determinism contract: identical to [`gauss_seidel`] — fixed sweep
+/// order, residual early exit after every sweep, and the returned sweep
+/// count is a pure function of `(a, b, seed, max_sweeps, tol)`, so
+/// callers on replicated post-allreduce data observe rank-identical
+/// counts (verified by the solvers via a consensus word).
+///
+/// Returns `(x, sweeps)` where `sweeps` counts symmetric sweep pairs
+/// applied; fails only on a zero or non-finite diagonal entry.
+pub fn gs_solve(
+    a: &DenseMat,
+    b: &[f64],
+    seed: Option<&[f64]>,
+    max_sweeps: usize,
+    tol: f64,
+) -> Result<(Vec<f64>, usize), SolveError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "gs_solve: matrix must be square");
+    assert_eq!(b.len(), n, "gs_solve: rhs length mismatch");
+    for i in 0..n {
+        let d = a[(i, i)];
+        if !(d != 0.0) || !d.is_finite() {
+            return Err(SolveError::Singular { pivot_index: i });
+        }
+    }
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], 0));
+    }
+    let mut x = match seed {
+        Some(s) => {
+            assert_eq!(s.len(), n, "gs_solve: seed length mismatch");
+            s.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    // A non-finite seed would poison the iteration before the residual
+    // check can catch it; fall back to the zero start deterministically.
+    if x.iter().any(|v| !v.is_finite()) {
+        x.iter_mut().for_each(|v| *v = 0.0);
+    }
+    let sweeps = gs_mr_core(a, b, &mut x, max_sweeps, tol * bnorm);
+    Ok((x, sweeps))
+}
+
+/// Matrix-RHS version of [`gs_solve`]: columns are solved in a fixed
+/// left-to-right order, each seeded from the matching column of `seed`, and
+/// the returned count is the total over all columns — a single
+/// deterministic number for the whole system (one consensus word, not one
+/// per column).
+pub fn gs_solve_mat(
+    a: &DenseMat,
+    b: &DenseMat,
+    seed: Option<&DenseMat>,
+    max_sweeps: usize,
+    tol: f64,
+) -> Result<(DenseMat, usize), SolveError> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "gs_solve_mat: matrix must be square");
+    assert_eq!(b.nrows(), n, "gs_solve_mat: rhs rows mismatch");
+    let k = b.ncols();
+    if let Some(s) = seed {
+        assert_eq!(s.nrows(), n, "gs_solve_mat: seed rows mismatch");
+        assert_eq!(s.ncols(), k, "gs_solve_mat: seed cols mismatch");
+    }
+    let mut out = DenseMat::zeros(n, k);
+    let mut total = 0usize;
+    for c in 0..k {
+        let rhs = b.col(c);
+        let sc = seed.map(|s| s.col(c));
+        let (x, sweeps) = gs_solve(a, &rhs, sc.as_deref(), max_sweeps, tol)?;
+        total += sweeps;
+        for i in 0..n {
+            out[(i, c)] = x[i];
+        }
+    }
+    Ok((out, total))
+}
+
+/// Rank-revealing Cholesky with diagonal pivoting for small symmetric
+/// positive *semi*-definite matrices — the `t×t` direction Grams of
+/// enlarged-Krylov CG, which go numerically rank-deficient when some of the
+/// `t` block directions collapse onto each other near convergence.
+///
+/// `P·A·Pᵀ ≈ L·Lᵀ` with `L` lower-trapezoidal of width [`rank`]. Pivots are
+/// accepted while the largest remaining updated diagonal exceeds
+/// `rel_eps · max_i A_ii`; the factorization never fails, it just reveals a
+/// smaller rank. [`pseudo_solve`] solves on the span of the accepted pivot
+/// directions and returns exact zeros for the rejected coordinates, so
+/// deficient directions drop out of the recurrence instead of poisoning it.
+///
+/// [`rank`]: PivotedCholesky::rank
+/// [`pseudo_solve`]: PivotedCholesky::pseudo_solve
+#[derive(Debug, Clone)]
+pub struct PivotedCholesky {
+    l: DenseMat,
+    perm: Vec<usize>,
+    rank: usize,
+    n: usize,
+}
+
+impl PivotedCholesky {
+    /// Factors `a` with relative pivot threshold `rel_eps` (e.g. `1e-12`).
+    pub fn factor(a: &DenseMat, rel_eps: f64) -> Self {
+        let n = a.nrows();
+        assert_eq!(a.ncols(), n, "PivotedCholesky: matrix must be square");
+        let mut w = a.clone();
+        let mut l = DenseMat::zeros(n, n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut dmax = 0.0f64;
+        for i in 0..n {
+            let d = w[(i, i)];
+            if d.is_finite() {
+                dmax = dmax.max(d.abs());
+            }
+        }
+        let thresh = rel_eps * dmax;
+        let mut rank = 0;
+        for k in 0..n {
+            // Largest remaining updated diagonal d_i = A_ii − Σ_j L_ij².
+            let mut piv = k;
+            let mut best = f64::NEG_INFINITY;
+            for i in k..n {
+                let mut d = w[(i, i)];
+                for j in 0..k {
+                    d -= l[(i, j)] * l[(i, j)];
+                }
+                if d > best {
+                    best = d;
+                    piv = i;
+                }
+            }
+            if !(best > thresh) || !best.is_finite() {
+                break;
+            }
+            if piv != k {
+                perm.swap(k, piv);
+                for c in 0..n {
+                    let t = w[(k, c)];
+                    w[(k, c)] = w[(piv, c)];
+                    w[(piv, c)] = t;
+                }
+                for r in 0..n {
+                    let t = w[(r, k)];
+                    w[(r, k)] = w[(r, piv)];
+                    w[(r, piv)] = t;
+                }
+                for c in 0..k {
+                    let t = l[(k, c)];
+                    l[(k, c)] = l[(piv, c)];
+                    l[(piv, c)] = t;
+                }
+            }
+            let dkk = best.sqrt();
+            l[(k, k)] = dkk;
+            for i in (k + 1)..n {
+                let mut v = w[(i, k)];
+                for j in 0..k {
+                    v -= l[(i, j)] * l[(k, j)];
+                }
+                l[(i, k)] = v / dkk;
+            }
+            rank = k + 1;
+        }
+        PivotedCholesky { l, perm, rank, n }
+    }
+
+    /// Numerical rank revealed by the pivot threshold.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Whether every pivot was accepted.
+    pub fn is_full_rank(&self) -> bool {
+        self.rank == self.n
+    }
+
+    /// Solves `A·x = b` on the span of the accepted pivot directions;
+    /// coordinates of rejected directions come back exactly zero.
+    pub fn pseudo_solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "pseudo_solve: rhs length mismatch");
+        let r = self.rank;
+        let mut y = vec![0.0; r];
+        for i in 0..r {
+            let mut v = b[self.perm[i]];
+            for j in 0..i {
+                v -= self.l[(i, j)] * y[j];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        for i in (0..r).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..r {
+                v -= self.l[(j, i)] * y[j];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        let mut x = vec![0.0; self.n];
+        for i in 0..r {
+            x[self.perm[i]] = y[i];
+        }
+        x
+    }
+
+    /// Column-by-column [`Self::pseudo_solve`].
+    pub fn pseudo_solve_mat(&self, b: &DenseMat) -> DenseMat {
+        assert_eq!(b.nrows(), self.n, "pseudo_solve_mat: rhs rows mismatch");
+        let mut out = DenseMat::zeros(self.n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.pseudo_solve(&b.col(j));
+            for i in 0..self.n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
 /// Convenience: solve a small SPD system, falling back to pivoted LU when the
 /// matrix has lost positive definiteness to round-off. Returns `Err` only if
 /// both factorizations fail, which the iterative solvers treat as breakdown.
@@ -337,5 +868,130 @@ mod tests {
         let a = DenseMat::from_row_major(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
         let x = solve_spd_with_fallback(&a, &[1.0, 2.0]).unwrap();
         assert_eq!(x, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_cholesky_on_spd() {
+        let a = spd3();
+        let b = vec![1.0, 2.0, 3.0];
+        let want = Cholesky::factor(&a).unwrap().solve(&b);
+        let (x, sweeps) = gauss_seidel(&a, &b, None, GS_MAX_SWEEPS, GS_TOL).unwrap();
+        assert!(sweeps > 0 && sweeps < GS_MAX_SWEEPS);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-10, "{x:?} vs {want:?}");
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_is_deterministic_and_seedable() {
+        let a = spd3();
+        let b = vec![0.3, -1.2, 2.5];
+        let (x1, s1) = gauss_seidel(&a, &b, None, GS_MAX_SWEEPS, GS_TOL).unwrap();
+        let (x2, s2) = gauss_seidel(&a, &b, None, GS_MAX_SWEEPS, GS_TOL).unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(s1, s2);
+        // Seeding with the answer converges in one residual check.
+        let (x3, s3) = gauss_seidel(&a, &b, Some(&x1), GS_MAX_SWEEPS, GS_TOL).unwrap();
+        assert!(s3 <= 1, "warm start took {s3} sweeps");
+        for (a_, b_) in x3.iter().zip(&x1) {
+            assert!((a_ - b_).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_survives_near_singular_spd() {
+        // κ ≈ 1e14: Cholesky may succeed here, but push to the edge —
+        // GS must stay finite and bounded regardless.
+        let a = DenseMat::from_row_major(2, 2, vec![1.0, 1.0 - 5e-15, 1.0 - 5e-15, 1.0]);
+        let b = vec![1.0, 1.0];
+        let (x, sweeps) = gauss_seidel(&a, &b, None, 50, GS_TOL).unwrap();
+        assert!(sweeps <= 50);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gauss_seidel_zero_rhs_short_circuits() {
+        let a = spd3();
+        let (x, sweeps) = gauss_seidel(&a, &[0.0; 3], Some(&[1.0, 2.0, 3.0]), 50, GS_TOL).unwrap();
+        assert_eq!(sweeps, 0);
+        assert_eq!(x, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn gauss_seidel_rejects_zero_diagonal() {
+        let a = DenseMat::from_row_major(2, 2, vec![1.0, 1.0, 1.0, 0.0]);
+        assert!(matches!(
+            gauss_seidel(&a, &[1.0, 1.0], None, 10, GS_TOL),
+            Err(SolveError::Singular { pivot_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn gauss_seidel_mat_matches_vector_columns() {
+        let a = spd3();
+        let b = DenseMat::from_row_major(3, 2, vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.25]);
+        let (x, sweeps) = gauss_seidel_mat(&a, &b, None, GS_MAX_SWEEPS, GS_TOL).unwrap();
+        assert!(sweeps > 0);
+        for c in 0..2 {
+            let want = Cholesky::factor(&a).unwrap().solve(&b.col(c));
+            for i in 0..3 {
+                assert!((x[(i, c)] - want[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pivoted_cholesky_full_rank_matches_cholesky() {
+        let a = spd3();
+        let pc = PivotedCholesky::factor(&a, 1e-12);
+        assert!(pc.is_full_rank());
+        let b = vec![1.0, 2.0, 3.0];
+        let want = Cholesky::factor(&a).unwrap().solve(&b);
+        let x = pc.pseudo_solve(&b);
+        for (xi, wi) in x.iter().zip(&want) {
+            assert!((xi - wi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pivoted_cholesky_reveals_rank_deficiency() {
+        // Rank-2 PSD: third row/col is the sum of the first two.
+        let base = spd3();
+        let mut a = DenseMat::zeros(3, 3);
+        // v = columns [e0, e1, e0+e1] in a 2D latent space; A = VᵀGV with
+        // G the 2×2 leading block of spd3.
+        let g = [[base[(0, 0)], base[(0, 1)]], [base[(1, 0)], base[(1, 1)]]];
+        let v = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for p in 0..2 {
+                    for q in 0..2 {
+                        s += v[i][p] * g[p][q] * v[j][q];
+                    }
+                }
+                a[(i, j)] = s;
+            }
+        }
+        let pc = PivotedCholesky::factor(&a, 1e-10);
+        assert_eq!(pc.rank(), 2);
+        // Pseudo-solve of a consistent system: residual on the range is 0.
+        let xtrue = vec![1.0, 2.0, 0.0];
+        let b = a.matvec(&xtrue);
+        let x = pc.pseudo_solve(&b);
+        let ax = a.matvec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-9, "{ax:?} vs {b:?}");
+        }
+        // Exactly one coordinate dropped to literal zero.
+        assert_eq!(x.iter().filter(|v| **v == 0.0).count(), 1);
+    }
+
+    #[test]
+    fn pivoted_cholesky_zero_matrix_rank_zero() {
+        let a = DenseMat::zeros(3, 3);
+        let pc = PivotedCholesky::factor(&a, 1e-12);
+        assert_eq!(pc.rank(), 0);
+        assert_eq!(pc.pseudo_solve(&[1.0, 2.0, 3.0]), vec![0.0; 3]);
     }
 }

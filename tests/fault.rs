@@ -31,7 +31,12 @@ fn all_methods(problem: &Problem<'_>) -> Vec<Method> {
             s: S,
             basis: basis.clone(),
         },
-        Method::CaPcg3 { s: S, basis },
+        Method::CaPcg3 {
+            s: S,
+            basis: basis.clone(),
+        },
+        Method::CaPcgGs { s: S, basis },
+        Method::EkCg { t: 4 },
     ]
 }
 

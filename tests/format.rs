@@ -35,7 +35,15 @@ fn all_methods(problem: &Problem<'_>) -> Vec<(&'static str, Method)> {
                 basis: basis.clone(),
             },
         ),
-        ("capcg3", Method::CaPcg3 { s: 4, basis }),
+        (
+            "capcg3",
+            Method::CaPcg3 {
+                s: 4,
+                basis: basis.clone(),
+            },
+        ),
+        ("capcg_gs", Method::CaPcgGs { s: 4, basis }),
+        ("ekcg", Method::EkCg { t: 4 }),
     ]
 }
 

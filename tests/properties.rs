@@ -222,6 +222,102 @@ fn pcg_solves_random_spd_to_tolerance() {
 }
 
 #[test]
+fn gs_solve_matches_cholesky_on_random_spd_systems() {
+    use spcg::sparse::smallsolve::{gs_solve, Cholesky};
+    let mut rng = Rng64::seed_from_u64(0x5eed_000b);
+    for case in 0..64 {
+        let vals: Vec<f64> = (0..20).map(|_| rng.range_f64(-2.0, 2.0)).collect();
+        let g = DenseMat::from_row_major(4, 5, vals);
+        let mut a = g.transpose().matmul(&g);
+        for i in 0..5 {
+            a[(i, i)] += 0.5;
+        }
+        let b: Vec<f64> = (0..5).map(|_| rng.range_f64(-3.0, 3.0)).collect();
+        let x1 = Cholesky::factor(&a).unwrap().solve(&b);
+        let (x2, sweeps) = gs_solve(&a, &b, None, 200, 1e-14).unwrap();
+        assert!(sweeps > 0, "case {case}: free lunch");
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-8, "case {case}: {p} vs {q}");
+        }
+    }
+}
+
+#[test]
+fn capcg_gs_agrees_with_pcg_on_easy_random_problems() {
+    use spcg::precond::Jacobi;
+    use spcg::solvers::{capcg_gs, pcg, Problem, SolveOptions};
+    use spcg::sparse::generators::paper_rhs;
+    let mut rng = Rng64::seed_from_u64(0x5eed_000c);
+    for case in 0..8 {
+        let seed = rng.next_u64() % 50;
+        let s = 2 + rng.below_inclusive(3);
+        let a = spd_with_spectrum(
+            100,
+            &SpectrumShape::Geometric { kappa: 100.0 },
+            1.0,
+            2,
+            seed,
+        );
+        let b = paper_rhs(&a);
+        let m = Jacobi::new(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let opts = SolveOptions::default().with_tol(1e-7);
+        let basis = spcg::solvers::chebyshev_basis(&problem, 15, 0.1);
+        let r1 = pcg(&problem, &opts);
+        let r2 = capcg_gs(&problem, s, &basis, &opts);
+        assert!(
+            r1.converged() && r2.converged(),
+            "case {case} (seed {seed}, s {s})"
+        );
+        // Same slack as the Cholesky-path s-step methods: inexact inner
+        // solves may cost an extra block or two, never a regime change.
+        assert!(
+            r2.iterations <= ((r1.iterations + s) / s) * s + 2 * s,
+            "case {case} (seed {seed}, s {s}): {} vs {}",
+            r2.iterations,
+            r1.iterations
+        );
+        assert!(
+            r2.true_relative_residual(&a, &b) < 1e-5,
+            "case {case} (seed {seed}, s {s})"
+        );
+    }
+}
+
+#[test]
+fn ekcg_solves_random_spd_for_every_block_count() {
+    use spcg::precond::Jacobi;
+    use spcg::solvers::{ekcg, Problem, SolveOptions};
+    let mut rng = Rng64::seed_from_u64(0x5eed_000d);
+    for case in 0..8 {
+        let seed = rng.next_u64() % 50;
+        let a = spd_with_spectrum(
+            100,
+            &SpectrumShape::Geometric { kappa: 100.0 },
+            1.0,
+            2,
+            seed,
+        );
+        // A dense rhs: enlarged-space methods need excitation in every
+        // coordinate block (an impulse rhs makes T(r) rank-deficient).
+        let b: Vec<f64> = (0..100)
+            .map(|i| 1.0 + 0.5 * ((i as f64) * 0.7).sin())
+            .collect();
+        let m = Jacobi::new(&a);
+        let problem = Problem::new(&a, &m, &b);
+        let opts = SolveOptions::default().with_tol(1e-7);
+        for t in [1usize, 2, 4] {
+            let res = ekcg(&problem, t, &opts);
+            assert!(res.converged(), "case {case} (seed {seed}, t {t})");
+            assert!(
+                res.true_relative_residual(&a, &b) < 1e-5,
+                "case {case} (seed {seed}, t {t})"
+            );
+        }
+    }
+}
+
+#[test]
 fn spcg_agrees_with_pcg_on_easy_random_problems() {
     use spcg::precond::Jacobi;
     use spcg::solvers::{pcg, spcg as run_spcg, Problem, SolveOptions};
